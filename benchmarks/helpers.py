@@ -1,0 +1,116 @@
+"""Shared machinery for the paper-artifact benchmarks.
+
+The expensive sweep (rewrite + simulate every SPEC/app profile under
+every system) runs once per pytest session and is shared by the Fig. 13
+and Table 2 benchmarks.  Everything prints the regenerated rows so the
+benchmark log doubles as the artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.harness import (
+    run_armore,
+    run_chimera,
+    run_multiverse,
+    run_native,
+    run_safer,
+    run_strawman,
+)
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.cost import DEFAULT_ARCH, ArchParams
+from repro.workloads.spec_profiles import PROFILES, BenchProfile
+from repro.workloads.synthetic import SyntheticBinary
+
+#: Synthetic-binary scale used by all profile-driven benchmarks
+#: (DESIGN.md "Scaling note"; jal reach is scaled identically).
+SCALE = 128
+
+SYSTEMS = ("chimera", "safer", "multiverse", "armore", "strawman")
+
+_RUNNERS = {
+    "chimera": run_chimera,
+    "safer": run_safer,
+    "multiverse": run_multiverse,
+    "armore": run_armore,
+    "strawman": run_strawman,
+}
+
+
+def scaled_arch() -> ArchParams:
+    return DEFAULT_ARCH.scaled(SCALE)
+
+
+@dataclass
+class ProfileRun:
+    """All measurements for one benchmark profile."""
+
+    profile: BenchProfile
+    native_cycles: int
+    native_instret: int
+    cycles: dict[str, int]
+    degradation_pct: dict[str, float]
+    triggers: dict[str, int]
+    rewrite_stats: dict[str, dict]
+    ok: dict[str, bool]
+
+
+@lru_cache(maxsize=None)
+def run_profile(name: str) -> ProfileRun:
+    """Empty-patch all four systems over one profile's synthetic binary."""
+    profile = PROFILES[name]
+    arch = scaled_arch()
+    binary = SyntheticBinary(profile, scale=SCALE).build()
+    native = run_native(binary, RV64GCV, arch=arch)
+    assert native.ok, f"{name}: native run failed: {native.result.fault}"
+
+    cycles: dict[str, int] = {}
+    degradation: dict[str, float] = {}
+    triggers: dict[str, int] = {}
+    stats: dict[str, dict] = {}
+    ok: dict[str, bool] = {}
+    for system in SYSTEMS:
+        run = _RUNNERS[system](binary, RV64GC, arch=arch, mode="empty", run_profile=RV64GCV)
+        cycles[system] = run.cycles
+        degradation[system] = 100.0 * (run.cycles - native.cycles) / native.cycles
+        triggers[system] = _trigger_count(system, run)
+        stats[system] = run.rewrite_stats or {}
+        ok[system] = run.ok
+    return ProfileRun(
+        profile, native.cycles, native.result.instret,
+        cycles, degradation, triggers, stats, ok,
+    )
+
+
+def _trigger_count(system: str, run) -> int:
+    """The Table-2 'correctness mechanism trigger' count per system."""
+    counters = run.result.counters
+    if system == "chimera":
+        rt = run.runtime_stats or {}
+        return (rt.get("smile_segv_recoveries", 0)
+                + rt.get("smile_sigill_recoveries", 0)
+                + rt.get("runtime_rewrites", 0))
+    if system == "safer":
+        return (run.runtime_stats or {}).get("checks", 0)
+    if system == "multiverse":
+        return (run.runtime_stats or {}).get("lookups", 0)
+    if system == "armore":
+        return counters.get("armore_redirects", 0)
+    return counters.get("traps", 0)  # strawman
+
+
+def print_table(title: str, header: list[str], rows: list[list], widths=None) -> None:
+    """Render an aligned ASCII table to stdout."""
+    cols = len(header)
+    widths = widths or [
+        max(len(str(header[c])), max((len(str(r[c])) for r in rows), default=0))
+        for c in range(cols)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))

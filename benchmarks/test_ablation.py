@@ -1,0 +1,188 @@
+"""Ablations of CHBP's design choices (DESIGN.md experiment A1).
+
+* SMILE vs trap-based trampolines (what passive fault handling buys);
+* basic-block batching on/off (§4.2's optimization);
+* exit-position shifting on/off (challenge 2's rescue strategy);
+* allocator density (the compressed-encoding placement constraints).
+"""
+
+import pytest
+
+from benchmarks.helpers import SCALE, print_table, scaled_arch
+from repro.core.patcher import ChbpPatcher
+from repro.harness import run_chimera, run_native, run_strawman
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.workloads.programs import ALL_WORKLOADS
+from repro.workloads.spec_profiles import PROFILES
+from repro.workloads.synthetic import SyntheticBinary
+
+ABLATION_PROFILES = ("perlbench_r", "cam4_r", "xalancbmk_r")
+
+
+@pytest.fixture(scope="module")
+def binaries():
+    return {
+        name: SyntheticBinary(PROFILES[name], scale=SCALE).build()
+        for name in ABLATION_PROFILES
+    }
+
+
+def test_ablation_smile_vs_trap(benchmark, binaries):
+    """Replacing SMILE with trap-based trampolines (the strawman) on the
+    same binaries: the cost of *not* having passive fault handling."""
+    def run():
+        rows = []
+        arch = scaled_arch()
+        for name, binary in binaries.items():
+            native = run_native(binary, RV64GCV, arch=arch)
+            chbp = run_chimera(binary, RV64GC, arch=arch, mode="empty", run_profile=RV64GCV)
+            straw = run_strawman(binary, RV64GC, arch=arch, mode="empty", run_profile=RV64GCV)
+            improvement = 100.0 * (straw.cycles - chbp.cycles) / straw.cycles
+            rows.append([name, native.cycles, chbp.cycles, straw.cycles, f"{improvement:.1f}%"])
+        print_table("ablation — SMILE vs trap trampolines",
+                    ["benchmark", "native", "chbp", "strawman", "chbp gain"],
+                    rows)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    gains = [float(row[4].rstrip("%")) for row in rows]
+    # CHBP always wins, and the average gain is substantial (paper: 60.2%).
+    assert all(g > 0 for g in gains)
+    assert sum(gains) / len(gains) > 30.0
+
+
+def test_ablation_batching(benchmark, binaries):
+    """Same-block batching trades extra target-block bytes for fewer
+    executed trampolines."""
+    def run():
+        rows = []
+        arch = scaled_arch()
+        for name, binary in binaries.items():
+            on = run_chimera(binary, RV64GC, arch=arch, mode="empty",
+                             run_profile=RV64GCV, batch_blocks=True)
+            off = run_chimera(binary, RV64GC, arch=arch, mode="empty",
+                              run_profile=RV64GCV, batch_blocks=False)
+            rows.append([name, on.cycles, off.cycles,
+                         on.rewrite_stats["batches"],
+                         f"{100.0 * (off.cycles - on.cycles) / off.cycles:+.2f}%"])
+        print_table("ablation — basic-block batching",
+                    ["benchmark", "batched", "unbatched", "batches", "gain"],
+                    rows)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Batching never hurts on these profiles.
+    for row in rows:
+        assert row[1] <= row[2] * 1.02
+
+
+def test_ablation_exit_shifting(benchmark, binaries):
+    """Without exit shifting, liveness failures become trap fallbacks."""
+    def run():
+        rows = []
+        arch = scaled_arch()
+        for name, binary in binaries.items():
+            p_on = ChbpPatcher(binary, RV64GC, arch=arch, mode="empty", shift_exits=True)
+            p_on.patch()
+            p_off = ChbpPatcher(binary, RV64GC, arch=arch, mode="empty", shift_exits=False)
+            p_off.patch()
+            rows.append([
+                name,
+                p_on.stats.trap_fallbacks, p_off.stats.trap_fallbacks,
+                p_on.stats.exit_shift_rescues,
+            ])
+        print_table("ablation — exit-position shifting",
+                    ["benchmark", "traps (shift on)", "traps (shift off)", "rescues"],
+                    rows)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        assert row[1] <= row[2]
+    assert any(row[3] > 0 for row in rows)
+
+
+def test_ablation_placement_constraints(benchmark, binaries):
+    """The compressed-mode SMILE constraints cost target-section bytes;
+    measure the allocator's gap overhead."""
+    def run():
+        rows = []
+        arch = scaled_arch()
+        for name, binary in binaries.items():
+            patcher = ChbpPatcher(binary, RV64GC, arch=arch, mode="empty")
+            out = patcher.patch()
+            s = patcher.stats
+            ct = out.section(".chimera.text") if out.has_section(".chimera.text") else None
+            useful = (ct.size - s.padding_bytes) if ct else 0
+            rows.append([
+                name, s.trampolines,
+                ct.size if ct else 0, useful,
+                f"{100.0 * s.padding_bytes / max(1, ct.size):.0f}%" if ct else "-",
+            ])
+        print_table("ablation — SMILE placement constraints (section density)",
+                    ["benchmark", "trampolines", "section bytes", "useful bytes", "padding"],
+                    rows)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_ablation_smile_register_variant(benchmark, binaries):
+    """gp-based vs general-register (Fig. 5) SMILE: the paper predicts
+    the data-pointer variant leans harder on trap trampolines because
+    not every source has a usable lui+load pair nearby."""
+    def run():
+        rows = []
+        arch = scaled_arch()
+        for name, binary in binaries.items():
+            gp = ChbpPatcher(binary, RV64GC, arch=arch, mode="empty",
+                             enable_upgrades=False)
+            gp.patch()
+            dp = ChbpPatcher(binary, RV64GC, arch=arch, mode="empty",
+                             enable_upgrades=False, smile_register="data-pointer")
+            dp.patch()
+            rows.append([
+                name,
+                f"{gp.stats.trampolines}/{gp.stats.trap_fallbacks}",
+                f"{dp.stats.trampolines}/{dp.stats.trap_fallbacks}",
+            ])
+        print_table("ablation — SMILE register: gp vs data-pointer (tramp/traps)",
+                    ["benchmark", "gp", "data-pointer"], rows)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        gp_traps = int(row[1].split("/")[1])
+        dp_traps = int(row[2].split("/")[1])
+        assert dp_traps >= gp_traps  # the paper's predicted reliance
+
+
+def test_ablation_full_vs_loop_translation(benchmark):
+    """Loop-level vs per-instruction downgrade translation quality."""
+    def run():
+        rows = []
+        for name in ("matmul", "dot", "vecadd"):
+            binary = ALL_WORKLOADS[name].build("ext")
+            native_scalar = run_native(ALL_WORKLOADS[name].build("base"), RV64GC)
+            loop_level = run_chimera(binary, RV64GC)
+            per_instr = run_chimera(binary, RV64GC, enable_upgrades=False)
+            # disable loop downgrades by monkey-free path: empty mode is
+            # not comparable; instead reuse strawman's per-instruction
+            # translation through CHBP with patterns suppressed.
+            from repro.core import downgrade_loops
+            saved = downgrade_loops.find_downgrade_loop_sites
+            downgrade_loops.find_downgrade_loop_sites = lambda *a, **k: []
+            try:
+                instr_only = run_chimera(binary, RV64GC)
+            finally:
+                downgrade_loops.find_downgrade_loop_sites = saved
+            rows.append([name, native_scalar.cycles, loop_level.cycles, instr_only.cycles,
+                         f"{instr_only.cycles / loop_level.cycles:.1f}x"])
+        print_table("ablation — loop-level vs per-instruction downgrade",
+                    ["kernel", "native-scalar", "loop-level", "per-instr", "slowdown"],
+                    rows)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        assert row[2] < row[3]  # loop-level always faster

@@ -1,0 +1,126 @@
+"""Fig. 11: heterogeneous-computing CPU time and end-to-end latency.
+
+1000 mixed Fibonacci/matmul tasks on a 4+4-core ISAX machine, extension
+share swept 0..100%, for both input versions (extension = downgrading,
+base = upgrading), under FAM / Safer / MELF / Chimera.  Task costs come
+from real rewritten-binary simulation (workloads.hetero).
+"""
+
+import pytest
+
+from benchmarks.helpers import print_table
+from repro.workloads.hetero import SYSTEMS, measure_hetero_costs, run_fig11
+
+SHARES = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return {
+        version: run_fig11(version, SHARES, n_tasks=1000)
+        for version in ("ext", "base")
+    }
+
+
+def test_fig11_regenerate(benchmark, data):
+    def report():
+        for version, label in (("ext", "Extension Version (downgrade)"),
+                               ("base", "Base Version (upgrade)")):
+            rows = []
+            by = {(r.system, r.ext_share): r for r in data[version]}
+            for share in SHARES:
+                row = [f"{share:.0%}"]
+                for system in SYSTEMS:
+                    r = by[(system, share)]
+                    row.append(f"{r.latency / 1e6:.2f}M")
+                for system in SYSTEMS:
+                    r = by[(system, share)]
+                    row.append(f"{r.cpu_time / 1e6:.1f}M")
+                rows.append(row)
+            print_table(
+                f"Fig. 11 — {label}: latency / CPU time (cycles)",
+                ["ext-share"] + [f"lat:{s}" for s in SYSTEMS] + [f"cpu:{s}" for s in SYSTEMS],
+                rows,
+            )
+        return data
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def _series(rows, system, field):
+    return [getattr(r, field) for r in rows if r.system == system]
+
+
+class TestDowngradeShape:
+    """Fig. 11a/b claims (extension version)."""
+
+    def test_latency_decreases_for_rewriters(self, data):
+        for system in ("melf", "chimera", "safer"):
+            lat = _series(data["ext"], system, "latency")
+            assert lat[-1] < lat[0], system  # faster as ext share grows
+
+    def test_fam_latency_bottoms_out_then_rises(self, data):
+        lat = _series(data["ext"], "fam", "latency")
+        assert min(lat) < lat[0]
+        assert lat[-1] > min(lat) * 1.05  # base cores idle at 100%
+
+    def test_chimera_close_to_melf(self, data):
+        melf = _series(data["ext"], "melf", "latency")
+        chim = _series(data["ext"], "chimera", "latency")
+        gaps = [(c - m) / m for m, c in zip(melf, chim)]
+        avg_gap = 100 * sum(gaps) / len(gaps)
+        print(f"\nchimera-vs-melf latency gap (downgrade): {avg_gap:.1f}% (paper 3.2%)")
+        assert avg_gap < 10.0
+
+    def test_chimera_beats_safer(self, data):
+        melf = _series(data["ext"], "safer", "latency")
+        chim = _series(data["ext"], "chimera", "latency")
+        assert sum(chim) <= sum(melf) * 1.01
+
+    def test_rewriters_beat_fam_at_high_share(self, data):
+        by = {(r.system, r.ext_share): r for r in data["ext"]}
+        fam = by[("fam", 1.0)].latency
+        for system in ("melf", "chimera"):
+            gain = (fam - by[(system, 1.0)].latency) / fam
+            assert gain > 0.15, system  # paper: up to 33.1%
+
+    def test_rewriters_use_more_cpu_than_fam(self, data):
+        by = {(r.system, r.ext_share): r for r in data["ext"]}
+        assert by[("melf", 1.0)].cpu_time > by[("fam", 1.0)].cpu_time * 0.9
+
+
+class TestUpgradeShape:
+    """Fig. 11c/d claims (base version)."""
+
+    def test_fam_latency_flat(self, data):
+        lat = _series(data["base"], "fam", "latency")
+        spread = (max(lat) - min(lat)) / max(lat)
+        assert spread < 0.25  # "essentially unchanged"
+
+    def test_upgraders_accelerate(self, data):
+        by = {(r.system, r.ext_share): r for r in data["base"]}
+        for system in ("melf", "chimera"):
+            assert by[(system, 1.0)].latency < by[("fam", 1.0)].latency * 0.85
+
+    def test_chimera_close_to_melf_upgrade(self, data):
+        melf = _series(data["base"], "melf", "latency")
+        chim = _series(data["base"], "chimera", "latency")
+        gaps = [(c - m) / m for m, c in zip(melf, chim)]
+        avg_gap = 100 * sum(gaps) / len(gaps)
+        print(f"\nchimera-vs-melf latency gap (upgrade): {avg_gap:.1f}% (paper 5.3%)")
+        assert avg_gap < 12.0
+
+
+def test_cost_cells_report(data):
+    for version in ("ext", "base"):
+        costs = measure_hetero_costs(version)
+        rows = [
+            [system] + [str(costs.cells[system][key]) for key in
+                        (("base", False), ("ext", True), ("ext", False))]
+            for system in SYSTEMS
+        ]
+        print_table(
+            f"measured task costs, {version} version (cycles)",
+            ["system", "base-task", "ext-on-extcore", "ext-on-basecore"],
+            rows,
+        )

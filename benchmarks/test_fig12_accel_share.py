@@ -1,0 +1,59 @@
+"""Fig. 12: proportion of extension tasks accelerated by the vector
+extension, per system and input version."""
+
+import pytest
+
+from benchmarks.helpers import print_table
+from repro.workloads.hetero import SYSTEMS, run_fig11
+
+SHARES = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return {
+        version: run_fig11(version, SHARES, n_tasks=1000)
+        for version in ("ext", "base")
+    }
+
+
+def test_fig12_regenerate(benchmark, data):
+    def report():
+        for version, label in (("ext", "Extension Version"), ("base", "Base Version")):
+            by = {(r.system, r.ext_share): r for r in data[version]}
+            rows = []
+            for share in SHARES:
+                rows.append([f"{share:.0%}"] + [
+                    f"{by[(s, share)].accelerated_share:.0%}" for s in SYSTEMS
+                ])
+            print_table(f"Fig. 12 — accelerated extension tasks, {label}",
+                        ["ext-share"] + list(SYSTEMS), rows)
+        return data
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+class TestShape:
+    def test_fam_always_100pct_on_ext_version(self, data):
+        for r in data["ext"]:
+            if r.system == "fam" and r.ext_share > 0:
+                assert r.accelerated_share == pytest.approx(1.0)
+
+    def test_fam_zero_on_base_version(self, data):
+        for r in data["base"]:
+            if r.system == "fam" and r.ext_share > 0:
+                assert r.accelerated_share == 0.0
+
+    def test_offloading_appears_at_high_share(self, data):
+        """MELF/Chimera offload 30-40% of extension tasks to base cores
+        when extension tasks saturate the machine (paper's breakdown)."""
+        by = {(r.system, r.ext_share): r for r in data["ext"]}
+        for system in ("melf", "chimera"):
+            share_100 = by[(system, 1.0)].accelerated_share
+            print(f"{system}: accelerated at 100% ext = {share_100:.0%} (paper ~60-70%)")
+            assert 0.45 <= share_100 <= 0.85
+
+    def test_full_acceleration_at_low_share(self, data):
+        by = {(r.system, r.ext_share): r for r in data["ext"]}
+        for system in ("melf", "chimera"):
+            assert by[(system, 0.2)].accelerated_share > 0.95

@@ -1,0 +1,72 @@
+"""Table 2: correctness-guarantee mechanism trigger counts.
+
+For CHBP the count is handled deterministic faults; for Safer, pointer
+checks; for ARMore and the strawman, trampoline redirections (bounces
+and traps).  The paper's claim: CHBP triggers its mechanism orders of
+magnitude less often than every baseline (0.005% of baseline triggers on
+average) because it is passive.
+"""
+
+import pytest
+
+from benchmarks.helpers import print_table, run_profile
+from repro.workloads.spec_profiles import APP_PROFILES, PROFILES, SPEC_PROFILES
+
+#: Real-app profiles included alongside SPEC, as in the paper's table.
+ALL_ROWS = sorted(APP_PROFILES) + sorted(SPEC_PROFILES)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {name: run_profile(name) for name in ALL_ROWS}
+
+
+def test_table2_regenerate(benchmark, sweep):
+    def report():
+        rows = []
+        for name, run in sweep.items():
+            per_kinst = {
+                s: 1000.0 * run.triggers[s] / max(1, run.native_instret)
+                for s in ("chimera", "safer", "armore", "strawman")
+            }
+            rows.append([
+                name,
+                run.triggers["chimera"],
+                run.triggers["safer"],
+                run.triggers["armore"],
+                run.triggers["strawman"],
+                f"{per_kinst['safer']:.2f}",
+            ])
+        print_table(
+            "Table 2 — correctness-mechanism trigger counts (this run)",
+            ["benchmark", "chbp", "safer", "armore", "strawman", "safer/kinst"],
+            rows,
+        )
+        return rows
+
+    rows = benchmark.pedantic(report, rounds=1, iterations=1)
+    assert len(rows) == len(ALL_ROWS)
+
+
+def test_chbp_triggers_orders_of_magnitude_fewer(sweep):
+    total_chbp = sum(r.triggers["chimera"] for r in sweep.values())
+    total_base = sum(
+        r.triggers[s] for r in sweep.values() for s in ("safer", "armore", "strawman")
+    )
+    ratio = total_chbp / max(1, total_base)
+    print(f"\nCHBP triggers / baseline triggers = {ratio:.6f} "
+          f"(paper: ~0.00005)")
+    assert ratio < 0.01
+    # Per benchmark: CHBP never triggers more than any baseline.
+    for name, run in sweep.items():
+        assert run.triggers["chimera"] <= run.triggers["safer"], name
+        assert run.triggers["chimera"] <= run.triggers["strawman"] + 1, name
+
+
+def test_chbp_zero_faults_in_fault_free_runs(sweep):
+    """Normal executions of these programs contain no erroneous jumps, so
+    the passive mechanism should (almost) never fire at all."""
+    fired = {name: r.triggers["chimera"] for name, r in sweep.items() if r.triggers["chimera"]}
+    # Lazy rewrites of scan-missed instructions may fire once per site;
+    # anything in the hot path would show up as thousands.
+    assert all(count < 50 for count in fired.values()), fired

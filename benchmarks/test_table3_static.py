@@ -1,0 +1,114 @@
+"""Table 3: static rewriting statistics of CHBP (full translation mode).
+
+Code size, extension-instruction share, trampoline count, and the
+dead-register outcomes — our exit-position shifting vs traditional
+register liveness — per benchmark, with the paper's numbers alongside.
+"""
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import pytest
+
+from benchmarks.helpers import SCALE, print_table, scaled_arch
+from repro.analysis.scan import RecursiveScanner
+from repro.core.patcher import ChbpPatcher
+from repro.isa.extensions import Extension, RV64GC
+from repro.workloads.spec_profiles import APP_PROFILES, PAPER_HEADLINES, PROFILES, SPEC_PROFILES
+from repro.workloads.synthetic import SyntheticBinary
+
+ALL_ROWS = sorted(APP_PROFILES) + sorted(SPEC_PROFILES)
+
+
+@dataclass
+class StaticRow:
+    name: str
+    code_kb: float
+    ext_pct: float
+    trampolines: int
+    trad_failures: int
+    not_found: int
+    exit_candidates: int
+
+
+@lru_cache(maxsize=None)
+def static_stats(name: str) -> StaticRow:
+    profile = PROFILES[name]
+    binary = SyntheticBinary(profile, scale=SCALE).build()
+    scan = RecursiveScanner().scan(binary)
+    n = len(scan.instructions)
+    n_ext = sum(1 for i in scan.instructions.values()
+                if i.extension in (Extension.V, Extension.ZBA))
+    patcher = ChbpPatcher(binary, RV64GC, arch=scaled_arch(), mode="full")
+    patcher.patch()
+    s = patcher.stats
+    return StaticRow(
+        name=name,
+        code_kb=binary.text.size / 1024,
+        ext_pct=100.0 * n_ext / max(1, n),
+        trampolines=s.trampolines,
+        trad_failures=s.traditional_liveness_failures,
+        not_found=s.dead_reg_not_found,
+        exit_candidates=s.exit_candidates,
+    )
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return [static_stats(name) for name in ALL_ROWS]
+
+
+def test_table3_regenerate(benchmark, rows):
+    def report():
+        table = []
+        for r in rows:
+            p = PROFILES[r.name]
+            table.append([
+                r.name,
+                f"{r.code_kb:.0f}KB",
+                f"{r.ext_pct:.2f}%",
+                r.trampolines,
+                f"{r.not_found}/{r.trad_failures}",
+                f"(paper {p.paper_deadreg_ours}/{p.paper_deadreg_traditional})",
+                f"{p.code_size_mb}MB",
+                f"{p.ext_inst_pct}%",
+                p.paper_trampolines,
+            ])
+        print_table(
+            f"Table 3 — CHBP static rewriting stats (scale 1/{SCALE})",
+            ["benchmark", "code", "ext%", "tramp",
+             "deadreg ours/trad", "", "paper-code", "paper-ext%", "paper-tramp"],
+            table,
+        )
+        return table
+
+    table = benchmark.pedantic(report, rounds=1, iterations=1)
+    assert len(table) == len(ALL_ROWS)
+
+
+def test_dead_register_rates_match_paper(rows):
+    total_cand = sum(r.exit_candidates for r in rows)
+    total_trad_fail = sum(r.trad_failures for r in rows)
+    total_not_found = sum(r.not_found for r in rows)
+    trad_fail_rate = 100.0 * total_trad_fail / max(1, total_cand)
+    ours_fail_rate = 100.0 * total_not_found / max(1, total_cand)
+    print(f"\ntraditional liveness failed: {trad_fail_rate:.1f}% "
+          f"(paper {PAPER_HEADLINES['dead_reg_failed_traditional_pct']}%)")
+    print(f"exit shifting failed:        {ours_fail_rate:.1f}% "
+          f"(paper {100 - PAPER_HEADLINES['dead_reg_found_ours_pct']:.1f}%)")
+    assert 15.0 <= trad_fail_rate <= 60.0
+    assert ours_fail_rate <= 5.0
+    assert ours_fail_rate < trad_fail_rate / 5
+
+
+def test_ext_share_tracks_paper_columns(rows):
+    for r in rows:
+        p = PROFILES[r.name]
+        assert 0.2 * p.ext_inst_pct <= r.ext_pct <= 3.5 * p.ext_inst_pct, r.name
+
+
+def test_trampoline_counts_scale_with_ext_density(rows):
+    by_name = {r.name: r for r in rows}
+    # More extension instructions (absolute) -> more trampolines.
+    assert by_name["wrf_r"].trampolines > by_name["perlbench_r"].trampolines
+    assert by_name["cam4_r"].trampolines > by_name["omnetpp_r"].trampolines

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Heterogeneous scheduling demo: the paper's §6.1 experiment in miniature.
+
+Runs a 1000-task mixed workload (Fibonacci base tasks + matmul extension
+tasks) on a simulated 4+4-core ISAX machine under four systems — FAM,
+Safer, MELF and Chimera — and prints the latency/CPU-time curves that
+Fig. 11 plots, for both the downgrade (extension-version input) and
+upgrade (base-version input) directions.
+
+Run:  python examples/heterogeneous_scheduling.py
+"""
+
+from repro.workloads.hetero import SYSTEMS, measure_hetero_costs, run_fig11
+
+SHARES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def show_costs(version: str) -> None:
+    costs = measure_hetero_costs(version)
+    print(f"\nmeasured task costs ({version} version input), cycles:")
+    print(f"  {'system':8s} {'base task':>10s} {'ext@extcore':>12s} {'ext@basecore':>13s}")
+    for system in SYSTEMS:
+        cells = costs.cells[system]
+        ext_on_base = cells[("ext", False)]
+        print(f"  {system:8s} {cells[('base', False)]:>10d} "
+              f"{cells[('ext', True)]:>12d} "
+              f"{str(ext_on_base) if ext_on_base is not None else 'migrate':>13s}")
+
+
+def show_curves(version: str) -> None:
+    rows = run_fig11(version, SHARES, n_tasks=1000)
+    by = {(r.system, r.ext_share): r for r in rows}
+    print(f"\nend-to-end latency (Mcycles), {version} version:")
+    header = "  share  " + "".join(f"{s:>10s}" for s in SYSTEMS)
+    print(header)
+    for share in SHARES:
+        cells = "".join(f"{by[(s, share)].latency / 1e6:>10.2f}" for s in SYSTEMS)
+        print(f"  {share:>5.0%}  {cells}")
+    print(f"\naccelerated extension tasks (Fig. 12), {version} version:")
+    print(header)
+    for share in SHARES[1:]:
+        cells = "".join(f"{by[(s, share)].accelerated_share:>10.0%}" for s in SYSTEMS)
+        print(f"  {share:>5.0%}  {cells}")
+
+
+def main():
+    for version, title in (("ext", "DOWNGRADE (RVV input binaries)"),
+                           ("base", "UPGRADE (RV64GC input binaries)")):
+        print("=" * 64)
+        print(title)
+        show_costs(version)
+        show_curves(version)
+
+    print("\nReading the curves:")
+    print(" * FAM's latency rises again at 100% extension share (base cores idle);")
+    print(" * MELF and Chimera keep falling: extension tasks offload to base")
+    print("   cores as downgraded/scalar code;")
+    print(" * Chimera tracks MELF within a few percent without source code;")
+    print(" * in the upgrade direction FAM is flat: it cannot vectorize anything.")
+
+
+if __name__ == "__main__":
+    main()

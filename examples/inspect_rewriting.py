@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Anatomy of a rewrite: disassemble what CHBP actually does to a binary.
+
+Shows, side by side:
+  * the original text around a vector instruction;
+  * the SMILE trampoline that replaced it (auipc gp / jalr gp bit
+    patterns, and why the interior parcels fault);
+  * the target block in .chimera.text (gp restore, translated code,
+    copied neighbors, exit trampoline);
+  * the fault-handling table.
+
+Run:  python examples/inspect_rewriting.py
+"""
+
+from repro import ChimeraRewriter, ProgramBuilder, RV64GC
+from repro.isa.decoding import IllegalEncodingError, decode
+from repro.isa.disassembler import dump, format_instruction
+
+
+def build():
+    b = ProgramBuilder("inspect")
+    b.add_words("buf", [1, 2, 3, 4] + [0] * 8)
+    b.set_text("""
+_start:
+    li a0, {buf}
+    li a1, 4
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    vadd.vv v2, v1, v1
+    vse64.v v2, (a0)
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+    return b.build()
+
+
+def main():
+    binary = build()
+    print("== original .text ==")
+    print(dump(bytes(binary.text.data), binary.text.addr))
+
+    rewriter = ChimeraRewriter()
+    result = rewriter.rewrite(binary, RV64GC)
+    rewritten = result.binary
+    print(f"\nrewrite stats: {dict((k, v) for k, v in result.stats.as_dict().items() if v)}")
+
+    print("\n== patched .text (SMILE trampolines in place) ==")
+    text = rewritten.text
+    offset = 0
+    while offset < text.size:
+        addr = text.addr + offset
+        try:
+            instr = decode(text.data, offset, addr=addr)
+            print(format_instruction(instr))
+            offset += instr.length
+        except IllegalEncodingError as exc:
+            print(f"{addr:8x}:\t    ....\t<deterministic fault: {exc.kind}>")
+            offset += 2
+
+    print("\n== fault-handling table (erroneous entry -> redirect) ==")
+    for key, value in result.fault_table:
+        print(f"  {key:#x} -> {value:#x}")
+
+    if rewritten.has_section(".chimera.text"):
+        ct = rewritten.section(".chimera.text")
+        print(f"\n== .chimera.text (target blocks) at {ct.addr:#x}, {ct.size} bytes ==")
+        # Dump only the populated prefix around each block (zeros are
+        # allocator padding from the SMILE placement lattice).
+        data = bytes(ct.data)
+        start = None
+        for i in range(0, len(data) - 1, 2):
+            if data[i:i + 2] != b"\x00\x00":
+                start = i & ~1
+                break
+        if start is not None:
+            end = len(data)
+            while end > start and data[end - 2:end] == b"\x00\x00":
+                end -= 2
+            print(dump(data[start:end], ct.addr + start))
+
+    print("\nHow to read the trampoline:")
+    print(" * `auipc gp, ...` computes the target block address into gp;")
+    print("   its upper parcel is a reserved >=48-bit prefix (P2 faults).")
+    print(" * `jalr gp, ...(gp)` jumps there; executed ALONE (P1), gp still")
+    print("   holds the ABI data-segment pointer -> exec fault in .data;")
+    print("   its upper parcel decodes as reserved c.addiw rd=0 (P3 faults).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Real-world-application demo: BLAS kernels across the ISAX machine.
+
+Measures gemm/gemv kernels through the full pipeline — native extension
+code, native scalar code, Chimera-upgraded and Chimera-downgraded — then
+replays the multi-threaded Fig. 14 experiment and prints the
+acceleration ratios.
+
+Run:  python examples/openblas_kernels.py
+"""
+
+from repro.workloads.openblas import SYSTEMS, measure_kernel, run_fig14, run_fig14_scalability
+
+
+def main():
+    print("per-task kernel costs (cycles), measured via real rewriting:")
+    print(f"  {'kernel':7s} {'native-ext':>11s} {'native-scalar':>14s} "
+          f"{'chimera-ext':>12s} {'chimera-base':>13s}")
+    for kernel in ("dgemm", "sgemm", "dgemv", "sgemv"):
+        c = measure_kernel(kernel)
+        print(f"  {kernel:7s} {c.native_ext:>11d} {c.native_scalar:>14d} "
+              f"{c.chimera_ext:>12d} {c.chimera_base:>13d}")
+
+    for kernel in ("dgemm", "dgemv"):
+        rows = run_fig14(kernel)
+        by = {(r.system, r.threads): r for r in rows}
+        threads = sorted({r.threads for r in rows})
+        print(f"\n{kernel}: acceleration vs FAM-Ext")
+        print("  threads " + "".join(f"{s:>10s}" for s in SYSTEMS))
+        for t in threads:
+            cells = "".join(f"{by[(s, t)].acceleration_vs_fam_ext:>10.2f}" for s in SYSTEMS)
+            print(f"  {t:>7d} {cells}")
+
+    rows = run_fig14_scalability((16, 32, 48, 64))
+    by = {(r.system, r.threads): r for r in rows}
+    print("\nsgemm scalability on the 64-core machine (makespan, Mcycles):")
+    print("  threads " + "".join(f"{s:>10s}" for s in SYSTEMS))
+    for t in (16, 32, 48, 64):
+        cells = "".join(f"{by[(s, t)].makespan / 1e6:>10.2f}" for s in SYSTEMS)
+        print(f"  {t:>7d} {cells}")
+    print("\nNote how per-thread efficiency falls at high thread counts —")
+    print("synchronization dominates, narrowing every system's gap (paper §6.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Compatibility shim so ``pip install -e .`` works in offline
+environments without the ``wheel`` package (PEP 660 needs it; the legacy
+setuptools develop path does not)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Chimera reproduction: transparent ISAX heterogeneous computing via
+binary rewriting (EuroSys'26), as a pure-Python library.
+
+Quick tour::
+
+    from repro import ChimeraRewriter, ChimeraRuntime, RV64GC, RV64GCV
+    from repro.elf.loader import make_process
+    from repro.sim.machine import Core, Kernel
+
+    rewriter = ChimeraRewriter()
+    result = rewriter.rewrite(binary, RV64GC)       # downgrade for base cores
+    kernel = Kernel()
+    ChimeraRuntime(result.binary, rewriter=rewriter, original=binary).install(kernel)
+    outcome = kernel.run(make_process(result.binary), Core(0, RV64GC))
+
+See ``examples/quickstart.py`` for the end-to-end version.
+"""
+
+from repro.core.rewriter import ChimeraRewriter, RewriteResult
+from repro.core.runtime import ChimeraRuntime
+from repro.core.mmview import MMViewProcess
+from repro.core.scheduler import SystemModel, Task, WorkStealingScheduler
+from repro.elf.binary import Binary, Perm, Section
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import load_binary, make_process
+from repro.isa.extensions import Extension, IsaProfile, RV64G, RV64GC, RV64GCV
+from repro.sim.cost import ArchParams, CostModel
+from repro.sim.machine import Core, Kernel, Machine, Process, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChimeraRewriter",
+    "RewriteResult",
+    "ChimeraRuntime",
+    "MMViewProcess",
+    "WorkStealingScheduler",
+    "SystemModel",
+    "Task",
+    "Binary",
+    "Section",
+    "Perm",
+    "ProgramBuilder",
+    "load_binary",
+    "make_process",
+    "Extension",
+    "IsaProfile",
+    "RV64G",
+    "RV64GC",
+    "RV64GCV",
+    "ArchParams",
+    "CostModel",
+    "Core",
+    "Kernel",
+    "Machine",
+    "Process",
+    "RunResult",
+]

@@ -1,0 +1,22 @@
+"""Static binary analysis: instruction recovery, CFG, register liveness.
+
+Chimera uses recursive disassembly (IDA Pro in the paper, §4.1) that is
+*sound but not complete*: recovered instructions are real instructions,
+but some code (reachable only through indirect jumps) may stay
+unrecognized and is rewritten lazily at runtime.  This package
+reproduces that contract.
+"""
+
+from repro.analysis.scan import RecursiveScanner, ScanResult
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.analysis.liveness import LivenessAnalysis, LivenessResult
+
+__all__ = [
+    "RecursiveScanner",
+    "ScanResult",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "LivenessAnalysis",
+    "LivenessResult",
+]

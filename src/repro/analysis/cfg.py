@@ -1,0 +1,177 @@
+"""Basic blocks and control-flow graph over a :class:`ScanResult`.
+
+Indirect jumps with unknown targets get a distinguished ``UNKNOWN``
+successor; analyses must treat it maximally conservatively (the paper's
+"limitations of binary data flow analysis", §4.2 challenge 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.scan import ScanResult
+from repro.isa.instructions import Instruction
+
+#: Sentinel successor for indirect jumps with unknown target sets.
+UNKNOWN = -1
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start: int
+    instructions: list[Instruction]
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """Address one past the last instruction."""
+        last = self.instructions[-1]
+        return last.addr + last.length
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+    def addresses(self) -> list[int]:
+        """Addresses of the block's instructions."""
+        return [i.addr for i in self.instructions]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class ControlFlowGraph:
+    """CFG: blocks keyed by start address plus an address->block index."""
+
+    def __init__(self, blocks: dict[int, BasicBlock]):
+        self.blocks = blocks
+        self._block_of: dict[int, int] = {}
+        for start, block in blocks.items():
+            for instr in block.instructions:
+                self._block_of[instr.addr] = start
+
+    def block_at(self, addr: int) -> Optional[BasicBlock]:
+        """The block whose *start* is addr."""
+        return self.blocks.get(addr)
+
+    def block_containing(self, addr: int) -> Optional[BasicBlock]:
+        """The block containing the instruction at *addr*."""
+        start = self._block_of.get(addr)
+        return self.blocks[start] if start is not None else None
+
+    def successors(self, block: BasicBlock) -> list[BasicBlock]:
+        """Successor blocks, skipping the UNKNOWN sentinel."""
+        return [self.blocks[s] for s in block.successors if s != UNKNOWN and s in self.blocks]
+
+    def has_unknown_successor(self, block: BasicBlock) -> bool:
+        """True if control may leave *block* for an unknown target."""
+        return UNKNOWN in block.successors
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+
+def build_cfg(scan: ScanResult) -> ControlFlowGraph:
+    """Partition recovered instructions into blocks and wire edges."""
+    addrs = scan.sorted_addrs()
+    if not addrs:
+        return ControlFlowGraph({})
+    addr_set = set(addrs)
+
+    leaders: set[int] = set(scan.entry_points) & addr_set
+    leaders.update(t for t in scan.direct_targets if t in addr_set)
+    prev_terminates = False
+    for addr in addrs:
+        if prev_terminates:
+            leaders.add(addr)
+        instr = scan.instructions[addr]
+        prev_terminates = instr.is_terminator()
+    # Layout discontinuities also start blocks.
+    for prev, cur in zip(addrs, addrs[1:]):
+        if prev + scan.instructions[prev].length != cur:
+            leaders.add(cur)
+    leaders.add(addrs[0])
+
+    blocks: dict[int, BasicBlock] = {}
+    current: list[Instruction] = []
+    current_start = addrs[0]
+    for addr in addrs:
+        if addr in leaders and current:
+            blocks[current_start] = BasicBlock(current_start, current)
+            current = []
+            current_start = addr
+        if not current:
+            current_start = addr
+        current.append(scan.instructions[addr])
+    if current:
+        blocks[current_start] = BasicBlock(current_start, current)
+
+    for block in blocks.values():
+        term = block.terminator
+        succs: list[int] = []
+        fall = term.addr + term.length
+        if term.is_branch():
+            target = term.target()
+            if target is not None:
+                succs.append(target)
+            succs.append(fall)
+        elif term.mnemonic in ("jal", "c.j"):
+            if term.mnemonic == "jal" and term.rd == 1:
+                # Direct call: control returns to the fall-through; the
+                # callee is modeled by ABI clobber semantics in liveness.
+                succs.append(fall)
+            else:
+                target = term.target()
+                if target is not None:
+                    succs.append(target)
+        elif term.is_indirect_jump():
+            if _is_return(term):
+                pass  # function return: no intra-function successors
+            elif term.mnemonic in ("jalr", "c.jalr") and (term.rd == 1 or term.mnemonic == "c.jalr"):
+                succs.append(fall)  # indirect call: returns; callee via ABI
+            else:
+                succs.append(UNKNOWN)
+        else:
+            # Straight-line block split by a leader, or ecall/ebreak
+            # (which resume at the next instruction after servicing).
+            succs.append(fall)
+        block.successors = succs
+    # Resolve successor addresses that point into the middle of a block
+    # (possible when a jump targets a non-leader -- shouldn't happen, but
+    # direct targets were added as leaders so mid-block targets are rare).
+    cfg = ControlFlowGraph(blocks)
+    for block in blocks.values():
+        block.successors = [
+            s if s == UNKNOWN or s in blocks else _containing_start(cfg, s)
+            for s in block.successors
+        ]
+        block.successors = [s for s in block.successors if s is not None]
+    for block in blocks.values():
+        for s in block.successors:
+            if s != UNKNOWN and s in blocks:
+                blocks[s].predecessors.append(block.start)
+    return cfg
+
+
+def _containing_start(cfg: ControlFlowGraph, addr: int) -> Optional[int]:
+    block = cfg.block_containing(addr)
+    return block.start if block else None
+
+
+def _is_return(instr: Instruction) -> bool:
+    """``jalr x0, 0(ra)`` / ``c.jr ra`` is a function return."""
+    if instr.mnemonic == "jalr" and instr.rd == 0 and instr.rs1 == 1:
+        return True
+    if instr.mnemonic == "c.jr" and instr.rs1 == 1:
+        return True
+    return False

@@ -1,0 +1,27 @@
+"""Baseline systems the paper compares against (Table 1, §6).
+
+* :mod:`repro.baselines.fam` — scheduling-based fault-and-migrate [39];
+* :mod:`repro.baselines.melf` — compilation-based multivariant (MELF [60]);
+* :mod:`repro.baselines.safer` — binary regeneration with proactive
+  indirect-jump checks (Safer [49]);
+* :mod:`repro.baselines.armore` — relocate-everything binary patching
+  (ARMore [26]), trap-based beyond single-``jal`` reach;
+* :mod:`repro.baselines.strawman` — in-place patching with trap-based
+  trampolines everywhere (the §6.2 strawman).
+"""
+
+from repro.baselines.strawman import StrawmanPatcher
+from repro.baselines.safer import SaferRewriter, SaferRuntime
+from repro.baselines.armore import ArmoreRewriter, ArmoreRuntime
+from repro.baselines.fam import FamRuntime
+from repro.baselines.melf import build_melf_variants
+
+__all__ = [
+    "StrawmanPatcher",
+    "SaferRewriter",
+    "SaferRuntime",
+    "ArmoreRewriter",
+    "ArmoreRuntime",
+    "FamRuntime",
+    "build_melf_variants",
+]

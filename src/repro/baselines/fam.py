@@ -1,0 +1,79 @@
+"""Fault-and-migrate (FAM) heterogeneous computing [39] (§2.1).
+
+No rewriting at all: the original binary runs anywhere, and when a base
+core hits an extension instruction the resulting SIGILL prompts the
+scheduler to migrate the task to an extension-capable core.  Simple,
+but extension tasks can never use base cores (under-utilization) and a
+base binary can never be accelerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.cpu import Cpu
+from repro.sim.faults import IllegalInstructionFault
+from repro.sim.machine import Core, Kernel, Process, RunResult
+
+
+@dataclass
+class FamOutcome:
+    """Result of a FAM run, including where the task finally executed."""
+
+    result: RunResult
+    migrations: int
+    finished_on: Core
+
+
+class FamRuntime:
+    """Migrate-on-SIGILL execution of one task over a core pair."""
+
+    def __init__(self, kernel: Optional[Kernel] = None):
+        self.kernel = kernel or Kernel()
+
+    def run(
+        self,
+        process: Process,
+        base_core: Core,
+        ext_core: Core,
+        *,
+        start_on_base: bool = True,
+        max_instructions: int = 50_000_000,
+    ) -> FamOutcome:
+        """Run *process*, starting on the base core and migrating on fault.
+
+        The migration preserves the full architectural context (integer
+        registers, pc, vector state is empty pre-fault by construction)
+        and charges the migration cost to the destination core's cycles.
+        """
+        first = base_core if start_on_base else ext_core
+        cpu = self.kernel.make_cpu(process, first)
+        result = self.kernel.run(process, first, cpu=cpu, max_instructions=max_instructions)
+        migrations = 0
+        finished_on = first
+        if (
+            isinstance(result.fault, IllegalInstructionFault)
+            and result.fault.kind == "unsupported-extension"
+            and first.profile is not ext_core.profile
+        ):
+            # Migrate: same address space, context carried over.
+            cpu2 = Cpu(
+                process.space,
+                profile=ext_core.profile,
+                cost_model=cpu.cost,
+                name=f"{process.name}@{ext_core}",
+            )
+            cpu2.regs[:] = cpu.regs
+            cpu2.pc = cpu.pc
+            cpu2.cycles = cpu.cycles + ext_core.params.migration_cost
+            cpu2.instret = cpu.instret
+            cpu2.counters = dict(cpu.counters)
+            cpu2.bump("fam_migrations")
+            migrations = 1
+            finished_on = ext_core
+            result = self.kernel.run(
+                process, ext_core, cpu=cpu2,
+                max_instructions=max_instructions - cpu.instret,
+            )
+        return FamOutcome(result, migrations, finished_on)

@@ -1,0 +1,36 @@
+"""MELF [60]: compilation-based multivariant executables (§2.1).
+
+MELF compiles source code once per ISA level and switches variants at
+load/migration time.  It needs source code — which our workload
+descriptors play the role of — and represents the *ideal* performance
+Chimera is measured against: every variant is natively generated, no
+trampolines, no checks.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.elf.binary import Binary
+
+
+class SourceWorkload(Protocol):
+    """Anything that can be 'compiled' per ISA variant.
+
+    The workload builders in :mod:`repro.workloads.programs` satisfy
+    this: ``variants()`` lists the ISA levels the 'source code' can
+    target, and ``build(variant)`` emits a native binary for one.
+    """
+
+    def variants(self) -> list[str]: ...
+
+    def build(self, variant: str) -> Binary: ...
+
+
+def build_melf_variants(workload: SourceWorkload) -> dict[str, Binary]:
+    """Compile *workload* once per ISA variant (the MELF fat binary).
+
+    Keys are profile names (``rv64gc``, ``rv64gcv``); the scheduler picks
+    the variant matching each core, exactly like MELF's loader.
+    """
+    return {variant: workload.build(variant) for variant in workload.variants()}

@@ -1,0 +1,104 @@
+"""Strawman binary patching (§6.2's fourth baseline).
+
+In-place patching like CHBP, but with single-instruction ``jal``
+trampolines instead of SMILE: each 4-byte source instruction is replaced
+by ``jal x0, <target block>`` — correct (nothing else is overwritten)
+and cheap, **when the block is within the ±1 MB jal reach**.  Everything
+else — 2-byte sources (no compressed long jump exists) and blocks beyond
+reach — falls back to trap-based trampolines.  Comparing CHBP against
+this strawman isolates what the SMILE long-distance trampoline buys
+(the paper reports +60.2%).
+
+Target blocks are placed immediately after the code section to maximize
+reachability, exactly what a practical implementation would do.
+"""
+
+from __future__ import annotations
+
+from repro.core.patcher import ChbpPatcher
+from repro.core.rewriter import RewriteResult
+from repro.elf.binary import Binary, Section
+from repro.isa.assembler import Assembler
+from repro.isa.encoding import encode
+from repro.isa.extensions import IsaProfile
+from repro.isa.instructions import Instruction
+from repro.sim.cost import ArchParams, DEFAULT_ARCH
+
+
+class StrawmanPatcher(ChbpPatcher):
+    """CHBP's pipeline with jal/trap patching instead of SMILE."""
+
+    def _chimera_text_base(self, out: Binary) -> int:
+        # Place blocks as close to the code as possible: jal reach is
+        # the whole game for this method.
+        text = out.text
+        base = (text.end + 0xF) & ~0xF
+        following = [s.addr for s in out.sections if s.addr >= text.end]
+        data_start = min(following) if following else None
+        if data_start is not None and base + 16 * text.size > data_start:
+            base = (max(s.end for s in out.sections) + 0xFFF) & ~0xFFF
+        return base
+
+    def _patch_site(self, site, text: Section) -> bool:
+        reach = min(self.arch.jal_reach, 1 << 20)
+        for kind, payload in site.elements:
+            if kind == "copy":
+                continue
+            if kind == "upgrade":
+                instrs = [payload.instructions[0]]
+                bodies = [payload.replacement_asm]
+                resumes = [payload.end]
+            else:
+                if payload.addr in self._covered:
+                    continue
+                instrs = [payload]
+                bodies = [self.translator.translate(payload)[0]]
+                resumes = [payload.addr + payload.length]
+            for instr, body, resume in zip(instrs, bodies, resumes):
+                self._patch_one(instr, body, resume, text, reach)
+        return True
+
+    def _patch_one(self, instr: Instruction, body: str, resume: int,
+                   text: Section, reach: int) -> None:
+        # Trial-assemble to size the block, then place it nearby.
+        size = len(Assembler(base=0).assemble(body).code) + 4  # + return jump
+        block_addr = self._alloc.place_unconstrained(size)
+        program = Assembler(base=block_addr).assemble(body)
+        block = bytearray(program.code)
+        back_pc = block_addr + len(block)
+        disp_back = resume - back_pc
+        if -reach <= disp_back < reach:
+            block.extend(encode(Instruction("jal", rd=0, imm=disp_back)))
+        else:
+            block.extend(encode(Instruction("ebreak")))
+            self.trap_table[back_pc] = resume
+        self._blocks[block_addr] = block
+
+        disp = block_addr - instr.addr
+        if instr.length == 4 and -reach <= disp < reach:
+            text.write(instr.addr, encode(Instruction("jal", rd=0, imm=disp)))
+            self.stats.trampolines += 1
+        else:
+            trap = (encode(Instruction("c.ebreak", length=2))
+                    if instr.length == 2 else encode(Instruction("ebreak")))
+            text.write(instr.addr, trap)
+            self.trap_table[instr.addr] = block_addr
+            self.stats.trap_fallbacks += 1
+        self._covered.add(instr.addr)
+        self.migration_unsafe.append((instr.addr, resume))
+
+
+def rewrite_strawman(
+    binary: Binary,
+    target_profile: IsaProfile,
+    *,
+    arch: ArchParams = DEFAULT_ARCH,
+    mode: str = "full",
+) -> RewriteResult:
+    """Convenience wrapper mirroring :class:`ChimeraRewriter.rewrite`."""
+    patcher = StrawmanPatcher(
+        binary, target_profile, arch=arch, mode=mode,
+        batch_blocks=False, enable_upgrades=False,
+    )
+    rewritten = patcher.patch()
+    return RewriteResult(rewritten, target_profile, patcher.stats)

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``build``    — build a workload binary to a .self image
+* ``disasm``   — disassemble a .self image
+* ``rewrite``  — rewrite an image for a target ISA profile (chimera /
+  safer / armore / strawman)
+* ``run``      — load and execute an image on a simulated core, with the
+  matching runtime installed automatically
+* ``profiles`` — list the SPEC/app profiles and workloads available
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.elf.fileformat import load_binary_file, save_binary
+from repro.elf.loader import make_process
+from repro.isa.extensions import PROFILES as ISA_PROFILES
+from repro.sim.cost import DEFAULT_ARCH
+from repro.sim.machine import Core, Kernel
+
+
+def _isa(name: str):
+    try:
+        return ISA_PROFILES[name]
+    except KeyError:
+        raise SystemExit(f"unknown ISA profile {name!r}; choose from {sorted(ISA_PROFILES)}")
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    from repro.workloads.programs import ALL_WORKLOADS
+    from repro.workloads.spec_profiles import PROFILES
+    from repro.workloads.synthetic import SyntheticBinary
+
+    if args.workload in ALL_WORKLOADS:
+        binary = ALL_WORKLOADS[args.workload].build(args.variant)
+    elif args.workload in PROFILES:
+        binary = SyntheticBinary(PROFILES[args.workload], scale=args.scale).build()
+    else:
+        from repro.workloads.spec_profiles import PROFILES as P
+
+        choices = sorted(ALL_WORKLOADS) + sorted(P)
+        raise SystemExit(f"unknown workload {args.workload!r}; choose from {choices}")
+    save_binary(binary, args.output)
+    print(f"wrote {args.output}: entry={binary.entry:#x}, "
+          f"text={binary.text.size} bytes")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.isa.decoding import IllegalEncodingError, decode
+    from repro.isa.disassembler import format_instruction
+
+    binary = load_binary_file(args.image)
+    section = binary.section(args.section)
+    offset = 0
+    while offset < section.size:
+        addr = section.addr + offset
+        try:
+            instr = decode(section.data, offset, addr=addr)
+        except IllegalEncodingError as exc:
+            print(f"{addr:8x}:\t....\t<{exc.kind}>")
+            offset += 2
+            continue
+        print(format_instruction(instr))
+        offset += instr.length
+    return 0
+
+
+def cmd_rewrite(args: argparse.Namespace) -> int:
+    binary = load_binary_file(args.image)
+    profile = _isa(args.target)
+    arch = DEFAULT_ARCH.scaled(args.scale) if args.scale > 1 else DEFAULT_ARCH
+    if args.system == "chimera":
+        from repro.core.rewriter import ChimeraRewriter
+
+        result = ChimeraRewriter(arch=arch, mode=args.mode).rewrite(binary, profile)
+        out, stats = result.binary, result.stats.as_dict()
+    elif args.system == "safer":
+        from repro.baselines.safer import SaferRewriter
+
+        result = SaferRewriter(arch=arch, mode=args.mode).rewrite(binary, profile)
+        out, stats = result.binary, result.stats.as_dict()
+    elif args.system == "armore":
+        from repro.baselines.armore import ArmoreRewriter
+
+        result = ArmoreRewriter(arch=arch, mode=args.mode).rewrite(binary, profile)
+        out, stats = result.binary, result.stats.as_dict()
+    elif args.system == "strawman":
+        from repro.baselines.strawman import rewrite_strawman
+
+        result = rewrite_strawman(binary, profile, arch=arch, mode=args.mode)
+        out, stats = result.binary, result.stats.as_dict()
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown system {args.system!r}")
+    save_binary(out, args.output)
+    print(f"wrote {args.output}")
+    for key, value in stats.items():
+        if value:
+            print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    binary = load_binary_file(args.image)
+    profile = _isa(args.core)
+    kernel = Kernel()
+    # Install whichever runtime the image's rewriting metadata calls for.
+    if "chimera" in binary.metadata:
+        from repro.core.runtime import ChimeraRuntime
+
+        ChimeraRuntime(binary).install(kernel)
+    if "safer" in binary.metadata:
+        from repro.baselines.safer import SaferRuntime
+
+        SaferRuntime(binary).install(kernel)
+    if "multiverse" in binary.metadata:
+        from repro.baselines.multiverse import MultiverseRuntime
+
+        MultiverseRuntime(binary).install(kernel)
+    if "armore" in binary.metadata:
+        from repro.baselines.armore import ArmoreRuntime
+
+        ArmoreRuntime(binary).install(kernel)
+    proc = make_process(binary)
+    result = kernel.run(proc, Core(0, profile), max_instructions=args.max_instructions)
+    if result.output:
+        sys.stdout.write(result.output.decode("utf-8", errors="replace"))
+    print(f"exit={result.exit_code} cycles={result.cycles} "
+          f"instret={result.instret}" + (f" fault={result.fault}" if result.fault else ""))
+    interesting = {k: v for k, v in result.counters.items() if v}
+    if interesting:
+        print(f"counters: {interesting}")
+    return 0 if result.ok else 1
+
+
+def cmd_profiles(args: argparse.Namespace) -> int:
+    from repro.workloads.programs import ALL_WORKLOADS
+    from repro.workloads.spec_profiles import PROFILES
+
+    print("kernel workloads (use with build <name> --variant base|ext):")
+    for name in sorted(ALL_WORKLOADS):
+        print(f"  {name}")
+    print("\nsynthetic benchmark profiles (use with build <name> --scale N):")
+    for name, p in sorted(PROFILES.items()):
+        print(f"  {name:14s} {p.code_size_mb:6.2f} MB  ext {p.ext_inst_pct:.2f}%  ({p.suite})")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chimera reproduction: ISAX heterogeneous computing via binary rewriting",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="build a workload to a .self image")
+    p.add_argument("workload")
+    p.add_argument("--variant", choices=("base", "ext"), default="ext")
+    p.add_argument("--scale", type=int, default=128, help="synthetic-profile code-size divisor")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_build)
+
+    p = sub.add_parser("disasm", help="disassemble an image")
+    p.add_argument("image")
+    p.add_argument("--section", default=".text")
+    p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser("rewrite", help="rewrite an image for a target profile")
+    p.add_argument("image")
+    p.add_argument("--system", choices=("chimera", "safer", "armore", "strawman"),
+                   default="chimera")
+    p.add_argument("--target", default="rv64gc")
+    p.add_argument("--mode", choices=("full", "empty"), default="full")
+    p.add_argument("--scale", type=int, default=1, help="ArchParams scale divisor")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_rewrite)
+
+    p = sub.add_parser("run", help="execute an image on a simulated core")
+    p.add_argument("image")
+    p.add_argument("--core", default="rv64gcv")
+    p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("profiles", help="list workloads and benchmark profiles")
+    p.set_defaults(fn=cmd_profiles)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `repro disasm ... | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""The per-binary fault-handling table (paper §4.3).
+
+Maps potential fault addresses — original instruction boundaries that a
+SMILE trampoline overwrote — to the address of the corresponding copied
+instruction inside the target-instruction section.  Built statically by
+the patcher, consumed read-only by the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class FaultTable:
+    """Read-only (after construction) redirection table."""
+
+    #: original boundary address -> redirect target in .chimera.text
+    entries: dict[int, int] = field(default_factory=dict)
+
+    def add(self, fault_addr: int, redirect_to: int) -> None:
+        """Record that an erroneous jump to *fault_addr* resumes at *redirect_to*."""
+        existing = self.entries.get(fault_addr)
+        if existing is not None and existing != redirect_to:
+            raise ValueError(
+                f"conflicting fault-table entries for {fault_addr:#x}: "
+                f"{existing:#x} vs {redirect_to:#x}"
+            )
+        self.entries[fault_addr] = redirect_to
+
+    def lookup(self, fault_addr: int) -> Optional[int]:
+        """Redirect target for *fault_addr*, or None if not a known key."""
+        return self.entries.get(fault_addr)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.entries.items())

@@ -1,0 +1,207 @@
+"""Measured-execution heterogeneous scheduling.
+
+The discrete-event engine in :mod:`repro.core.scheduler` replays *one*
+measured cost per (system, task kind, core kind) cell.  This module is
+the heavyweight cross-check: every task is a *real binary* (its own
+size, its own rewritten variants) executed through the full simulator
+stack — CHBP-rewritten images, Chimera runtime fault handling, FAM
+migration with architectural context transfer — under the same
+work-stealing policy.  Benchmarks compare the two engines' makespans to
+validate the DES abstraction (EXPERIMENTS.md deviation #6).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from functools import lru_cache
+from repro.baselines.safer import SaferRewriter, SaferRuntime
+from repro.core.rewriter import ChimeraRewriter
+from repro.core.runtime import ChimeraRuntime
+from repro.elf.binary import Binary
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.cost import ArchParams, DEFAULT_ARCH
+from repro.sim.faults import IllegalInstructionFault
+from repro.sim.machine import Core, Kernel
+
+#: Systems the measured runner implements.
+SYSTEMS = ("fam", "melf", "chimera", "safer")
+
+
+@dataclass(frozen=True)
+class HeteroTask:
+    """One §6.1-style task with its own size."""
+
+    task_id: int
+    kind: str   # "base" (fibonacci) | "ext" (matmul)
+    size: int   # fib iterations / matrix dimension
+
+
+@dataclass
+class MeasuredRunResult:
+    """Outcome of one measured-execution scheduling run."""
+
+    system: str
+    makespan: int
+    cpu_time: int
+    migrations: int
+    steals: int
+    failures: int
+    per_task_cycles: dict[int, int] = field(default_factory=dict)
+
+
+def _build_task_binary(kind: str, size: int, variant: str) -> Binary:
+    from repro.workloads.programs import FibonacciWorkload, MatMulWorkload
+
+    if kind == "base":
+        return FibonacciWorkload(iterations=size).build(variant)
+    return MatMulWorkload(n=size).build(variant)
+
+
+@lru_cache(maxsize=512)
+def _prepared_binary(system: str, kind: str, size: int, on_ext: bool) -> tuple:
+    """(binary, runtime factory descriptor) ready to run for one cell."""
+    if system == "melf":
+        variant = "ext" if (kind == "ext" and on_ext) else "base"
+        return _build_task_binary(kind, size, variant), None
+    if system == "fam":
+        # FAM always runs the extension-compiled binary as-is.
+        variant = "ext" if kind == "ext" else "base"
+        return _build_task_binary(kind, size, variant), None
+    source = _build_task_binary(kind, size, "ext" if kind == "ext" else "base")
+    profile = RV64GCV if on_ext else RV64GC
+    if system == "chimera":
+        result = ChimeraRewriter().rewrite(source, profile)
+        return result.binary, "chimera"
+    if system == "safer":
+        result = SaferRewriter().rewrite(source, profile)
+        return result.binary, "safer"
+    raise ValueError(f"unknown system {system!r}")
+
+
+def _run_one(system: str, task: HeteroTask, on_ext: bool,
+             arch: ArchParams, max_instructions: int) -> tuple[int, bool, bool]:
+    """Execute one task; returns (cycles, ok, needs_migration)."""
+    binary, runtime_kind = _prepared_binary(system, task.kind, task.size, on_ext)
+    kernel = Kernel(arch)
+    if runtime_kind == "chimera":
+        ChimeraRuntime(binary).install(kernel)
+    elif runtime_kind == "safer":
+        SaferRuntime(binary).install(kernel)
+    core = Core(0, RV64GCV if on_ext else RV64GC, arch)
+    proc = make_process(binary)
+    result = kernel.run(proc, core, max_instructions=max_instructions)
+    if (
+        system == "fam"
+        and not on_ext
+        and isinstance(result.fault, IllegalInstructionFault)
+        and result.fault.kind == "unsupported-extension"
+    ):
+        return result.cycles, True, True
+    return result.cycles, result.ok, False
+
+
+class MeasuredScheduler:
+    """Work-stealing over real task executions (same policy as the DES)."""
+
+    def __init__(self, n_base: int, n_ext: int, params: ArchParams = DEFAULT_ARCH,
+                 *, max_instructions: int = 5_000_000):
+        self.n_base = n_base
+        self.n_ext = n_ext
+        self.params = params
+        self.max_instructions = max_instructions
+
+    def run(self, tasks: list[HeteroTask], system: str) -> MeasuredRunResult:
+        if system not in SYSTEMS:
+            raise ValueError(f"unknown system {system!r}")
+        n = self.n_base + self.n_ext
+        is_ext = [i >= self.n_base for i in range(n)]
+        queues: dict[bool, deque[tuple[HeteroTask, bool]]] = {False: deque(), True: deque()}
+        for task in tasks:
+            queues[task.kind == "ext"].append((task, False))
+
+        clock = [0] * n
+        busy = [0] * n
+        heap = [(0, i) for i in range(n)]
+        heapq.heapify(heap)
+        idle: set[int] = set()
+        outstanding = len(tasks)
+        migrations = steals = failures = 0
+        per_task: dict[int, int] = {}
+
+        def take(my_pool: bool):
+            if queues[my_pool]:
+                return queues[my_pool].popleft()[0], False
+            for idx, (task, pinned) in enumerate(queues[not my_pool]):
+                if not pinned:
+                    del queues[not my_pool][idx]
+                    return task, True
+            return None
+
+        def wake(pool: bool, now: int):
+            for w in sorted(idle, key=lambda w: clock[w]):
+                if is_ext[w] == pool:
+                    idle.discard(w)
+                    heapq.heappush(heap, (max(now, clock[w]), w))
+                    return
+
+        while heap:
+            now, w = heapq.heappop(heap)
+            got = take(is_ext[w])
+            if got is None:
+                if outstanding > 0:
+                    idle.add(w)
+                    clock[w] = now
+                continue
+            task, stolen = got
+            start = now + (self.params.steal_cost if stolen else 0)
+            steals += int(stolen)
+            cycles, ok, migrate = _run_one(
+                system, task, is_ext[w], self.params, self.max_instructions
+            )
+            if migrate:
+                end = start + cycles + self.params.migration_cost
+                busy[w] += (start - now) + cycles
+                clock[w] = end
+                migrations += 1
+                queues[True].append((task, True))
+                wake(True, end)
+                heapq.heappush(heap, (end, w))
+                continue
+            if not ok:
+                failures += 1
+            end = start + cycles
+            busy[w] += end - now
+            clock[w] = end
+            per_task[task.task_id] = cycles
+            outstanding -= 1
+            heapq.heappush(heap, (end, w))
+
+        return MeasuredRunResult(
+            system=system,
+            makespan=max(clock),
+            cpu_time=sum(busy),
+            migrations=migrations,
+            steals=steals,
+            failures=failures,
+            per_task_cycles=per_task,
+        )
+
+
+def varied_taskset(n_tasks: int, ext_share: float, *, seed: int = 11) -> list[HeteroTask]:
+    """A §6.1-style mix with per-task size variation."""
+    import random
+
+    rng = random.Random(seed)
+    from repro.core.scheduler import mixed_taskset
+
+    tasks = []
+    for t in mixed_taskset(n_tasks, ext_share):
+        if t.kind == "base":
+            size = rng.randrange(2000, 6001, 500)
+        else:
+            size = rng.choice((8, 10, 12, 14))
+        tasks.append(HeteroTask(t.task_id, t.kind, size))
+    return tasks

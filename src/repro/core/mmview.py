@@ -1,0 +1,257 @@
+"""MMViews: one process, one address space per ISAX core flavor (§4.3).
+
+A Chimera process keeps an MMView per rewritten binary.  All views share
+the *same* data (and stack) physical pages — realized here by mapping
+the identical backing bytearrays — while each view's code pages come
+from its own rewritten image.  Loading activates the view matching the
+first core; migration switches the active view and re-seeds the pc.
+
+Migration safety: rewritten binaries agree on the semantics of every
+*original* pc but not on addresses inside target-instruction sections.
+``migration_safe_pc`` reports whether a pc is immediately migratable;
+when it is not, :class:`MMViewProcess` records a pending migration that
+commits at the next safe point (the paper inserts a uprobe at the target
+block's exit position; our scheduler polls the same condition).
+
+Vector state: on a downgraded view the vector context lives in the
+``.chimera.vregs`` data section; on an extension core it lives in the
+architectural vector registers.  ``sync_vector_state`` converts between
+the two on migration — the kernel-mediated equivalent of the paper's
+shared simulated-register region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.translate import SEW_OFF, VL_OFF, VREG_SIZE
+from repro.elf.binary import Binary, Perm
+from repro.elf.loader import DEFAULT_STACK_TOP, load_binary
+from repro.isa.encoding import encode
+from repro.isa.extensions import Extension, IsaProfile
+from repro.isa.instructions import Instruction
+from repro.sim.cpu import Cpu
+from repro.sim.faults import BreakpointTrap, SimFault
+from repro.sim.machine import Kernel, Process
+from repro.sim.memory import AddressSpace
+
+
+@dataclass
+class MMView:
+    """One address space instantiated from one rewritten binary."""
+
+    profile_name: str
+    binary: Binary
+    space: AddressSpace
+
+    @property
+    def has_chimera_text(self) -> bool:
+        return self.binary.has_section(".chimera.text")
+
+
+class MMViewProcess(Process):
+    """A process with one MMView per rewritten binary.
+
+    ``views`` is keyed by ISA profile name; the active view's space is
+    the inherited ``Process.space``.
+    """
+
+    def __init__(self, name: str, rewritten: dict[str, Binary], initial: str):
+        if initial not in rewritten:
+            raise ValueError(f"initial view {initial!r} not among {sorted(rewritten)}")
+        self.views: dict[str, MMView] = {}
+        base_space: Optional[AddressSpace] = None
+        for profile_name, binary in rewritten.items():
+            space = load_binary(binary, share_data_from=base_space)
+            if base_space is None:
+                base_space = space
+            self.views[profile_name] = MMView(profile_name, binary, space)
+        first = rewritten[initial]
+        super().__init__(
+            name,
+            self.views[initial].space,
+            first.entry,
+            gp=first.global_pointer,
+            sp=DEFAULT_STACK_TOP - 64,
+        )
+        self.active_view = initial
+        self.pending_migration: Optional[str] = None
+        self.migrations = 0
+        self.delayed_migrations = 0
+
+    # -- view switching ------------------------------------------------------
+
+    def view(self, profile_name: str) -> MMView:
+        return self.views[profile_name]
+
+    def migration_safe_pc(self, pc: int) -> bool:
+        """True if *pc* has the same meaning in every view (§4.3).
+
+        Unsafe: addresses inside the active view's ``.chimera.text``
+        (target instructions exist in one layout only), and addresses
+        inside any view's patched regions — overwritten windows and
+        pattern-replaced loops, where in-flight state representations
+        (e.g. a live vector accumulator vs its scalar rewrite) diverge.
+        """
+        view = self.views[self.active_view]
+        if view.has_chimera_text and view.binary.section(".chimera.text").contains(pc):
+            return False
+        for other in self.views.values():
+            meta = other.binary.metadata.get("chimera") or {}
+            for lo, hi in meta.get("migration_unsafe", ()):
+                if lo <= pc < hi:
+                    return False
+        return True
+
+    def migrate(self, cpu: Cpu, to_profile: str) -> bool:
+        """Switch the active MMView; returns False if delayed.
+
+        When the pc sits inside target instructions the migration is
+        recorded as pending (the paper arms a probe at the block's exit
+        position; callers re-try at the next scheduling point).
+        """
+        if to_profile == self.active_view:
+            return True
+        if not self.migration_safe_pc(cpu.pc):
+            self.pending_migration = to_profile
+            self.delayed_migrations += 1
+            return False
+        self._switch(cpu, to_profile)
+        return True
+
+    def try_commit_pending(self, cpu: Cpu) -> bool:
+        """Commit a delayed migration if the pc is now safe."""
+        if self.pending_migration is None:
+            return False
+        if not self.migration_safe_pc(cpu.pc):
+            return False
+        target = self.pending_migration
+        self.pending_migration = None
+        self._switch(cpu, target)
+        return True
+
+    def _switch(self, cpu: Cpu, to_profile: str) -> None:
+        src_view = self.views[self.active_view]
+        dst_view = self.views[to_profile]
+        self.sync_vector_state(cpu, src_view, dst_view)
+        self.active_view = to_profile
+        self.space = dst_view.space
+        cpu.space = dst_view.space
+        cpu.flush_decode_cache()
+        self.migrations += 1
+
+    # -- vector state ---------------------------------------------------------
+
+    def sync_vector_state(self, cpu: Cpu, src: MMView, dst: MMView) -> None:
+        """Move the vector context between architectural registers and the
+        simulated-register region, whichever each view uses."""
+        src_sim = _vregs_base(src.binary)
+        dst_sim = _vregs_base(dst.binary)
+        src_uses_sim = src_sim is not None and _is_downgraded(src.binary)
+        dst_uses_sim = dst_sim is not None and _is_downgraded(dst.binary)
+        if src_uses_sim == dst_uses_sim:
+            return  # same representation (region is in shared data? no -- per-view)
+        if src_uses_sim and not dst_uses_sim:
+            # region -> architectural registers
+            base = src_sim
+            vl = int.from_bytes(src.space.read(base + VL_OFF, 8), "little")
+            sew = int.from_bytes(src.space.read(base + SEW_OFF, 8), "little") or 64
+            cpu.vector.set_vl(vl, sew if sew in (32, 64) else 64)
+            cpu.vector.vl = vl
+            for v in range(32):
+                cpu.vector.load_reg_bytes(v, src.space.read(base + v * VREG_SIZE, VREG_SIZE))
+        else:
+            # architectural registers -> region
+            base = dst_sim
+            dst.space.write(base + VL_OFF, cpu.vector.vl.to_bytes(8, "little"))
+            dst.space.write(base + SEW_OFF, cpu.vector.sew.to_bytes(8, "little"))
+            for v in range(32):
+                dst.space.write(base + v * VREG_SIZE, cpu.vector.reg_bytes(v))
+
+
+class MigrationProbeManager:
+    """Probe-based delayed migration (paper §4.3, via uprobes [15]).
+
+    When a migration request arrives while the pc sits inside target
+    instructions or a patched region, the paper arms a probe at the safe
+    resume point; the task migrates the moment the probe fires.  Here
+    the probe is a real ``ebreak`` patched over the resume address; the
+    manager's fault handler restores the original bytes and commits the
+    pending view switch — no polling involved.
+    """
+
+    def __init__(self, process: MMViewProcess):
+        self.process = process
+        #: armed probes: address -> original bytes (per active space)
+        self._armed: dict[int, bytes] = {}
+        self.fired = 0
+
+    def install(self, kernel: Kernel) -> None:
+        kernel.register_fault_handler(self.handle_fault, priority=True)
+
+    def request_migration(self, cpu: Cpu, to_profile: str) -> bool:
+        """Migrate now if safe; otherwise arm a probe at the next safe
+        original-code address and record the pending request."""
+        if self.process.migrate(cpu, to_profile):
+            return True
+        probe_addr = self._next_safe_address(cpu.pc)
+        if probe_addr is None:
+            return False  # fall back to the caller's polling
+        self.arm(cpu, probe_addr)
+        return False
+
+    def _next_safe_address(self, pc: int) -> Optional[int]:
+        """The resume point execution reaches once it leaves the unsafe
+        region: for a pc inside a patched original-code range, the range
+        end; for a pc inside .chimera.text the block's exit target is not
+        statically known here, so decline (polling handles it)."""
+        view = self.process.views[self.process.active_view]
+        if view.has_chimera_text and view.binary.section(".chimera.text").contains(pc):
+            return None
+        for other in self.process.views.values():
+            meta = other.binary.metadata.get("chimera") or {}
+            for lo, hi in meta.get("migration_unsafe", ()):
+                if lo <= pc < hi:
+                    return hi
+        return None
+
+    def arm(self, cpu: Cpu, addr: int) -> None:
+        """Patch an ebreak probe over *addr* in the active space."""
+        if addr in self._armed:
+            return
+        space = self.process.space
+        original = bytes(space.fetch(addr, 2))
+        # A 2-byte c.ebreak never clobbers more than one instruction slot.
+        space.patch_code(addr, encode(Instruction("c.ebreak", length=2)))
+        self._armed[addr] = original
+        cpu.flush_decode_cache()
+
+    def handle_fault(self, kernel: Kernel, process: Process, cpu: Cpu, fault: SimFault) -> bool:
+        if not isinstance(fault, BreakpointTrap) or cpu.pc not in self._armed:
+            return False
+        addr = cpu.pc
+        cpu.space.patch_code(addr, self._armed.pop(addr))
+        cpu.flush_decode_cache()
+        self.fired += 1
+        self.process.try_commit_pending(cpu)
+        # Execution resumes at the restored instruction in the new view.
+        return True
+
+
+def _vregs_base(binary: Binary) -> Optional[int]:
+    meta = binary.metadata.get("chimera")
+    if meta is None:
+        return None
+    return meta.get("vregs_base")
+
+
+def _is_downgraded(binary: Binary) -> bool:
+    """True if this view emulates the vector extension in memory."""
+    meta = binary.metadata.get("chimera")
+    if meta is None:
+        return False
+    from repro.isa.extensions import PROFILES
+
+    profile = PROFILES.get(meta.get("target_profile", ""), None)
+    return profile is not None and not profile.supports(Extension.V)

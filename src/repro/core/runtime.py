@@ -1,0 +1,217 @@
+"""Chimera's runtime fault handling (paper §4.3).
+
+The runtime registers a *priority* fault handler with the simulated
+kernel (mirroring the paper's kernel modification: CHBP-generated
+signals are checked first, everything else falls back to standard
+handling).  It recovers the two deterministic fault shapes SMILE
+produces and lazily rewrites unrecognized extension instructions:
+
+* **SIGSEGV, exec access, address in a non-executable data segment** —
+  a partially executed SMILE ``jalr`` (P1).  The fault address is the
+  return address the jalr wrote into gp, minus 4.  If the fault-handling
+  table knows it, restore gp and redirect to the copied instruction.
+* **SIGILL at a table key** — a mid-trampoline parcel (P2/P3): redirect.
+* **SIGILL, unsupported extension, unknown address** — an instruction
+  the static scan missed.  Rewrite it in place at runtime (patch the
+  code, extend the tables), flush decode caches, resume.
+* **ebreak at a trap-table key** — trap-based trampoline (the fallback
+  path and all baseline rewriters): redirect, charging the trap cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.fault_table import FaultTable
+from repro.elf.binary import Binary, Perm
+from repro.isa.registers import Reg
+from repro.sim.cpu import Cpu
+from repro.sim.faults import (
+    BreakpointTrap,
+    IllegalInstructionFault,
+    SegmentationFault,
+    SimFault,
+)
+from repro.sim.machine import Kernel, Process
+
+
+@dataclass
+class RuntimeStats:
+    """Dynamic fault-handling counters (these feed Table 2)."""
+
+    smile_segv_recoveries: int = 0
+    smile_sigill_recoveries: int = 0
+    runtime_rewrites: int = 0
+    trap_redirects: int = 0
+    signals_gp_restored: int = 0
+
+    @property
+    def deterministic_faults(self) -> int:
+        """Total Chimera correctness-mechanism triggers."""
+        return self.smile_segv_recoveries + self.smile_sigill_recoveries + self.runtime_rewrites
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+class ChimeraRuntime:
+    """Kernel-side runtime for one rewritten binary."""
+
+    def __init__(self, rewritten: Binary, *, rewriter=None, original: Optional[Binary] = None):
+        meta = rewritten.metadata.get("chimera")
+        if meta is None:
+            raise ValueError(f"{rewritten.name} was not produced by ChimeraRewriter")
+        self.binary = rewritten
+        self.fault_table: FaultTable = meta["fault_table"]
+        self.trap_table: dict[int, int] = meta["trap_table"]
+        self.gp_value: int = meta["gp"]
+        #: Fig. 5 variant: P1 address -> the general register whose
+        #: return-address value identifies the fault (gp otherwise).
+        self.smile_regs: dict[int, int] = dict(meta.get("smile_regs", {}))
+        self.stats = RuntimeStats()
+        #: Optional lazy-rewriting support: the rewriter and the original
+        #: binary are needed to translate instructions the scan missed.
+        self._rewriter = rewriter
+        self._original = original
+
+    # -- installation -------------------------------------------------------
+
+    def install(self, kernel: Kernel) -> None:
+        """Register the priority fault handler and the signal gp hook."""
+        kernel.register_fault_handler(self.handle_fault, priority=True)
+        kernel.pre_signal_hooks.append(self._signal_gp_restore)
+
+    # -- fault handling -------------------------------------------------------
+
+    def handle_fault(self, kernel: Kernel, process: Process, cpu: Cpu, fault: SimFault) -> bool:
+        """The priority handler: return True iff the fault was CHBP's."""
+        if isinstance(fault, SegmentationFault) and fault.access == "exec":
+            return self._handle_segv(kernel, process, cpu, fault)
+        if isinstance(fault, IllegalInstructionFault):
+            return self._handle_sigill(kernel, process, cpu, fault)
+        if isinstance(fault, BreakpointTrap):
+            return self._handle_trap(kernel, cpu, fault)
+        return False
+
+    def _handle_segv(self, kernel: Kernel, process: Process, cpu: Cpu, fault: SegmentationFault) -> bool:
+        # Ours are exec faults into non-executable (or unmapped) memory;
+        # the fault-table lookup below is the real discriminator.
+        seg = process.space.segment_at(fault.addr)
+        if seg is not None and Perm.X in seg.perm:
+            return False
+        # The jalr stored its return address (trampoline + 8) in gp.
+        fault_addr = (cpu.get_reg(Reg.GP) - 4) & 0xFFFFFFFFFFFFFFFF
+        redirect = self.fault_table.lookup(fault_addr)
+        if redirect is not None:
+            cpu.set_reg(Reg.GP, self.gp_value)  # undo the SMILE clobber
+            cpu.pc = redirect
+            cpu.cycles += cpu.cost.fault_handling_cost
+            cpu.bump("chimera_faults")
+            self.stats.smile_segv_recoveries += 1
+            return True
+        # Fig. 5 variant: the return address sits in a general register;
+        # probe the armed trampolines' registers (rare path, tiny table).
+        for p1_addr, reg in self.smile_regs.items():
+            if (cpu.get_reg(reg) - 4) & 0xFFFFFFFFFFFFFFFF == p1_addr:
+                redirect = self.fault_table.lookup(p1_addr)
+                if redirect is None:
+                    continue
+                # No restore needed: the block's reconstructed lui
+                # redefines the register immediately.
+                cpu.pc = redirect
+                cpu.cycles += cpu.cost.fault_handling_cost
+                cpu.bump("chimera_faults")
+                self.stats.smile_segv_recoveries += 1
+                return True
+        return False
+
+    def _handle_sigill(self, kernel: Kernel, process: Process, cpu: Cpu, fault: IllegalInstructionFault) -> bool:
+        redirect = self.fault_table.lookup(cpu.pc)
+        if redirect is not None:
+            cpu.set_reg(Reg.GP, self.gp_value)
+            cpu.pc = redirect
+            cpu.cycles += cpu.cost.fault_handling_cost
+            cpu.bump("chimera_faults")
+            self.stats.smile_sigill_recoveries += 1
+            return True
+        if fault.kind == "unsupported-extension":
+            return self._rewrite_at_runtime(process, cpu)
+        return False
+
+    def _handle_trap(self, kernel: Kernel, cpu: Cpu, fault: BreakpointTrap) -> bool:
+        target = self.trap_table.get(cpu.pc)
+        if target is None:
+            return False
+        cpu.pc = target
+        cpu.cycles += cpu.cost.trap_cost
+        cpu.bump("traps")
+        self.stats.trap_redirects += 1
+        return True
+
+    # -- lazy rewriting -------------------------------------------------------
+
+    def _rewrite_at_runtime(self, process: Process, cpu: Cpu) -> bool:
+        """Rewrite an unrecognized source instruction the scan missed.
+
+        Re-runs the patcher with the faulting pc as an extra scan entry;
+        splices the new trampolines/blocks into the live address space
+        and merges the new tables.  Returns False when the instruction
+        is genuinely untranslatable (the fault is not ours).
+        """
+        if self._rewriter is None or self._original is None:
+            return False
+        result = self._rewriter.rewrite(
+            self._original,
+            _profile_by_name(self.binary.metadata["chimera"]["target_profile"]),
+            scan_entries=[cpu.pc],
+        )
+        new = result.binary
+        new_meta = new.metadata["chimera"]
+        # The re-scan must actually have patched the faulting site --
+        # otherwise the instruction is untranslatable and not ours.
+        width = min(4, new.text.end - cpu.pc)
+        if new.text.read(cpu.pc, width) == bytes(process.space.read(cpu.pc, width)):
+            return False
+        # Splice: copy the patched text and the chimera sections into the
+        # live space (kernel privilege: ignores W permission on text).
+        text = new.text
+        process.space.patch_code(text.addr, bytes(text.data))
+        self._sync_section(process, new, ".chimera.text", Perm.RX)
+        self._sync_section(process, new, ".chimera.vregs", Perm.RW)
+        self.fault_table.entries.update(new_meta["fault_table"].entries)
+        self.trap_table.update(new_meta["trap_table"])
+        cpu.flush_decode_cache()
+        cpu.cycles += cpu.cost.fault_handling_cost * 4  # rewrite is heavier
+        cpu.bump("runtime_rewrites")
+        self.stats.runtime_rewrites += 1
+        return True
+
+    def _sync_section(self, process: Process, new: Binary, name: str, perm: Perm) -> None:
+        if not new.has_section(name):
+            return
+        section = new.section(name)
+        seg = process.space.segment_at(section.addr)
+        if seg is not None and seg.size == section.size:
+            seg.data[:] = section.data
+            seg.version += 1
+            return
+        if seg is not None:
+            process.space.segments.remove(seg)
+        process.space.map(name, section.addr, bytearray(section.data), perm)
+
+    # -- signals -------------------------------------------------------------
+
+    def _signal_gp_restore(self, kernel: Kernel, process: Process, cpu: Cpu, signum: int) -> None:
+        """Fig. 10: if a signal lands while gp is temporarily clobbered by a
+        SMILE trampoline/target block, the user handler must still observe
+        the ABI gp value."""
+        if cpu.get_reg(Reg.GP) != self.gp_value:
+            cpu.set_reg(Reg.GP, self.gp_value)
+            self.stats.signals_gp_restored += 1
+
+
+def _profile_by_name(name: str):
+    from repro.isa.extensions import PROFILES
+
+    return PROFILES[name]

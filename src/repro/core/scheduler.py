@@ -1,0 +1,232 @@
+"""Heterogeneous work-stealing scheduling (paper §6.1).
+
+The evaluation's scheduling experiments run 1000 mixed tasks over two
+worker pools (base cores / extension cores) with work stealing: a worker
+takes from its own pool's queue first and steals from the other pool
+only when its own pool has run dry.  Task *costs* are measured by
+running the actual (rewritten) binaries in the CPU simulator; the
+discrete-event engine here then replays the same 1000-task mixes per
+system, which is exactly how the paper's numbers are shaped (per-task
+compute is fixed by the binary; the systems differ in where tasks may
+run and at what cost).
+
+System behavior is abstracted by :class:`SystemModel`:
+
+* ``cost(kind, on_ext)`` — cycles for one task of *kind* on a core type
+  (``None`` = cannot run there, e.g. FAM's extension tasks on base
+  cores);
+* ``accelerated(kind, on_ext)`` — whether that placement counts as
+  vector-accelerated (Fig. 12);
+* ``migrate_on_unsupported`` — FAM's fault-and-migrate behavior: the
+  task faults on the base core after ``detect_cycles`` and is re-queued
+  to the extension pool, paying the migration cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.cost import ArchParams, DEFAULT_ARCH
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of the §6.1 workload."""
+
+    task_id: int
+    kind: str  # "base" | "ext"
+
+
+@dataclass
+class SystemModel:
+    """Per-system scheduling behavior (costs in cycles)."""
+
+    name: str
+    #: (task kind, on extension core) -> cycles, or None if it cannot run.
+    costs: dict[tuple[str, bool], Optional[int]]
+    #: placements that count as vector-accelerated.
+    accelerated_placements: frozenset[tuple[str, bool]] = frozenset()
+    #: FAM: unsupported-instruction fault triggers migration to ext pool.
+    migrate_on_unsupported: bool = False
+    #: cycles a base core burns before hitting the unsupported instruction.
+    detect_cycles: int = 1000
+
+    def cost(self, kind: str, on_ext: bool) -> Optional[int]:
+        return self.costs[(kind, on_ext)]
+
+    def accelerated(self, kind: str, on_ext: bool) -> bool:
+        return (kind, on_ext) in self.accelerated_placements
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one scheduling run."""
+
+    system: str
+    makespan: int          # end-to-end latency, cycles
+    cpu_time: int          # accumulated busy cycles across all cores
+    tasks_total: int
+    ext_tasks: int
+    accelerated_ext_tasks: int
+    migrations: int
+    steals: int
+    per_core_busy: list[int]
+
+    @property
+    def accelerated_share(self) -> float:
+        """Fraction of extension tasks that ran vector-accelerated (Fig. 12)."""
+        if self.ext_tasks == 0:
+            return 0.0
+        return self.accelerated_ext_tasks / self.ext_tasks
+
+
+class WorkStealingScheduler:
+    """Discrete-event work-stealing scheduler over two core pools."""
+
+    def __init__(self, n_base: int, n_ext: int, params: ArchParams = DEFAULT_ARCH):
+        self.n_base = n_base
+        self.n_ext = n_ext
+        self.params = params
+
+    def run(self, tasks: list[Task], model: SystemModel) -> ScheduleResult:
+        """Schedule *tasks* to completion under *model*."""
+        n = self.n_base + self.n_ext
+        is_ext = [i >= self.n_base for i in range(n)]
+        # Queue entries are (task, pinned); a pinned task may not be
+        # stolen across pools (FAM pins tasks after migrating them back).
+        queues: dict[bool, deque[tuple[Task, bool]]] = {False: deque(), True: deque()}
+        for task in tasks:
+            pool = task.kind == "ext" and model.cost("ext", True) is not None
+            # Extension tasks go to the extension pool when it can help;
+            # everything else starts in the base pool.
+            queues[bool(pool)].append((task, False))
+
+        free_at = [0] * n
+        busy = [0] * n
+        heap: list[tuple[int, int]] = [(0, i) for i in range(n)]
+        heapq.heapify(heap)
+        idle: set[int] = set()
+        outstanding = len(tasks)
+        makespan = 0
+        migrations = 0
+        steals = 0
+        accelerated = 0
+        ext_tasks = sum(1 for t in tasks if t.kind == "ext")
+
+        def wake(pool_ext: bool, now: int) -> None:
+            """Wake an idle worker of *pool_ext*'s pool (stealing happens
+            naturally when busy workers free up)."""
+            matching = sorted((w for w in idle if is_ext[w] == pool_ext),
+                              key=lambda w: free_at[w])
+            if matching:
+                w = matching[0]
+                idle.discard(w)
+                heapq.heappush(heap, (max(now, free_at[w]), w))
+                return
+            # Otherwise wake any idle worker; it may steal the new task.
+            others = sorted(idle, key=lambda w: free_at[w])
+            if others:
+                w = others[0]
+                idle.discard(w)
+                heapq.heappush(heap, (max(now, free_at[w]), w))
+
+        def take(w: int, my_pool: bool) -> Optional[tuple[Task, bool]]:
+            if queues[my_pool]:
+                task, _ = queues[my_pool].popleft()
+                return task, False
+            other = queues[not my_pool]
+            for idx, (task, pinned) in enumerate(other):
+                if not pinned:
+                    del other[idx]
+                    return task, True
+            return None
+
+        while heap:
+            now, w = heapq.heappop(heap)
+            my_pool = is_ext[w]
+            taken = take(w, my_pool)
+            if taken is None:
+                if outstanding > 0:
+                    idle.add(w)
+                    free_at[w] = now
+                continue
+            task, stolen = taken
+            start = now + (self.params.steal_cost if stolen else 0)
+            cost = model.cost(task.kind, my_pool)
+            if cost is None:
+                if model.migrate_on_unsupported and not my_pool:
+                    # FAM: fault after detect_cycles, migrate to ext pool
+                    # and pin the task there so it is not re-stolen.  The
+                    # worker is stalled until the migration completes but
+                    # only the detection burns CPU time (the rest is
+                    # kernel/cache latency).
+                    end = start + model.detect_cycles + self.params.migration_cost
+                    busy[w] += (start - now) + model.detect_cycles
+                    free_at[w] = end
+                    migrations += 1
+                    queues[True].append((task, True))
+                    wake(True, end)
+                    heapq.heappush(heap, (end, w))
+                    makespan = max(makespan, end)
+                    continue
+                # Cannot run here at all: pin it to its own pool.
+                queues[task.kind == "ext"].append((task, True))
+                idle.add(w)
+                free_at[w] = now
+                wake(task.kind == "ext", now)
+                continue
+            end = start + cost
+            busy[w] += end - now
+            free_at[w] = end
+            outstanding -= 1
+            steals += int(stolen)
+            if task.kind == "ext" and model.accelerated(task.kind, my_pool):
+                accelerated += 1
+            makespan = max(makespan, end)
+            heapq.heappush(heap, (end, w))
+
+        return ScheduleResult(
+            system=model.name,
+            makespan=makespan,
+            cpu_time=sum(busy),
+            tasks_total=len(tasks),
+            ext_tasks=ext_tasks,
+            accelerated_ext_tasks=accelerated,
+            migrations=migrations,
+            steals=steals,
+            per_core_busy=busy,
+        )
+
+
+def mixed_taskset(n_tasks: int, ext_share: float, *, seed: int = 7) -> list[Task]:
+    """The §6.1 workload: *n_tasks* tasks, ``ext_share`` of them extension.
+
+    Deterministic interleaving (round-robin by share) so runs are
+    reproducible without RNG-order artifacts.
+    """
+    if not 0.0 <= ext_share <= 1.0:
+        raise ValueError("ext_share must be within [0, 1]")
+    n_ext = round(n_tasks * ext_share)
+    # Spread extension tasks evenly through the arrival order.
+    tasks: list[Task] = []
+    acc = 0.0
+    made_ext = 0
+    for i in range(n_tasks):
+        acc += ext_share
+        if acc >= 1.0 - 1e-9 and made_ext < n_ext:
+            tasks.append(Task(i, "ext"))
+            made_ext += 1
+            acc -= 1.0
+        else:
+            tasks.append(Task(i, "base"))
+    # Fix rounding drift.
+    i = len(tasks) - 1
+    while made_ext < n_ext and i >= 0:
+        if tasks[i].kind == "base":
+            tasks[i] = Task(tasks[i].task_id, "ext")
+            made_ext += 1
+        i -= 1
+    return tasks

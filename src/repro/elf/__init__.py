@@ -1,0 +1,22 @@
+"""Simplified executable format ("SELF") used by the rewriter and loader.
+
+Real Chimera consumes RISC-V ELF binaries.  We reproduce the properties
+the paper actually depends on — named sections with permissions, fixed
+link-time addresses (control flow coupled to addresses), symbols, and a
+``__global_pointer$`` anchored in the data segment — without the ELF
+container bytes, which carry no experimental weight.
+"""
+
+from repro.elf.binary import Binary, Section, Symbol, Perm
+from repro.elf.builder import ProgramBuilder, BuildError
+from repro.elf.loader import load_binary
+
+__all__ = [
+    "Binary",
+    "Section",
+    "Symbol",
+    "Perm",
+    "ProgramBuilder",
+    "BuildError",
+    "load_binary",
+]

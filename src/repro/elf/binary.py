@@ -1,0 +1,184 @@
+"""In-memory executable image: sections, symbols, permissions."""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class Perm(enum.Flag):
+    """Segment permissions.  The OS refusing to execute data (W without X)
+    is what turns a partial SMILE execution into a deterministic fault."""
+
+    NONE = 0
+    R = enum.auto()
+    W = enum.auto()
+    X = enum.auto()
+    RX = R | X
+    RW = R | W
+
+
+@dataclass
+class Symbol:
+    """A named address; ``kind`` is ``"func"``, ``"object"`` or ``"label"``."""
+
+    name: str
+    addr: int
+    size: int = 0
+    kind: str = "label"
+
+
+@dataclass
+class Section:
+    """A contiguous, addressed, permissioned byte region."""
+
+    name: str
+    addr: int
+    data: bytearray
+    perm: Perm
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self.data)
+
+    def contains(self, addr: int) -> bool:
+        """True if *addr* falls inside this section."""
+        return self.addr <= addr < self.end
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read *size* bytes at absolute address *addr*."""
+        off = addr - self.addr
+        if off < 0 or off + size > len(self.data):
+            raise ValueError(f"read [{addr:#x},+{size}) outside section {self.name}")
+        return bytes(self.data[off:off + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write *data* at absolute address *addr*."""
+        off = addr - self.addr
+        if off < 0 or off + len(data) > len(self.data):
+            raise ValueError(f"write [{addr:#x},+{len(data)}) outside section {self.name}")
+        self.data[off:off + len(data)] = data
+
+
+class Binary:
+    """An executable image: named sections, symbols, entry point, gp.
+
+    ``global_pointer`` is the link-time value of ``__global_pointer$``;
+    the loader seeds the ``gp`` register with it and the rewriter uses
+    it when building SMILE trampolines and gp-restore sequences.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        entry: int = 0,
+        global_pointer: int = 0,
+        sections: Optional[Iterable[Section]] = None,
+        symbols: Optional[Iterable[Symbol]] = None,
+    ):
+        self.name = name
+        self.entry = entry
+        self.global_pointer = global_pointer
+        self.sections: list[Section] = list(sections or [])
+        self.symbols: dict[str, Symbol] = {s.name: s for s in (symbols or [])}
+        #: Free-form metadata rewriters attach (stats, fault tables, ...).
+        self.metadata: dict[str, object] = {}
+
+    # -- sections --------------------------------------------------------
+
+    def add_section(self, section: Section) -> Section:
+        """Append *section*, refusing address overlaps."""
+        for existing in self.sections:
+            if section.addr < existing.end and existing.addr < section.addr + section.size:
+                raise ValueError(
+                    f"section {section.name} [{section.addr:#x},{section.addr + section.size:#x}) "
+                    f"overlaps {existing.name}"
+                )
+        self.sections.append(section)
+        return section
+
+    def section(self, name: str) -> Section:
+        """Look a section up by name; raises ``KeyError`` if absent."""
+        for s in self.sections:
+            if s.name == name:
+                return s
+        raise KeyError(f"no section named {name!r} in {self.name}")
+
+    def has_section(self, name: str) -> bool:
+        """True if a section with *name* exists."""
+        return any(s.name == name for s in self.sections)
+
+    def section_at(self, addr: int) -> Optional[Section]:
+        """Return the section containing *addr*, or ``None``."""
+        for s in self.sections:
+            if s.contains(addr):
+                return s
+        return None
+
+    @property
+    def text(self) -> Section:
+        """The primary code section."""
+        return self.section(".text")
+
+    @property
+    def data(self) -> Section:
+        """The primary data section."""
+        return self.section(".data")
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read bytes from whichever section holds *addr*."""
+        s = self.section_at(addr)
+        if s is None:
+            raise ValueError(f"address {addr:#x} not mapped in {self.name}")
+        return s.read(addr, size)
+
+    # -- symbols -----------------------------------------------------------
+
+    def add_symbol(self, name: str, addr: int, size: int = 0, kind: str = "label") -> Symbol:
+        """Define (or redefine) a symbol."""
+        sym = Symbol(name, addr, size, kind)
+        self.symbols[name] = sym
+        return sym
+
+    def symbol(self, name: str) -> Symbol:
+        """Look a symbol up by name."""
+        return self.symbols[name]
+
+    def symbol_addr(self, name: str) -> int:
+        """Address of symbol *name*."""
+        return self.symbols[name].addr
+
+    # -- misc --------------------------------------------------------------
+
+    def clone(self, name: Optional[str] = None) -> "Binary":
+        """Deep-copy this image (rewriters patch the copy, never the original)."""
+        out = Binary(
+            name or f"{self.name}.rewritten",
+            entry=self.entry,
+            global_pointer=self.global_pointer,
+        )
+        out.sections = [
+            Section(s.name, s.addr, bytearray(s.data), s.perm) for s in self.sections
+        ]
+        out.symbols = copy.deepcopy(self.symbols)
+        out.metadata = copy.deepcopy({k: v for k, v in self.metadata.items() if _copyable(v)})
+        return out
+
+    def total_code_size(self) -> int:
+        """Total bytes in executable sections."""
+        return sum(s.size for s in self.sections if Perm.X in s.perm)
+
+    def __repr__(self) -> str:
+        secs = ", ".join(f"{s.name}@{s.addr:#x}+{s.size:#x}" for s in self.sections)
+        return f"<Binary {self.name} entry={self.entry:#x} [{secs}]>"
+
+
+def _copyable(value: object) -> bool:
+    """Filter metadata values that are plain data (deep-copy safe)."""
+    return isinstance(value, (int, float, str, bytes, list, dict, tuple, set, frozenset, type(None)))

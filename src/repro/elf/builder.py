@@ -1,0 +1,175 @@
+"""Program builder: assembly text + data definitions -> :class:`Binary`.
+
+The builder plays the role of the compiler/linker in the paper's
+pipeline: it fixes section addresses at "link time" (coupling control
+flow to addresses, which is precisely what makes naive instruction
+shifting unsafe) and anchors ``__global_pointer$`` in the data segment
+per the RISC-V psABI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.elf.binary import Binary, Perm, Section
+from repro.isa.assembler import Assembler
+
+#: Default link-time layout, loosely mirroring lld's RISC-V defaults.
+TEXT_BASE = 0x1_0000
+RODATA_GAP = 0x1000
+DATA_BASE = 0x40_0000
+STACK_TOP = 0x7F_F000
+STACK_SIZE = 0x2_0000
+#: psABI: gp = start of .sdata + 0x800 so 12-bit offsets reach both ways.
+GP_OFFSET = 0x800
+
+
+class BuildError(ValueError):
+    """Raised for layout conflicts or missing entry symbols."""
+
+
+@dataclass
+class _DataItem:
+    name: str
+    data: bytes
+    align: int
+
+
+class ProgramBuilder:
+    """Build a :class:`Binary` from assembly text and data items.
+
+    Typical use::
+
+        b = ProgramBuilder("demo")
+        buf = b.add_data("buf", bytes(1024))
+        b.set_text('''
+        _start:
+            li a0, 0
+            ...
+            ecall
+        ''')
+        binary = b.build()
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        text_base: int = TEXT_BASE,
+        data_base: int = DATA_BASE,
+    ):
+        self.name = name
+        self.text_base = text_base
+        self.data_base = data_base
+        self._text_source: Optional[str] = None
+        self._data_items: list[_DataItem] = []
+        self._data_cursor = 0
+        self.entry_symbol = "_start"
+        #: Labels to export as function symbols (recursive-scan seeds,
+        #: like a non-stripped binary's symtab entries).
+        self.function_labels: set[str] = set()
+
+    def mark_function(self, label: str) -> None:
+        """Export *label* as a function symbol in the built binary."""
+        self.function_labels.add(label)
+
+    # -- data ---------------------------------------------------------------
+
+    def add_data(self, name: str, data: bytes | int, align: int = 8) -> int:
+        """Add a named data object; *data* may be bytes or a byte count.
+
+        Returns the absolute address the object will occupy.
+        """
+        blob = bytes(data) if isinstance(data, int) else bytes(data)
+        self._data_cursor = _align_up(self._data_cursor, align)
+        addr = self.data_base + self._data_cursor
+        self._data_items.append(_DataItem(name, blob, align))
+        self._data_cursor += len(blob)
+        return addr
+
+    def add_words(self, name: str, values: list[int], width: int = 8) -> int:
+        """Add an array of *width*-byte little-endian integers."""
+        blob = b"".join((v & ((1 << (8 * width)) - 1)).to_bytes(width, "little") for v in values)
+        return self.add_data(name, blob, align=width)
+
+    def data_addr_of(self, name: str) -> int:
+        """Address a previously added data item will get (pre-build query)."""
+        cursor = 0
+        for item in self._data_items:
+            cursor = _align_up(cursor, item.align)
+            if item.name == name:
+                return self.data_base + cursor
+            cursor += len(item.data)
+        raise KeyError(name)
+
+    # -- text ------------------------------------------------------------
+
+    def set_text(self, source: str) -> None:
+        """Set the assembly source for the ``.text`` section."""
+        self._text_source = source
+
+    # -- build -------------------------------------------------------------
+
+    def build(self) -> Binary:
+        """Assemble and lay out the final image."""
+        if self._text_source is None:
+            raise BuildError("no text source set")
+        # Make data symbols visible to the assembler as labels by
+        # prepending nothing -- instead we substitute {name} placeholders.
+        source = self._substitute_data_symbols(self._text_source)
+        program = Assembler(base=self.text_base).assemble(source)
+
+        binary = Binary(self.name)
+        binary.add_section(
+            Section(".text", self.text_base, bytearray(program.code), Perm.RX)
+        )
+
+        data = bytearray()
+        symbols: list[tuple[str, int, int]] = []
+        for item in self._data_items:
+            pad = _align_up(len(data), item.align) - len(data)
+            data.extend(bytes(pad))
+            symbols.append((item.name, self.data_base + len(data), len(item.data)))
+            data.extend(item.data)
+        # gp (data_base + GP_OFFSET) and the SMILE fault window just past
+        # it must land inside the mapped, non-executable data segment.
+        min_data = GP_OFFSET * 2
+        if len(data) < min_data:
+            data.extend(bytes(min_data - len(data)))
+        binary.add_section(Section(".data", self.data_base, data, Perm.RW))
+
+        for name, addr, size in symbols:
+            binary.add_symbol(name, addr, size, kind="object")
+        for label, addr in program.labels.items():
+            is_func = label == self.entry_symbol or label in self.function_labels
+            binary.add_symbol(label, addr, kind="func" if is_func else "label")
+
+        if self.entry_symbol not in program.labels:
+            raise BuildError(f"entry symbol {self.entry_symbol!r} not defined")
+        binary.entry = program.labels[self.entry_symbol]
+        binary.global_pointer = self.data_base + GP_OFFSET
+        binary.add_symbol("__global_pointer$", binary.global_pointer, kind="object")
+        binary.metadata["stack_top"] = STACK_TOP
+        binary.metadata["stack_size"] = STACK_SIZE
+        return binary
+
+    def _substitute_data_symbols(self, source: str) -> str:
+        """Replace ``{name}`` placeholders with data item addresses."""
+        if "{" not in source:
+            return source
+        mapping: dict[str, int] = {}
+        cursor = 0
+        for item in self._data_items:
+            cursor = _align_up(cursor, item.align)
+            mapping[item.name] = self.data_base + cursor
+            cursor += len(item.data)
+        mapping["gp_value"] = self.data_base + GP_OFFSET
+        try:
+            return source.format_map({k: v for k, v in mapping.items()})
+        except KeyError as exc:
+            raise BuildError(f"unknown data symbol {exc} referenced in text") from exc
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)

@@ -1,0 +1,205 @@
+"""Shared execution harness: build -> rewrite -> run -> compare.
+
+Benchmarks and integration tests both need "run binary B, rewritten by
+system S, on a core with profile P, and give me cycles + counters"; this
+module is that one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines.armore import ArmoreRewriter, ArmoreRuntime
+from repro.baselines.fam import FamRuntime
+from repro.baselines.safer import SaferRewriter, SaferRuntime
+from repro.baselines.strawman import StrawmanPatcher
+from repro.core.rewriter import ChimeraRewriter
+from repro.core.runtime import ChimeraRuntime
+from repro.elf.binary import Binary
+from repro.elf.loader import make_process
+from repro.isa.extensions import IsaProfile, RV64GC, RV64GCV
+from repro.sim.cost import ArchParams, DEFAULT_ARCH
+from repro.sim.machine import Core, Kernel, RunResult
+
+#: Default instruction budget for harness runs.
+MAX_INSTRUCTIONS = 80_000_000
+
+
+@dataclass
+class SystemRun:
+    """One complete run of one system on one binary."""
+
+    system: str
+    result: RunResult
+    rewrite_stats: Optional[dict] = None
+    runtime_stats: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+
+def run_native(binary: Binary, profile: IsaProfile = RV64GCV, *,
+               arch: ArchParams = DEFAULT_ARCH,
+               max_instructions: int = MAX_INSTRUCTIONS) -> SystemRun:
+    """Run the unmodified binary (the ideal / native-compilation bar)."""
+    proc = make_process(binary)
+    result = Kernel(arch).run(proc, Core(0, profile, arch), max_instructions=max_instructions)
+    return SystemRun("native", result)
+
+
+def run_chimera(
+    binary: Binary,
+    target_profile: IsaProfile,
+    *,
+    arch: ArchParams = DEFAULT_ARCH,
+    mode: str = "full",
+    batch_blocks: bool = True,
+    shift_exits: bool = True,
+    enable_upgrades: bool = True,
+    run_profile: Optional[IsaProfile] = None,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> SystemRun:
+    """Rewrite with CHBP and run on a *target_profile* core."""
+    rewriter = ChimeraRewriter(
+        arch=arch, mode=mode, batch_blocks=batch_blocks,
+        shift_exits=shift_exits, enable_upgrades=enable_upgrades,
+    )
+    rewrite = rewriter.rewrite(binary, target_profile)
+    proc = make_process(rewrite.binary)
+    kernel = Kernel(arch)
+    runtime = ChimeraRuntime(rewrite.binary, rewriter=rewriter, original=binary)
+    runtime.install(kernel)
+    core = Core(0, run_profile or target_profile, arch)
+    result = kernel.run(proc, core, max_instructions=max_instructions)
+    return SystemRun("chimera", result, rewrite.stats.as_dict(), runtime.stats.as_dict())
+
+
+def run_strawman(
+    binary: Binary,
+    target_profile: IsaProfile,
+    *,
+    arch: ArchParams = DEFAULT_ARCH,
+    mode: str = "full",
+    run_profile: Optional[IsaProfile] = None,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> SystemRun:
+    """Rewrite with trap-everywhere strawman patching and run."""
+    patcher = StrawmanPatcher(
+        binary, target_profile, arch=arch, mode=mode,
+        batch_blocks=False, enable_upgrades=False,
+    )
+    rewritten = patcher.patch()
+    proc = make_process(rewritten)
+    kernel = Kernel(arch)
+    runtime = ChimeraRuntime(rewritten)
+    runtime.install(kernel)
+    core = Core(0, run_profile or target_profile, arch)
+    result = kernel.run(proc, core, max_instructions=max_instructions)
+    return SystemRun("strawman", result, patcher.stats.as_dict(), runtime.stats.as_dict())
+
+
+def run_safer(
+    binary: Binary,
+    target_profile: IsaProfile,
+    *,
+    arch: ArchParams = DEFAULT_ARCH,
+    mode: str = "full",
+    run_profile: Optional[IsaProfile] = None,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> SystemRun:
+    """Rewrite with Safer-style regeneration and run."""
+    rewriter = SaferRewriter(arch=arch, mode=mode)
+    res = rewriter.rewrite(binary, target_profile)
+    proc = make_process(res.binary)
+    kernel = Kernel(arch)
+    runtime = SaferRuntime(res.binary)
+    runtime.install(kernel)
+    core = Core(0, run_profile or target_profile, arch)
+    result = kernel.run(proc, core, max_instructions=max_instructions)
+    return SystemRun(
+        "safer", result, res.stats.as_dict(),
+        {"checks": runtime.checks, "corrections": runtime.corrections},
+    )
+
+
+def run_armore(
+    binary: Binary,
+    target_profile: IsaProfile,
+    *,
+    arch: ArchParams = DEFAULT_ARCH,
+    mode: str = "full",
+    run_profile: Optional[IsaProfile] = None,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> SystemRun:
+    """Rewrite ARMore-style and run."""
+    rewriter = ArmoreRewriter(arch=arch, mode=mode)
+    res = rewriter.rewrite(binary, target_profile)
+    proc = make_process(res.binary)
+    kernel = Kernel(arch)
+    runtime = ArmoreRuntime(res.binary)
+    runtime.install(kernel)
+    core = Core(0, run_profile or target_profile, arch)
+    cpu = kernel.make_cpu(proc, core)
+    runtime.attach_cpu(cpu)
+    result = kernel.run(proc, core, cpu=cpu, max_instructions=max_instructions)
+    return SystemRun("armore", result, res.stats.as_dict(), {"traps": runtime.traps})
+
+
+def run_multiverse(
+    binary: Binary,
+    target_profile: IsaProfile,
+    *,
+    arch: ArchParams = DEFAULT_ARCH,
+    mode: str = "full",
+    run_profile: Optional[IsaProfile] = None,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> SystemRun:
+    """Rewrite Multiverse-style (always-lookup regeneration) and run."""
+    from repro.baselines.multiverse import MultiverseRewriter, MultiverseRuntime
+
+    rewriter = MultiverseRewriter(arch=arch, mode=mode)
+    res = rewriter.rewrite(binary, target_profile)
+    proc = make_process(res.binary)
+    kernel = Kernel(arch)
+    runtime = MultiverseRuntime(res.binary)
+    runtime.install(kernel)
+    core = Core(0, run_profile or target_profile, arch)
+    result = kernel.run(proc, core, max_instructions=max_instructions)
+    return SystemRun(
+        "multiverse", result, res.stats.as_dict(),
+        {"lookups": runtime.checks, "corrections": runtime.corrections},
+    )
+
+
+def run_fam(
+    binary: Binary,
+    *,
+    arch: ArchParams = DEFAULT_ARCH,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> SystemRun:
+    """Run the unmodified binary under fault-and-migrate (base first)."""
+    proc = make_process(binary)
+    fam = FamRuntime(Kernel(arch))
+    outcome = fam.run(
+        proc,
+        Core(0, RV64GC, arch),
+        Core(1, RV64GCV, arch),
+        max_instructions=max_instructions,
+    )
+    return SystemRun("fam", outcome.result, None, {"migrations": outcome.migrations})
+
+
+#: Named accessors for sweep-style benchmarks.
+REWRITER_RUNNERS = {
+    "chimera": run_chimera,
+    "strawman": run_strawman,
+    "safer": run_safer,
+    "armore": run_armore,
+    "multiverse": run_multiverse,
+}

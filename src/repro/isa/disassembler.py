@@ -1,0 +1,98 @@
+"""Linear-sweep disassembly and instruction formatting.
+
+Recursive-descent recovery (what Chimera actually relies on, §4.1)
+lives in :mod:`repro.analysis.scan`; this module provides the simple
+linear walk used for dumps, tests and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.isa.decoding import IllegalEncodingError, decode
+from repro.isa.instructions import Instruction, RawBytes
+from repro.isa.registers import reg_name, vreg_name
+
+
+def disassemble(
+    data: bytes | bytearray | memoryview,
+    base: int = 0,
+    *,
+    stop_on_error: bool = False,
+) -> list[Instruction | RawBytes]:
+    """Linearly disassemble *data* loaded at address *base*.
+
+    Undecodable parcels become 2-byte :class:`RawBytes` islands (or, with
+    ``stop_on_error``, terminate the sweep by re-raising).
+    """
+    return list(iter_disassemble(data, base, stop_on_error=stop_on_error))
+
+
+def iter_disassemble(
+    data: bytes | bytearray | memoryview,
+    base: int = 0,
+    *,
+    stop_on_error: bool = False,
+) -> Iterator[Instruction | RawBytes]:
+    """Generator form of :func:`disassemble`."""
+    offset = 0
+    n = len(data)
+    while offset < n:
+        addr = base + offset
+        try:
+            instr = decode(data, offset, addr=addr)
+        except IllegalEncodingError:
+            if stop_on_error:
+                raise
+            chunk = bytes(data[offset:offset + 2])
+            yield RawBytes(chunk, addr=addr)
+            offset += len(chunk)
+            continue
+        yield instr
+        offset += instr.length
+
+
+def format_instruction(instr: Instruction | RawBytes) -> str:
+    """Pretty-print one instruction in objdump-like style."""
+    if isinstance(instr, RawBytes):
+        return str(instr)
+    mnem = instr.mnemonic
+    ops: list[str] = []
+    if mnem in ("lb", "lh", "lw", "ld", "lbu", "lhu", "lwu", "c.lw", "c.ld", "c.lwsp", "c.ldsp"):
+        ops = [reg_name(instr.rd), f"{instr.imm}({reg_name(instr.rs1)})"]
+    elif mnem in ("sb", "sh", "sw", "sd", "c.sw", "c.sd", "c.swsp", "c.sdsp"):
+        ops = [reg_name(instr.rs2), f"{instr.imm}({reg_name(instr.rs1)})"]
+    elif mnem == "jalr":
+        ops = [reg_name(instr.rd), f"{instr.imm}({reg_name(instr.rs1)})"]
+    elif mnem in ("vle32.v", "vle64.v", "vse32.v", "vse64.v"):
+        ops = [vreg_name(instr.vd), f"({reg_name(instr.rs1)})"]
+    elif mnem == "vmv.v.x":
+        ops = [vreg_name(instr.vd), reg_name(instr.rs1)]
+    elif mnem == "vmv.v.i":
+        ops = [vreg_name(instr.vd), str(instr.imm)]
+    else:
+        if instr.vd is not None:
+            ops.append(vreg_name(instr.vd))
+        if instr.rd is not None:
+            ops.append(reg_name(instr.rd))
+        if instr.vs2 is not None:
+            ops.append(vreg_name(instr.vs2))
+        if instr.vs1 is not None:
+            ops.append(vreg_name(instr.vs1))
+        if instr.rs1 is not None and mnem not in ("c.addi", "c.addiw", "c.slli", "c.srli", "c.srai", "c.andi"):
+            ops.append(reg_name(instr.rs1))
+        if instr.rs2 is not None:
+            ops.append(reg_name(instr.rs2))
+        if instr.imm is not None:
+            target = instr.target()
+            ops.append(f"{target:#x}" if target is not None else str(instr.imm))
+    text = f"{mnem}\t{', '.join(ops)}".rstrip()
+    if instr.addr is not None:
+        enc = f"{instr.encoding:08x}" if instr.length == 4 else f"    {instr.encoding:04x}"
+        return f"{instr.addr:8x}:\t{enc}\t{text}"
+    return text
+
+
+def dump(data: bytes, base: int = 0) -> str:
+    """Disassemble *data* and return a multi-line objdump-style listing."""
+    return "\n".join(format_instruction(i) for i in disassemble(data, base))

@@ -1,0 +1,95 @@
+"""Opcode and function-field constants for the implemented RISC-V subset."""
+
+from __future__ import annotations
+
+# Major opcodes (bits 6:0 of 32-bit instructions).
+LOAD = 0x03
+LOAD_FP = 0x07      # vector loads live here (RVV reuses LOAD-FP)
+MISC_MEM = 0x0F
+OP_IMM = 0x13
+AUIPC = 0x17
+OP_IMM_32 = 0x1B
+STORE = 0x23
+STORE_FP = 0x27     # vector stores
+OP = 0x33
+LUI = 0x37
+OP_32 = 0x3B
+OP_V = 0x57
+BRANCH = 0x63
+JALR = 0x67
+JAL = 0x6F
+SYSTEM = 0x73
+
+# funct3 values for OP / OP_IMM.
+F3_ADD_SUB = 0b000
+F3_SLL = 0b001
+F3_SLT = 0b010
+F3_SLTU = 0b011
+F3_XOR = 0b100
+F3_SRL_SRA = 0b101
+F3_OR = 0b110
+F3_AND = 0b111
+
+# funct3 values for LOAD/STORE widths.
+F3_B = 0b000
+F3_H = 0b001
+F3_W = 0b010
+F3_D = 0b011
+F3_BU = 0b100
+F3_HU = 0b101
+F3_WU = 0b110
+
+# funct3 values for BRANCH.
+F3_BEQ = 0b000
+F3_BNE = 0b001
+F3_BLT = 0b100
+F3_BGE = 0b101
+F3_BLTU = 0b110
+F3_BGEU = 0b111
+
+# funct7 values.
+F7_BASE = 0b0000000
+F7_SUB_SRA = 0b0100000
+F7_MULDIV = 0b0000001
+F7_ZBA = 0b0010000
+
+# RVV OP-V funct3 (operand categories).
+OPIVV = 0b000
+OPIVI = 0b011
+OPIVX = 0b100
+OPMVV = 0b010
+OPMVX = 0b110
+OPCFG = 0b111  # vsetvli family
+
+# RVV funct6 values for the implemented subset.
+V_ADD = 0b000000       # OPIVV/OPIVX/OPIVI vadd; OPMVV vredsum
+V_SUB = 0b000010
+V_MINU = 0b000100
+V_MIN = 0b000101
+V_MAXU = 0b000110
+V_MAX = 0b000111
+V_AND = 0b001001
+V_OR = 0b001010
+V_XOR = 0b001011
+V_WXUNARY = 0b010000   # OPMVV: vmv.x.s (rs1 field = 0)
+V_MV = 0b010111        # vmv.v.x / vmv.v.i (vs2 must be 0)
+V_SLL = 0b100101       # OPIVV/OPIVX (same funct6 as vmul, different cat)
+V_MUL = 0b100101       # OPMVV/OPMVX
+V_SRL = 0b101000
+V_SRA = 0b101001
+V_MACC = 0b101101      # OPMVV
+
+# RVV memory width field (funct3 of LOAD_FP/STORE_FP) for unit-stride.
+VWIDTH_8 = 0b000
+VWIDTH_16 = 0b101
+VWIDTH_32 = 0b110
+VWIDTH_64 = 0b111
+
+# SEW encodings in vtype.
+VSEW_CODES = {8: 0b000, 16: 0b001, 32: 0b010, 64: 0b011}
+VSEW_FROM_CODE = {v: k for k, v in VSEW_CODES.items()}
+
+# RVC quadrants (bits 1:0 of 16-bit parcels).
+C_Q0 = 0b00
+C_Q1 = 0b01
+C_Q2 = 0b10

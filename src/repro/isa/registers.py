@@ -1,0 +1,161 @@
+"""Register definitions for the RV64 integer file and the vector file.
+
+The ``gp`` register (x3) is load-bearing for the whole paper: the RISC-V
+psABI pins it to ``__global_pointer$`` (a data-segment anchor), it is
+read-only for the lifetime of the program, and its value is statically
+known at rewriting time.  Those three properties are exactly what the
+SMILE trampoline exploits (paper §3.3/§4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Reg(enum.IntEnum):
+    """Integer register numbers with their ABI mnemonics."""
+
+    ZERO = 0
+    RA = 1
+    SP = 2
+    GP = 3
+    TP = 4
+    T0 = 5
+    T1 = 6
+    T2 = 7
+    S0 = 8  # also fp
+    S1 = 9
+    A0 = 10
+    A1 = 11
+    A2 = 12
+    A3 = 13
+    A4 = 14
+    A5 = 15
+    A6 = 16
+    A7 = 17
+    S2 = 18
+    S3 = 19
+    S4 = 20
+    S5 = 21
+    S6 = 22
+    S7 = 23
+    S8 = 24
+    S9 = 25
+    S10 = 26
+    S11 = 27
+    T3 = 28
+    T4 = 29
+    T5 = 30
+    T6 = 31
+
+
+class VReg(enum.IntEnum):
+    """Vector register numbers v0..v31 (RVV)."""
+
+    V0 = 0
+    V1 = 1
+    V2 = 2
+    V3 = 3
+    V4 = 4
+    V5 = 5
+    V6 = 6
+    V7 = 7
+    V8 = 8
+    V9 = 9
+    V10 = 10
+    V11 = 11
+    V12 = 12
+    V13 = 13
+    V14 = 14
+    V15 = 15
+    V16 = 16
+    V17 = 17
+    V18 = 18
+    V19 = 19
+    V20 = 20
+    V21 = 21
+    V22 = 22
+    V23 = 23
+    V24 = 24
+    V25 = 25
+    V26 = 26
+    V27 = 27
+    V28 = 28
+    V29 = 29
+    V30 = 30
+    V31 = 31
+
+
+ABI_NAMES: tuple[str, ...] = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+#: Lookup from ABI name (and aliases) to register number.
+NAME_TO_REG: dict[str, Reg] = {name: Reg(i) for i, name in enumerate(ABI_NAMES)}
+NAME_TO_REG["fp"] = Reg.S0
+NAME_TO_REG.update({f"x{i}": Reg(i) for i in range(32)})
+
+NAME_TO_VREG: dict[str, VReg] = {f"v{i}": VReg(i) for i in range(32)}
+
+#: Caller-saved (temporary + argument) registers, candidates for scratch
+#: use inside translated blocks after a stack save.
+CALLER_SAVED: frozenset[Reg] = frozenset(
+    {Reg.RA, Reg.T0, Reg.T1, Reg.T2, Reg.A0, Reg.A1, Reg.A2, Reg.A3,
+     Reg.A4, Reg.A5, Reg.A6, Reg.A7, Reg.T3, Reg.T4, Reg.T5, Reg.T6}
+)
+
+#: Callee-saved registers.
+CALLEE_SAVED: frozenset[Reg] = frozenset(
+    {Reg.SP, Reg.S0, Reg.S1, Reg.S2, Reg.S3, Reg.S4, Reg.S5, Reg.S6,
+     Reg.S7, Reg.S8, Reg.S9, Reg.S10, Reg.S11}
+)
+
+#: Registers the rewriter must never pick as a dead/exit register:
+#: zero is hardwired, gp/tp are ABI-pinned, sp anchors the stack.
+RESERVED_FOR_ABI: frozenset[Reg] = frozenset({Reg.ZERO, Reg.SP, Reg.GP, Reg.TP})
+
+#: The compressed "prime" register set x8..x15 used by most RVC formats.
+RVC_REGS: tuple[Reg, ...] = tuple(Reg(i) for i in range(8, 16))
+
+
+def reg_name(reg: int) -> str:
+    """Return the ABI name for integer register number *reg*."""
+    return ABI_NAMES[int(reg)]
+
+
+def vreg_name(vreg: int) -> str:
+    """Return the name (``vN``) for vector register number *vreg*."""
+    return f"v{int(vreg)}"
+
+
+def parse_reg(name: str) -> Reg:
+    """Parse an integer register name (ABI or ``xN``) to its number.
+
+    Raises ``KeyError`` for unknown names.
+    """
+    return NAME_TO_REG[name.strip().lower()]
+
+
+def parse_vreg(name: str) -> VReg:
+    """Parse a vector register name ``vN`` to its number."""
+    return NAME_TO_VREG[name.strip().lower()]
+
+
+def is_rvc_reg(reg: int) -> bool:
+    """True if *reg* is encodable in the compressed 3-bit register field."""
+    return 8 <= int(reg) <= 15
+
+
+def rvc_encode_reg(reg: int) -> int:
+    """Map x8..x15 to the 3-bit compressed register field value."""
+    if not is_rvc_reg(reg):
+        raise ValueError(f"register {reg_name(reg)} not encodable in RVC 3-bit field")
+    return int(reg) - 8
+
+
+def rvc_decode_reg(field: int) -> Reg:
+    """Map a 3-bit compressed register field value back to x8..x15."""
+    return Reg(8 + (field & 0x7))

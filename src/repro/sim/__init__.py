@@ -1,0 +1,41 @@
+"""Machine simulator: memory with permissions, CPU interpreter, faults.
+
+This package stands in for the RISC-V hardware (Banana Pi BPI-F3 /
+SOPHGO SG2042) the paper evaluates on.  It executes the real instruction
+encodings produced by :mod:`repro.isa`, enforces segment permissions
+(so executing from the data segment faults, as SMILE requires), raises
+illegal-instruction faults for reserved encodings and for extensions a
+core does not implement, and accounts cycles through a cost model.
+"""
+
+from repro.sim.faults import (
+    SimFault,
+    SegmentationFault,
+    IllegalInstructionFault,
+    EcallTrap,
+    BreakpointTrap,
+    ExitRequest,
+)
+from repro.sim.memory import AddressSpace, MemorySegment
+from repro.sim.cost import ArchParams, CostModel
+from repro.sim.cpu import Cpu
+from repro.sim.machine import Core, Machine, Kernel, Process, RunResult
+
+__all__ = [
+    "SimFault",
+    "SegmentationFault",
+    "IllegalInstructionFault",
+    "EcallTrap",
+    "BreakpointTrap",
+    "ExitRequest",
+    "AddressSpace",
+    "MemorySegment",
+    "ArchParams",
+    "CostModel",
+    "Cpu",
+    "Core",
+    "Machine",
+    "Kernel",
+    "Process",
+    "RunResult",
+]

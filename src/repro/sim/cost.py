@@ -1,0 +1,123 @@
+"""Cycle cost model and architecture parameters.
+
+Absolute cycle counts on the paper's SpacemiT K1 are unknowable from
+here; what the experiments need is the *relative* cost structure:
+
+* trampolines cost two extra straight-line instructions;
+* trap-based trampolines cost a kernel round trip (hundreds of cycles);
+* Safer-style proactive checks cost a handful of instructions on every
+  indirect jump;
+* vector instructions retire multiple elements per op, giving extension
+  cores their speedup.
+
+``ArchParams`` centralizes those knobs and the scaling factor used for
+synthetic binaries (see DESIGN.md "Scaling note").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """Architecture/OS parameters for one simulated machine.
+
+    ``jal_reach`` is the +-range of a single ``jal`` (paper: +-1 MB on
+    RISC-V vs +-128 MB on ARM — the reason ARMore's approach breaks
+    down on RISC-V).  ``scale`` divides synthetic binary sizes *and*
+    ``jal_reach`` together so reachability fractions are preserved.
+    """
+
+    name: str = "rv64-board"
+    #: +-reach of one jal instruction, after scaling.
+    jal_reach: int = 1 << 20
+    #: +-reach of an auipc+jalr pair (never scaled; effectively infinite here).
+    auipc_reach: int = 1 << 31
+    #: Cycles for a trap-based trampoline (user->kernel->user + handler).
+    trap_cost: int = 200
+    #: Cycles for Chimera's deterministic-fault handling (same kernel
+    #: round trip plus a table lookup).
+    fault_handling_cost: int = 250
+    #: Cycles to migrate a task between cores (FAM / scheduler).
+    migration_cost: int = 15000
+    #: Cycles for one work-steal attempt.
+    steal_cost: int = 200
+    #: VLEN in bits for extension cores.
+    vlen: int = 256
+    #: Synthetic-binary scale divisor (documented in DESIGN.md).
+    scale: int = 1
+
+    def scaled(self, scale: int) -> "ArchParams":
+        """Return a copy with sizes/jal reach divided by *scale*."""
+        return ArchParams(
+            name=f"{self.name}/s{scale}",
+            jal_reach=self.jal_reach // scale,
+            auipc_reach=self.auipc_reach,
+            trap_cost=self.trap_cost,
+            fault_handling_cost=self.fault_handling_cost,
+            migration_cost=self.migration_cost,
+            steal_cost=self.steal_cost,
+            vlen=self.vlen,
+            scale=scale,
+        )
+
+
+#: Default parameters used across tests and benchmarks.
+DEFAULT_ARCH = ArchParams()
+
+#: Per-mnemonic latency classes (cycles).  Everything unlisted costs 1.
+_BASE_COSTS: dict[str, int] = {
+    "lb": 3, "lh": 3, "lw": 3, "ld": 3, "lbu": 3, "lhu": 3, "lwu": 3,
+    "sb": 2, "sh": 2, "sw": 2, "sd": 2,
+    "c.lw": 3, "c.ld": 3, "c.lwsp": 3, "c.ldsp": 3,
+    "c.sw": 2, "c.sd": 2, "c.swsp": 2, "c.sdsp": 2,
+    "mul": 3, "mulh": 4, "mulhsu": 4, "mulhu": 4, "mulw": 3,
+    "div": 20, "divu": 20, "rem": 20, "remu": 20,
+    "divw": 20, "divuw": 20, "remw": 20, "remuw": 20,
+    "jal": 2, "jalr": 3, "c.j": 2, "c.jr": 3, "c.jalr": 3,
+    "ecall": 10, "ebreak": 10, "c.ebreak": 10,
+    "vsetvli": 2,
+    "vle32.v": 4, "vle64.v": 4, "vse32.v": 4, "vse64.v": 4,
+}
+
+#: Extra cycles when a conditional branch is taken (pipeline redirect).
+TAKEN_BRANCH_PENALTY = 1
+
+#: Cycles per vector arithmetic op, independent of element count up to
+#: one VLEN register (models the K1's wide datapath).
+_VECTOR_ARITH_COST = 2
+
+
+class CostModel:
+    """Maps retired instructions to cycles.
+
+    Deliberately simple: in-order single-issue with fixed latency
+    classes.  The experiments compare systems under the *same* model, so
+    relative effects (trampoline vs trap vs check overhead, vector
+    speedup) dominate and absolute calibration does not matter.
+    """
+
+    def __init__(self, params: ArchParams = DEFAULT_ARCH):
+        self.params = params
+
+    def instruction_cost(self, instr: Instruction, *, taken: bool = False) -> int:
+        """Cycles for retiring *instr*; *taken* marks a taken branch."""
+        cost = _BASE_COSTS.get(instr.mnemonic)
+        if cost is None:
+            cost = _VECTOR_ARITH_COST if instr.is_vector() else 1
+        if taken and instr.is_branch():
+            cost += TAKEN_BRANCH_PENALTY
+        return cost
+
+    @property
+    def trap_cost(self) -> int:
+        """Cycles for a trap-based trampoline round trip."""
+        return self.params.trap_cost
+
+    @property
+    def fault_handling_cost(self) -> int:
+        """Cycles for one Chimera deterministic-fault recovery."""
+        return self.params.fault_handling_cost

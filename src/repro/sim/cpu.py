@@ -1,0 +1,641 @@
+"""The interpreter core: fetch, decode (cached), execute, account cycles.
+
+One :class:`Cpu` models one hart running one task.  Its
+:class:`~repro.isa.extensions.IsaProfile` is the ISAX capability mask:
+executing an instruction from an extension the profile lacks raises
+``IllegalInstructionFault(kind="unsupported-extension")`` — the
+architectural event FAM migrates on and Chimera's runtime rewriter
+repairs.
+
+Faults propagate as exceptions with ``cpu.pc`` still pointing at the
+faulting instruction; the simulated kernel (:mod:`repro.sim.machine`)
+catches them, adjusts state, and resumes by calling :meth:`Cpu.run`
+again.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.isa.decoding import IllegalEncodingError, decode
+from repro.isa.extensions import Extension, IsaProfile, RV64GCV
+from repro.isa.fields import sign_extend, to_unsigned64
+from repro.isa.instructions import Instruction
+from repro.sim.cost import CostModel, DEFAULT_ARCH
+from repro.sim.faults import (
+    BreakpointTrap,
+    EcallTrap,
+    IllegalInstructionFault,
+    SimulationLimitExceeded,
+)
+from repro.sim.memory import AddressSpace
+from repro.sim.vector import VectorUnit
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_MASK32 = 0xFFFFFFFF
+
+
+def _s(value: int) -> int:
+    """Unsigned-64 storage -> signed value."""
+    return value - 0x1_0000_0000_0000_0000 if value & 0x8000_0000_0000_0000 else value
+
+
+class Cpu:
+    """A single simulated hart."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        profile: IsaProfile = RV64GCV,
+        cost_model: Optional[CostModel] = None,
+        name: str = "hart0",
+    ):
+        self.space = space
+        self.profile = profile
+        self.cost = cost_model or CostModel(DEFAULT_ARCH)
+        self.name = name
+        self.regs: list[int] = [0] * 32
+        self.pc = 0
+        self.vector = VectorUnit(vlen=self.cost.params.vlen)
+        self.cycles = 0
+        self.instret = 0
+        #: Optional per-retired-instruction hook (see repro.sim.trace).
+        self.tracer = None
+        #: Counts of interesting dynamic events, keyed by name.
+        self.counters: dict[str, int] = {}
+        #: Optional address tags: executing a tagged address bumps the
+        #: named counter (used to count e.g. ARMore trampoline bounces).
+        self.tag_addrs: dict[int, str] = {}
+        # decode cache: addr -> (instr, handler, tag, seg, seg_version)
+        self._dcache: dict[int, tuple[Instruction, Callable, Optional[str], object, int]] = {}
+
+    # -- register helpers --------------------------------------------------
+
+    def get_reg(self, idx: int) -> int:
+        """Read an integer register (x0 reads as 0)."""
+        return self.regs[idx] if idx else 0
+
+    def set_reg(self, idx: int, value: int) -> None:
+        """Write an integer register (writes to x0 are discarded)."""
+        if idx:
+            self.regs[idx] = value & _MASK64
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named event counter."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def flush_decode_cache(self) -> None:
+        """Drop all cached decodes (after kernel code patching)."""
+        self._dcache.clear()
+
+    def snapshot_regs(self) -> list[int]:
+        """Copy of the integer register file."""
+        return list(self.regs)
+
+    # -- fetch/decode --------------------------------------------------------
+
+    def _decode_at(self, pc: int) -> tuple[Instruction, Callable, Optional[str]]:
+        cached = self._dcache.get(pc)
+        if cached is not None:
+            instr, handler, tag, seg, version = cached
+            if seg.version == version:
+                return instr, handler, tag
+        seg = self.space.fetch_segment(pc)  # raises SegmentationFault(exec)
+        try:
+            instr = decode(seg.data, pc - seg.base, addr=pc)
+        except IllegalEncodingError as exc:
+            raise IllegalInstructionFault(pc, exc.kind, str(exc)) from exc
+        handler = _HANDLERS.get(instr.mnemonic)
+        if handler is None:
+            raise IllegalInstructionFault(pc, "unknown", f"no semantics for {instr.mnemonic}")
+        if instr.extension not in self.profile.extensions:
+            handler = _unsupported
+        tag = self.tag_addrs.get(pc) if self.tag_addrs else None
+        self._dcache[pc] = (instr, handler, tag, seg, seg.version)
+        return instr, handler, tag
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> Instruction:
+        """Execute one instruction; returns it.  Faults propagate."""
+        pc = self.pc
+        instr, handler, tag = self._decode_at(pc)
+        self.pc = pc + instr.length
+        try:
+            taken = handler(self, instr)
+        except Exception:
+            self.pc = pc  # leave pc at the faulting instruction
+            raise
+        if tag is not None:
+            self.counters[tag] = self.counters.get(tag, 0) + 1
+        if self.tracer is not None:
+            self.tracer(self, instr)
+        self.instret += 1
+        self.cycles += self.cost.instruction_cost(instr, taken=bool(taken))
+        return instr
+
+    def run(self, max_instructions: int = 50_000_000) -> None:
+        """Run until a fault propagates or the budget is exhausted."""
+        step = self.step
+        remaining = max_instructions
+        while remaining > 0:
+            step()
+            remaining -= 1
+        raise SimulationLimitExceeded(max_instructions)
+
+
+# ---------------------------------------------------------------------------
+# Instruction semantics.  Handlers take (cpu, instr), return truthy when a
+# conditional branch is taken (for the cost model).
+# ---------------------------------------------------------------------------
+
+def _unsupported(cpu: Cpu, i: Instruction):
+    raise IllegalInstructionFault(
+        i.addr if i.addr is not None else cpu.pc,
+        "unsupported-extension",
+        f"{i.mnemonic} needs {i.extension.value}",
+    )
+
+
+def _exec_lui(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, sign_extend(i.imm << 12, 32))
+
+
+def _exec_auipc(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, (i.addr + sign_extend(i.imm << 12, 32)) & _MASK64)
+
+
+def _exec_jal(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, i.addr + 4)
+    cpu.pc = (i.addr + i.imm) & _MASK64
+
+
+def _exec_jalr(cpu: Cpu, i: Instruction):
+    target = (cpu.get_reg(i.rs1) + i.imm) & _MASK64 & ~1
+    cpu.set_reg(i.rd, i.addr + 4)
+    cpu.pc = target
+
+
+def _branch(op):
+    def handler(cpu: Cpu, i: Instruction):
+        if op(cpu.get_reg(i.rs1), cpu.get_reg(i.rs2)):
+            cpu.pc = (i.addr + i.imm) & _MASK64
+            return True
+        return False
+    return handler
+
+
+def _exec_load(width: int, signed: bool):
+    def handler(cpu: Cpu, i: Instruction):
+        addr = (cpu.get_reg(i.rs1) + i.imm) & _MASK64
+        raw = cpu.space.read(addr, width)
+        value = int.from_bytes(raw, "little")
+        if signed:
+            value = sign_extend(value, width * 8) & _MASK64
+        cpu.set_reg(i.rd, value)
+    return handler
+
+
+def _exec_store(width: int):
+    def handler(cpu: Cpu, i: Instruction):
+        addr = (cpu.get_reg(i.rs1) + i.imm) & _MASK64
+        cpu.space.write(addr, (cpu.get_reg(i.rs2) & ((1 << (width * 8)) - 1)).to_bytes(width, "little"))
+    return handler
+
+
+def _exec_addi(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, cpu.get_reg(i.rs1) + i.imm)
+
+
+def _exec_addiw(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, sign_extend((cpu.get_reg(i.rs1) + i.imm) & _MASK32, 32))
+
+
+def _exec_slti(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, 1 if _s(cpu.get_reg(i.rs1)) < i.imm else 0)
+
+
+def _exec_sltiu(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, 1 if cpu.get_reg(i.rs1) < (i.imm & _MASK64) else 0)
+
+
+def _exec_xori(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, cpu.get_reg(i.rs1) ^ (i.imm & _MASK64))
+
+
+def _exec_ori(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, cpu.get_reg(i.rs1) | (i.imm & _MASK64))
+
+
+def _exec_andi(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, cpu.get_reg(i.rs1) & (i.imm & _MASK64))
+
+
+def _exec_slli(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, cpu.get_reg(i.rs1) << i.imm)
+
+
+def _exec_srli(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, cpu.get_reg(i.rs1) >> i.imm)
+
+
+def _exec_srai(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, _s(cpu.get_reg(i.rs1)) >> i.imm)
+
+
+def _exec_slliw(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, sign_extend((cpu.get_reg(i.rs1) << i.imm) & _MASK32, 32))
+
+
+def _exec_srliw(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, sign_extend((cpu.get_reg(i.rs1) & _MASK32) >> i.imm, 32))
+
+
+def _exec_sraiw(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, sign_extend(cpu.get_reg(i.rs1) & _MASK32, 32) >> i.imm)
+
+
+def _rr(op):
+    def handler(cpu: Cpu, i: Instruction):
+        cpu.set_reg(i.rd, op(cpu.get_reg(i.rs1), cpu.get_reg(i.rs2)))
+    return handler
+
+
+def _rrw(op):
+    def handler(cpu: Cpu, i: Instruction):
+        cpu.set_reg(i.rd, sign_extend(op(cpu.get_reg(i.rs1), cpu.get_reg(i.rs2)) & _MASK32, 32))
+    return handler
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        return _MASK64
+    sa, sb = _s(a), _s(b)
+    if sa == -(1 << 63) and sb == -1:
+        return a
+    q = abs(sa) // abs(sb)
+    return to_unsigned64(-q if (sa < 0) != (sb < 0) else q)
+
+
+def _rem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    sa, sb = _s(a), _s(b)
+    if sa == -(1 << 63) and sb == -1:
+        return 0
+    r = abs(sa) % abs(sb)
+    return to_unsigned64(-r if sa < 0 else r)
+
+
+def _divw(a: int, b: int) -> int:
+    aw, bw = sign_extend(a & _MASK32, 32), sign_extend(b & _MASK32, 32)
+    if bw == 0:
+        return _MASK32
+    if aw == -(1 << 31) and bw == -1:
+        return a & _MASK32
+    q = abs(aw) // abs(bw)
+    return (-q if (aw < 0) != (bw < 0) else q) & _MASK32
+
+
+def _remw(a: int, b: int) -> int:
+    aw, bw = sign_extend(a & _MASK32, 32), sign_extend(b & _MASK32, 32)
+    if bw == 0:
+        return a & _MASK32
+    if aw == -(1 << 31) and bw == -1:
+        return 0
+    r = abs(aw) % abs(bw)
+    return (-r if aw < 0 else r) & _MASK32
+
+
+def _exec_ecall(cpu: Cpu, i: Instruction):
+    raise EcallTrap(i.addr)
+
+
+def _exec_ebreak(cpu: Cpu, i: Instruction):
+    raise BreakpointTrap(i.addr, compressed=i.length == 2)
+
+
+def _exec_fence(cpu: Cpu, i: Instruction):
+    return None
+
+
+# -- compressed --------------------------------------------------------------
+
+def _exec_c_nop(cpu: Cpu, i: Instruction):
+    return None
+
+
+def _exec_c_j(cpu: Cpu, i: Instruction):
+    cpu.pc = (i.addr + i.imm) & _MASK64
+
+
+def _exec_c_jr(cpu: Cpu, i: Instruction):
+    cpu.pc = cpu.get_reg(i.rs1) & ~1
+
+
+def _exec_c_jalr(cpu: Cpu, i: Instruction):
+    target = cpu.get_reg(i.rs1) & ~1
+    cpu.set_reg(1, i.addr + 2)
+    cpu.pc = target
+
+
+def _exec_c_beqz(cpu: Cpu, i: Instruction):
+    if cpu.get_reg(i.rs1) == 0:
+        cpu.pc = (i.addr + i.imm) & _MASK64
+        return True
+    return False
+
+
+def _exec_c_bnez(cpu: Cpu, i: Instruction):
+    if cpu.get_reg(i.rs1) != 0:
+        cpu.pc = (i.addr + i.imm) & _MASK64
+        return True
+    return False
+
+
+def _exec_c_li(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, i.imm)
+
+
+def _exec_c_lui(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, sign_extend((i.imm & 0x3F) << 12, 18))
+
+
+def _exec_c_mv(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, cpu.get_reg(i.rs2))
+
+
+def _exec_c_add(cpu: Cpu, i: Instruction):
+    cpu.set_reg(i.rd, cpu.get_reg(i.rd) + cpu.get_reg(i.rs2))
+
+
+def _exec_c_addi16sp(cpu: Cpu, i: Instruction):
+    cpu.set_reg(2, cpu.get_reg(2) + i.imm)
+
+
+# -- vector -------------------------------------------------------------------
+
+def _exec_vsetvli(cpu: Cpu, i: Instruction):
+    from repro.isa.encoding import decode_vtype
+
+    sew = decode_vtype(i.imm)
+    if i.rs1 == 0:
+        # rs1=x0: AVL = ~0 (vl = VLMAX) per the RVV spec.
+        avl = cpu.vector.vlen // sew
+    else:
+        avl = cpu.get_reg(i.rs1)
+    vl = cpu.vector.set_vl(avl, sew)
+    cpu.set_reg(i.rd, vl)
+
+
+def _exec_vload(width: int):
+    def handler(cpu: Cpu, i: Instruction):
+        vu = cpu.vector
+        base = cpu.get_reg(i.rs1)
+        step = width // 8
+        for idx in range(vu.vl):
+            value = int.from_bytes(cpu.space.read(base + idx * step, step), "little")
+            vu.write_elem(i.vd, idx, value)
+    return handler
+
+
+def _exec_vstore(width: int):
+    def handler(cpu: Cpu, i: Instruction):
+        vu = cpu.vector
+        base = cpu.get_reg(i.rs1)
+        step = width // 8
+        for idx in range(vu.vl):
+            cpu.space.write(base + idx * step, (vu.read_elem(i.vd, idx) & ((1 << width) - 1)).to_bytes(step, "little"))
+    return handler
+
+
+def _vv(op):
+    def handler(cpu: Cpu, i: Instruction):
+        vu = cpu.vector
+        for idx in range(vu.vl):
+            vu.write_elem(i.vd, idx, op(vu.read_elem(i.vs2, idx), vu.read_elem(i.vs1, idx)))
+    return handler
+
+
+def _vx(op):
+    def handler(cpu: Cpu, i: Instruction):
+        vu = cpu.vector
+        x = cpu.get_reg(i.rs1)
+        for idx in range(vu.vl):
+            vu.write_elem(i.vd, idx, op(vu.read_elem(i.vs2, idx), x))
+    return handler
+
+
+def _vv_sew(op):
+    """Elementwise op that needs the SEW (shifts, signed compares)."""
+    def handler(cpu: Cpu, i: Instruction):
+        vu = cpu.vector
+        sew = vu.sew
+        for idx in range(vu.vl):
+            vu.write_elem(i.vd, idx, op(vu.read_elem(i.vs2, idx), vu.read_elem(i.vs1, idx), sew))
+    return handler
+
+
+def _vx_sew(op):
+    def handler(cpu: Cpu, i: Instruction):
+        vu = cpu.vector
+        sew = vu.sew
+        x = cpu.get_reg(i.rs1)
+        for idx in range(vu.vl):
+            vu.write_elem(i.vd, idx, op(vu.read_elem(i.vs2, idx), x, sew))
+    return handler
+
+
+def _smin(a: int, b: int, sew: int) -> int:
+    sa, sb = sign_extend(a, sew), sign_extend(b, sew)
+    return a if sa <= sb else b
+
+
+def _smax(a: int, b: int, sew: int) -> int:
+    sa, sb = sign_extend(a, sew), sign_extend(b, sew)
+    return a if sa >= sb else b
+
+
+def _vsra(a: int, b: int, sew: int) -> int:
+    return sign_extend(a, sew) >> (b & (sew - 1))
+
+
+def _exec_vmv_x_s(cpu: Cpu, i: Instruction):
+    vu = cpu.vector
+    cpu.set_reg(i.rd, sign_extend(vu.read_elem(i.vs2, 0), vu.sew) & _MASK64)
+
+
+_exec_vadd_vx = _vx(lambda a, x: a + x)
+
+
+def _exec_vadd_vi(cpu: Cpu, i: Instruction):
+    vu = cpu.vector
+    for idx in range(vu.vl):
+        vu.write_elem(i.vd, idx, vu.read_elem(i.vs2, idx) + i.imm)
+
+
+def _exec_vmacc(cpu: Cpu, i: Instruction):
+    vu = cpu.vector
+    for idx in range(vu.vl):
+        vu.write_elem(
+            i.vd, idx,
+            vu.read_elem(i.vd, idx) + vu.read_elem(i.vs1, idx) * vu.read_elem(i.vs2, idx),
+        )
+
+
+def _exec_vmv_v_x(cpu: Cpu, i: Instruction):
+    vu = cpu.vector
+    x = cpu.get_reg(i.rs1)
+    for idx in range(vu.vl):
+        vu.write_elem(i.vd, idx, x)
+
+
+def _exec_vmv_v_i(cpu: Cpu, i: Instruction):
+    vu = cpu.vector
+    for idx in range(vu.vl):
+        vu.write_elem(i.vd, idx, i.imm)
+
+
+def _exec_vredsum(cpu: Cpu, i: Instruction):
+    vu = cpu.vector
+    total = vu.read_elem(i.vs1, 0)
+    for idx in range(vu.vl):
+        total += vu.read_elem(i.vs2, idx)
+    vu.write_elem(i.vd, 0, total)
+
+
+_HANDLERS: dict[str, Callable] = {
+    "lui": _exec_lui,
+    "auipc": _exec_auipc,
+    "jal": _exec_jal,
+    "jalr": _exec_jalr,
+    "beq": _branch(lambda a, b: a == b),
+    "bne": _branch(lambda a, b: a != b),
+    "blt": _branch(lambda a, b: _s(a) < _s(b)),
+    "bge": _branch(lambda a, b: _s(a) >= _s(b)),
+    "bltu": _branch(lambda a, b: a < b),
+    "bgeu": _branch(lambda a, b: a >= b),
+    "lb": _exec_load(1, True),
+    "lh": _exec_load(2, True),
+    "lw": _exec_load(4, True),
+    "ld": _exec_load(8, True),
+    "lbu": _exec_load(1, False),
+    "lhu": _exec_load(2, False),
+    "lwu": _exec_load(4, False),
+    "sb": _exec_store(1),
+    "sh": _exec_store(2),
+    "sw": _exec_store(4),
+    "sd": _exec_store(8),
+    "addi": _exec_addi,
+    "addiw": _exec_addiw,
+    "slti": _exec_slti,
+    "sltiu": _exec_sltiu,
+    "xori": _exec_xori,
+    "ori": _exec_ori,
+    "andi": _exec_andi,
+    "slli": _exec_slli,
+    "srli": _exec_srli,
+    "srai": _exec_srai,
+    "slliw": _exec_slliw,
+    "srliw": _exec_srliw,
+    "sraiw": _exec_sraiw,
+    "add": _rr(lambda a, b: a + b),
+    "sub": _rr(lambda a, b: a - b),
+    "sll": _rr(lambda a, b: a << (b & 63)),
+    "slt": _rr(lambda a, b: 1 if _s(a) < _s(b) else 0),
+    "sltu": _rr(lambda a, b: 1 if a < b else 0),
+    "xor": _rr(lambda a, b: a ^ b),
+    "srl": _rr(lambda a, b: a >> (b & 63)),
+    "sra": _rr(lambda a, b: _s(a) >> (b & 63)),
+    "or": _rr(lambda a, b: a | b),
+    "and": _rr(lambda a, b: a & b),
+    "addw": _rrw(lambda a, b: a + b),
+    "subw": _rrw(lambda a, b: a - b),
+    "sllw": _rrw(lambda a, b: a << (b & 31)),
+    "srlw": _rrw(lambda a, b: (a & _MASK32) >> (b & 31)),
+    "sraw": _rrw(lambda a, b: sign_extend(a & _MASK32, 32) >> (b & 31)),
+    "mul": _rr(lambda a, b: a * b),
+    "mulh": _rr(lambda a, b: (_s(a) * _s(b)) >> 64),
+    "mulhsu": _rr(lambda a, b: (_s(a) * b) >> 64),
+    "mulhu": _rr(lambda a, b: (a * b) >> 64),
+    "div": _rr(_div),
+    "divu": _rr(lambda a, b: _MASK64 if b == 0 else a // b),
+    "rem": _rr(_rem),
+    "remu": _rr(lambda a, b: a if b == 0 else a % b),
+    "mulw": _rrw(lambda a, b: a * b),
+    "divw": _rrw(_divw),
+    "divuw": _rrw(lambda a, b: _MASK32 if (b & _MASK32) == 0 else (a & _MASK32) // (b & _MASK32)),
+    "remw": _rrw(_remw),
+    "remuw": _rrw(lambda a, b: (a & _MASK32) if (b & _MASK32) == 0 else (a & _MASK32) % (b & _MASK32)),
+    "sh1add": _rr(lambda a, b: (a << 1) + b),
+    "sh2add": _rr(lambda a, b: (a << 2) + b),
+    "sh3add": _rr(lambda a, b: (a << 3) + b),
+    "ecall": _exec_ecall,
+    "ebreak": _exec_ebreak,
+    "fence": _exec_fence,
+    # compressed
+    "c.nop": _exec_c_nop,
+    "c.addi": _exec_addi,
+    "c.addiw": _exec_addiw,
+    "c.li": _exec_c_li,
+    "c.lui": _exec_c_lui,
+    "c.addi16sp": _exec_c_addi16sp,
+    "c.addi4spn": _exec_addi,
+    "c.slli": _exec_slli,
+    "c.srli": _exec_srli,
+    "c.srai": _exec_srai,
+    "c.andi": _exec_andi,
+    "c.sub": _rr(lambda a, b: a - b),
+    "c.xor": _rr(lambda a, b: a ^ b),
+    "c.or": _rr(lambda a, b: a | b),
+    "c.and": _rr(lambda a, b: a & b),
+    "c.subw": _rrw(lambda a, b: a - b),
+    "c.addw": _rrw(lambda a, b: a + b),
+    "c.j": _exec_c_j,
+    "c.jr": _exec_c_jr,
+    "c.jalr": _exec_c_jalr,
+    "c.beqz": _exec_c_beqz,
+    "c.bnez": _exec_c_bnez,
+    "c.mv": _exec_c_mv,
+    "c.add": _exec_c_add,
+    "c.lw": _exec_load(4, True),
+    "c.ld": _exec_load(8, True),
+    "c.lwsp": _exec_load(4, True),
+    "c.ldsp": _exec_load(8, True),
+    "c.sw": _exec_store(4),
+    "c.sd": _exec_store(8),
+    "c.swsp": _exec_store(4),
+    "c.sdsp": _exec_store(8),
+    "c.ebreak": _exec_ebreak,
+    # vector
+    "vsetvli": _exec_vsetvli,
+    "vle32.v": _exec_vload(32),
+    "vle64.v": _exec_vload(64),
+    "vse32.v": _exec_vstore(32),
+    "vse64.v": _exec_vstore(64),
+    "vadd.vv": _vv(lambda a, b: a + b),
+    "vsub.vv": _vv(lambda a, b: a - b),
+    "vmul.vv": _vv(lambda a, b: a * b),
+    "vand.vv": _vv(lambda a, b: a & b),
+    "vor.vv": _vv(lambda a, b: a | b),
+    "vxor.vv": _vv(lambda a, b: a ^ b),
+    "vadd.vx": _exec_vadd_vx,
+    "vadd.vi": _exec_vadd_vi,
+    "vsub.vx": _vx(lambda a, x: a - x),
+    "vmul.vx": _vx(lambda a, x: a * x),
+    "vmin.vv": _vv_sew(_smin),
+    "vmax.vv": _vv_sew(_smax),
+    "vminu.vv": _vv(lambda a, b: min(a, b)),
+    "vmaxu.vv": _vv(lambda a, b: max(a, b)),
+    "vsll.vv": _vv_sew(lambda a, b, sew: a << (b & (sew - 1))),
+    "vsll.vx": _vx_sew(lambda a, x, sew: a << (x & (sew - 1))),
+    "vsrl.vv": _vv_sew(lambda a, b, sew: a >> (b & (sew - 1))),
+    "vsrl.vx": _vx_sew(lambda a, x, sew: a >> (x & (sew - 1))),
+    "vsra.vv": _vv_sew(_vsra),
+    "vsra.vx": _vx_sew(_vsra),
+    "vmacc.vv": _exec_vmacc,
+    "vmv.v.x": _exec_vmv_v_x,
+    "vmv.v.i": _exec_vmv_v_i,
+    "vmv.x.s": _exec_vmv_x_s,
+    "vredsum.vs": _exec_vredsum,
+}

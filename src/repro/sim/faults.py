@@ -1,0 +1,83 @@
+"""Fault taxonomy for the simulated machine.
+
+The paper's correctness argument (§3.2, §5.1) distinguishes
+*deterministic* faults — which immediately halt the erroneous execution
+and carry enough context to recover — from non-deterministic misbehavior
+(executing unintended instructions).  In the simulator every fault is a
+Python exception carrying the faulting pc and, for memory faults, the
+offending address and access kind; the simulated kernel catches them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SimFault(Exception):
+    """Base class for all simulated architectural events."""
+
+    def __init__(self, message: str, pc: Optional[int] = None):
+        super().__init__(message)
+        self.pc = pc
+
+
+class SegmentationFault(SimFault):
+    """Access-permission violation (the simulated SIGSEGV).
+
+    ``access`` is ``"read"``, ``"write"`` or ``"exec"``.  SMILE's P1 case
+    manifests as ``access="exec"`` at a data-segment address.
+    """
+
+    def __init__(self, addr: int, access: str, pc: Optional[int] = None):
+        super().__init__(f"segmentation fault: {access} at {addr:#x}", pc)
+        self.addr = addr
+        self.access = access
+
+
+class IllegalInstructionFault(SimFault):
+    """Illegal/reserved/unsupported instruction (the simulated SIGILL).
+
+    ``kind`` values:
+
+    * ``"long-prefix"`` — reserved >=48-bit encoding prefix (SMILE P2);
+    * ``"reserved-compressed"`` — reserved RVC encoding (SMILE P3);
+    * ``"unknown"`` — not a known encoding;
+    * ``"unsupported-extension"`` — valid encoding, but this core lacks
+      the extension (the FAM trigger and Chimera's runtime-rewriting
+      trigger for unrecognized instructions).
+    """
+
+    def __init__(self, pc: int, kind: str, detail: str = ""):
+        super().__init__(f"illegal instruction at {pc:#x} ({kind}) {detail}".rstrip(), pc)
+        self.kind = kind
+
+
+class EcallTrap(SimFault):
+    """Environment call; the kernel services it as a syscall."""
+
+    def __init__(self, pc: int):
+        super().__init__(f"ecall at {pc:#x}", pc)
+
+
+class BreakpointTrap(SimFault):
+    """``ebreak``/``c.ebreak``; trap-based trampolines ride on this."""
+
+    def __init__(self, pc: int, compressed: bool = False):
+        super().__init__(f"breakpoint at {pc:#x}", pc)
+        self.compressed = compressed
+
+
+class ExitRequest(SimFault):
+    """Raised by the exit syscall to terminate the process cleanly."""
+
+    def __init__(self, code: int):
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+class SimulationLimitExceeded(SimFault):
+    """The instruction budget ran out; guards against runaway programs."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"instruction limit {limit} exceeded")
+        self.limit = limit

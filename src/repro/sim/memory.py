@@ -1,0 +1,155 @@
+"""Segmented virtual memory with permissions.
+
+An :class:`AddressSpace` is a list of :class:`MemorySegment` objects.
+Segments carry R/W/X permissions and may *share* their backing
+``bytearray`` with segments of other address spaces — that sharing is
+how MMViews (paper §4.3, Fig. 9) give every per-core rewritten binary
+its own code mapping while all views see one data segment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.elf.binary import Perm
+from repro.sim.faults import SegmentationFault
+
+
+class MemorySegment:
+    """A contiguous mapped region backed by a (possibly shared) bytearray."""
+
+    __slots__ = ("name", "base", "data", "perm", "version")
+
+    def __init__(self, name: str, base: int, data: bytearray, perm: Perm):
+        self.name = name
+        self.base = base
+        self.data = data
+        self.perm = perm
+        #: Bumped whenever executable bytes change, so CPUs can drop
+        #: stale decode-cache entries (runtime rewriting path, §4.3).
+        self.version = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def __repr__(self) -> str:
+        bits = "".join(
+            flag.name.lower() if flag in self.perm else "-"
+            for flag in (Perm.R, Perm.W, Perm.X)
+        )
+        return f"<seg {self.name} {self.base:#x}+{self.size:#x} {bits}>"
+
+
+class AddressSpace:
+    """A process address space: ordered segments plus access helpers."""
+
+    def __init__(self, name: str = "as"):
+        self.name = name
+        self.segments: list[MemorySegment] = []
+
+    # -- mapping -----------------------------------------------------------
+
+    def map_segment(self, segment: MemorySegment) -> MemorySegment:
+        """Map *segment*, refusing overlaps."""
+        for existing in self.segments:
+            if segment.base < existing.end and existing.base < segment.end:
+                raise ValueError(f"{segment!r} overlaps {existing!r}")
+        self.segments.append(segment)
+        self.segments.sort(key=lambda s: s.base)
+        return segment
+
+    def map(self, name: str, base: int, size_or_data: int | bytearray, perm: Perm) -> MemorySegment:
+        """Create and map a segment from a size or an existing bytearray."""
+        data = bytearray(size_or_data) if isinstance(size_or_data, int) else size_or_data
+        return self.map_segment(MemorySegment(name, base, data, perm))
+
+    def segment_at(self, addr: int) -> Optional[MemorySegment]:
+        """The segment containing *addr*, or None."""
+        # Linear scan; address spaces here hold < 10 segments.
+        for seg in self.segments:
+            if seg.base <= addr < seg.end:
+                return seg
+        return None
+
+    def segment_named(self, name: str) -> MemorySegment:
+        """Look up a segment by name."""
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(f"no segment named {name!r}")
+
+    # -- typed access ------------------------------------------------------
+
+    def _seg_for(self, addr: int, size: int, access: str, need: Perm) -> MemorySegment:
+        seg = self.segment_at(addr)
+        if seg is None or addr + size > seg.end:
+            raise SegmentationFault(addr, access)
+        if need not in seg.perm:
+            raise SegmentationFault(addr, access)
+        return seg
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Permission-checked data read."""
+        seg = self._seg_for(addr, size, "read", Perm.R)
+        off = addr - seg.base
+        return bytes(seg.data[off:off + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Permission-checked data write."""
+        seg = self._seg_for(addr, len(data), "write", Perm.W)
+        off = addr - seg.base
+        seg.data[off:off + len(data)] = data
+
+    def fetch(self, addr: int, size: int) -> bytes:
+        """Permission-checked instruction fetch (requires X).
+
+        Executing from a non-executable segment — the fate of a partial
+        SMILE execution — raises ``SegmentationFault(access="exec")``.
+        """
+        seg = self._seg_for(addr, size, "exec", Perm.X)
+        off = addr - seg.base
+        return bytes(seg.data[off:off + size])
+
+    def fetch_segment(self, addr: int) -> MemorySegment:
+        """The executable segment holding *addr* (for decode caching)."""
+        return self._seg_for(addr, 1, "exec", Perm.X)
+
+    def read_u64(self, addr: int) -> int:
+        """Read a little-endian unsigned 64-bit value."""
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Write a little-endian 64-bit value."""
+        self.write(addr, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+
+    def read_u32(self, addr: int) -> int:
+        """Read a little-endian unsigned 32-bit value."""
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def write_u32(self, addr: int, value: int) -> None:
+        """Write a little-endian 32-bit value."""
+        self.write(addr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def patch_code(self, addr: int, data: bytes) -> None:
+        """Kernel-privilege code patch: ignores W permission, bumps version.
+
+        Used by the simulated kernel when Chimera rewrites an
+        unrecognized instruction at runtime (§4.3).
+        """
+        seg = self.segment_at(addr)
+        if seg is None or addr + len(data) > seg.end:
+            raise SegmentationFault(addr, "write")
+        off = addr - seg.base
+        seg.data[off:off + len(data)] = data
+        seg.version += 1
+
+    def __repr__(self) -> str:
+        return f"<AddressSpace {self.name} {self.segments}>"

@@ -1,0 +1,55 @@
+"""Minimal Linux-like syscall ABI for simulated programs.
+
+Programs request services via ``ecall`` with the syscall number in
+``a7`` and arguments in ``a0..a5`` (the RISC-V Linux convention).  Only
+the calls the workloads need are implemented.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.isa.registers import Reg
+from repro.sim.faults import ExitRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cpu import Cpu
+    from repro.sim.machine import Kernel, Process
+
+SYS_EXIT = 93
+SYS_WRITE = 64
+SYS_SIGACTION = 134
+SYS_SIGRETURN = 139
+SYS_YIELD = 124
+
+#: Fixed cycle cost charged per serviced syscall.
+SYSCALL_COST = 50
+
+
+def handle_syscall(kernel: "Kernel", process: "Process", cpu: "Cpu") -> None:
+    """Service the ecall *cpu* just executed; advances pc past it."""
+    number = cpu.get_reg(Reg.A7)
+    a0 = cpu.get_reg(Reg.A0)
+    cpu.cycles += SYSCALL_COST
+    cpu.bump("syscalls")
+    if number == SYS_EXIT:
+        raise ExitRequest(a0 & 0xFF)
+    if number == SYS_WRITE:
+        buf = cpu.get_reg(Reg.A1)
+        count = cpu.get_reg(Reg.A2)
+        data = cpu.space.read(buf, count)
+        process.output.extend(data)
+        cpu.set_reg(Reg.A0, count)
+    elif number == SYS_SIGACTION:
+        signum = a0
+        handler_addr = cpu.get_reg(Reg.A1)
+        process.signal_handlers[signum] = handler_addr
+        cpu.set_reg(Reg.A0, 0)
+    elif number == SYS_SIGRETURN:
+        kernel.signal_return(process, cpu)
+        return  # pc restored from the saved context; do not advance
+    elif number == SYS_YIELD:
+        cpu.set_reg(Reg.A0, 0)
+    else:
+        cpu.set_reg(Reg.A0, -38 & 0xFFFFFFFFFFFFFFFF)  # -ENOSYS
+    cpu.pc += 4

@@ -1,0 +1,90 @@
+"""RVV vector unit state: vl/vtype and the 32 vector registers.
+
+VLEN is 256 bits to match the paper's SpacemiT K1.  Only LMUL=1 and
+SEW in {32, 64} are implemented — the subset every workload in the
+evaluation uses.  Registers are backed by bytearrays so the downgrade
+translator's "simulated extension registers in a data section" (§4.1)
+has a well-defined byte-level image to be checked against in tests.
+"""
+
+from __future__ import annotations
+
+from repro.isa.fields import sign_extend
+
+
+class VectorUnit:
+    """Architectural vector state for one hart."""
+
+    def __init__(self, vlen: int = 256):
+        if vlen % 64:
+            raise ValueError("VLEN must be a multiple of 64")
+        self.vlen = vlen
+        self.vl = 0
+        self.sew = 64
+        self.regs: list[bytearray] = [bytearray(vlen // 8) for _ in range(32)]
+
+    @property
+    def vlmax(self) -> int:
+        """Elements per register at the current SEW (LMUL=1)."""
+        return self.vlen // self.sew
+
+    def set_vl(self, avl: int, sew: int) -> int:
+        """Implement ``vsetvli``: configure SEW and clamp vl to VLMAX."""
+        if sew not in (32, 64):
+            raise ValueError(f"unsupported SEW {sew}")
+        self.sew = sew
+        self.vl = min(avl, self.vlen // sew)
+        return self.vl
+
+    # -- element access ----------------------------------------------------
+
+    def read_elem(self, reg: int, idx: int) -> int:
+        """Read element *idx* of v*reg* as an unsigned int at current SEW."""
+        width = self.sew // 8
+        off = idx * width
+        return int.from_bytes(self.regs[reg][off:off + width], "little")
+
+    def write_elem(self, reg: int, idx: int, value: int) -> None:
+        """Write element *idx* of v*reg* (wrapped to SEW)."""
+        width = self.sew // 8
+        off = idx * width
+        self.regs[reg][off:off + width] = (value & ((1 << self.sew) - 1)).to_bytes(width, "little")
+
+    def read_elems(self, reg: int, count: int | None = None) -> list[int]:
+        """Read the first *count* (default vl) elements of v*reg*."""
+        n = self.vl if count is None else count
+        return [self.read_elem(reg, i) for i in range(n)]
+
+    def write_elems(self, reg: int, values: list[int]) -> None:
+        """Write *values* into the first elements of v*reg*."""
+        for i, v in enumerate(values):
+            self.write_elem(reg, i, v)
+
+    def signed_elem(self, reg: int, idx: int) -> int:
+        """Read element *idx* as a signed value."""
+        return sign_extend(self.read_elem(reg, idx), self.sew)
+
+    def reg_bytes(self, reg: int) -> bytes:
+        """Snapshot the full register image (all VLEN/8 bytes)."""
+        return bytes(self.regs[reg])
+
+    def load_reg_bytes(self, reg: int, data: bytes) -> None:
+        """Overwrite the full register image."""
+        if len(data) != self.vlen // 8:
+            raise ValueError("register image size mismatch")
+        self.regs[reg][:] = data
+
+    def snapshot(self) -> dict:
+        """Full architectural snapshot (for migration / differential tests)."""
+        return {
+            "vl": self.vl,
+            "sew": self.sew,
+            "regs": [bytes(r) for r in self.regs],
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore a snapshot taken by :meth:`snapshot`."""
+        self.vl = snap["vl"]
+        self.sew = snap["sew"]
+        for reg, data in zip(self.regs, snap["regs"]):
+            reg[:] = data

@@ -1,0 +1,38 @@
+"""Workloads: the programs and profiles the evaluation runs.
+
+* :mod:`repro.workloads.programs` — self-checking kernel binaries
+  (matmul, gemv, fibonacci, vector add, dot product, memcpy, indirect
+  dispatch), each buildable as a base-ISA or extension-ISA variant —
+  the "source code" that compilation-based baselines get to see;
+* :mod:`repro.workloads.spec_profiles` — per-benchmark static profiles
+  lifted from the paper's Table 3;
+* :mod:`repro.workloads.synthetic` — profile-driven synthetic binaries
+  standing in for SPEC CPU2017 / real-application binaries;
+* :mod:`repro.workloads.hetero` — the §6.1 mixed matrix/integer task
+  suite and its per-system cost measurement;
+* :mod:`repro.workloads.openblas` — the §6.4 BLAS kernel models.
+"""
+
+from repro.workloads.programs import (
+    KernelWorkload,
+    MatMulWorkload,
+    GemvWorkload,
+    FibonacciWorkload,
+    VectorAddWorkload,
+    DotProductWorkload,
+    MemcpyWorkload,
+    IndirectDispatchWorkload,
+    ALL_WORKLOADS,
+)
+
+__all__ = [
+    "KernelWorkload",
+    "MatMulWorkload",
+    "GemvWorkload",
+    "FibonacciWorkload",
+    "VectorAddWorkload",
+    "DotProductWorkload",
+    "MemcpyWorkload",
+    "IndirectDispatchWorkload",
+    "ALL_WORKLOADS",
+]

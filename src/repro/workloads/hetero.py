@@ -1,0 +1,163 @@
+"""The §6.1 heterogeneous computing workload and per-system cost models.
+
+The paper's experiment: 1000 mixed tasks — *base tasks* (Fibonacci, not
+vector-accelerable) and *extension tasks* (matrix multiplication) — on
+4 base + 4 extension cores with work stealing, sweeping the extension
+share from 0% to 100%, in two input flavors:
+
+* **extension version** (Fig. 11a/b): binaries compiled with RVV.
+  Running them on base cores requires *downgrading* (or, for FAM,
+  migrating away).
+* **base version** (Fig. 11c/d): binaries compiled for RV64GC only.
+  Exploiting extension cores requires *upgrading* (FAM gets nothing).
+
+Task costs are not invented: each (system, task kind, core kind) cell is
+measured by actually rewriting the task binary with that system's
+rewriter and running it in the CPU simulator.  The paper tuned its task
+sizes to a 2:2:2:1 ratio (base-on-base : base-on-ext : ext-on-base :
+ext-on-ext); the defaults below land close to that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.core.scheduler import SystemModel, WorkStealingScheduler, mixed_taskset
+from repro.harness import run_chimera, run_native, run_safer
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.cost import ArchParams, DEFAULT_ARCH
+from repro.workloads.programs import FibonacciWorkload, MatMulWorkload
+
+#: Systems compared in Fig. 11/12.
+SYSTEMS = ("fam", "safer", "melf", "chimera")
+
+
+@dataclass(frozen=True)
+class HeteroCosts:
+    """Measured cycles for every (system, task kind, core kind) cell."""
+
+    version: str  # "ext" | "base"
+    cells: dict[str, dict[tuple[str, bool], Optional[int]]]
+    accelerated: dict[str, frozenset[tuple[str, bool]]]
+
+    def model(self, system: str, params: ArchParams = DEFAULT_ARCH) -> SystemModel:
+        """Build the scheduler-facing model for *system*."""
+        return SystemModel(
+            name=system,
+            costs=self.cells[system],
+            accelerated_placements=self.accelerated[system],
+            migrate_on_unsupported=(system == "fam" and self.version == "ext"),
+            detect_cycles=max(500, params.migration_cost // 20),
+        )
+
+
+def _measure(version: str, arch: ArchParams) -> HeteroCosts:
+    fib = FibonacciWorkload(iterations=4800)
+    mm = MatMulWorkload(n=12)
+
+    fib_bin = fib.build("base")       # identical for both variants
+    mm_ext = mm.build("ext")
+    mm_base = mm.build("base")
+
+    fib_cost = run_native(fib_bin, RV64GC, arch=arch).cycles
+    mm_native_ext = run_native(mm_ext, RV64GCV, arch=arch).cycles
+    mm_native_scalar = run_native(mm_base, RV64GC, arch=arch).cycles
+
+    cells: dict[str, dict] = {}
+    accel: dict[str, frozenset] = {}
+
+    def base_task_cells(cost: int) -> dict:
+        return {("base", False): cost, ("base", True): cost}
+
+    if version == "ext":
+        # Input: RVV binaries.  Downgrading is the interesting direction.
+        ch_down = run_chimera(mm_ext, RV64GC, arch=arch).cycles
+        ch_up = run_chimera(mm_ext, RV64GCV, arch=arch).cycles
+        sf_down = run_safer(mm_ext, RV64GC, arch=arch).cycles
+        sf_ext = run_safer(mm_ext, RV64GCV, arch=arch).cycles
+        sf_fib = run_safer(fib_bin, RV64GC, arch=arch).cycles
+        cells["fam"] = {**base_task_cells(fib_cost),
+                        ("ext", True): mm_native_ext, ("ext", False): None}
+        cells["melf"] = {**base_task_cells(fib_cost),
+                         ("ext", True): mm_native_ext, ("ext", False): mm_native_scalar}
+        cells["chimera"] = {**base_task_cells(fib_cost),
+                            ("ext", True): ch_up, ("ext", False): ch_down}
+        cells["safer"] = {**base_task_cells(sf_fib),
+                          ("ext", True): sf_ext, ("ext", False): sf_down}
+        for name in SYSTEMS:
+            accel[name] = frozenset({("ext", True)})
+    else:
+        # Input: base-ISA binaries.  Upgrading is the interesting direction.
+        ch_up = run_chimera(mm_base, RV64GCV, arch=arch).cycles
+        ch_plain = run_chimera(mm_base, RV64GC, arch=arch).cycles
+        sf_plain = run_safer(mm_base, RV64GC, arch=arch).cycles
+        sf_fib = run_safer(fib_bin, RV64GC, arch=arch).cycles
+        # Safer's upgrade quality modeled as Chimera's translation with
+        # Safer's proactive-check overhead layered on (see DESIGN.md).
+        sf_up = round(ch_up * sf_plain / max(1, ch_plain))
+        cells["fam"] = {**base_task_cells(fib_cost),
+                        ("ext", True): mm_native_scalar, ("ext", False): mm_native_scalar}
+        cells["melf"] = {**base_task_cells(fib_cost),
+                         ("ext", True): mm_native_ext, ("ext", False): mm_native_scalar}
+        cells["chimera"] = {**base_task_cells(fib_cost),
+                            ("ext", True): ch_up, ("ext", False): ch_plain}
+        cells["safer"] = {**base_task_cells(sf_fib),
+                          ("ext", True): sf_up, ("ext", False): sf_plain}
+        accel["fam"] = frozenset()  # FAM cannot upgrade anything
+        for name in ("melf", "chimera", "safer"):
+            accel[name] = frozenset({("ext", True)})
+    return HeteroCosts(version, cells, accel)
+
+
+@lru_cache(maxsize=4)
+def measure_hetero_costs(version: str, arch: ArchParams = DEFAULT_ARCH) -> HeteroCosts:
+    """Measure (and cache) the §6.1 cost table for one input *version*."""
+    if version not in ("ext", "base"):
+        raise ValueError("version must be 'ext' or 'base'")
+    return _measure(version, arch)
+
+
+@dataclass
+class Fig11Row:
+    """One point of Fig. 11/12."""
+
+    version: str
+    system: str
+    ext_share: float
+    latency: int
+    cpu_time: int
+    accelerated_share: float
+    migrations: int
+
+
+def run_fig11(
+    version: str,
+    shares: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    *,
+    n_tasks: int = 1000,
+    n_base: int = 4,
+    n_ext: int = 4,
+    arch: ArchParams = DEFAULT_ARCH,
+    systems: tuple[str, ...] = SYSTEMS,
+) -> list[Fig11Row]:
+    """Regenerate one version's worth of Fig. 11 (and Fig. 12) points."""
+    costs = measure_hetero_costs(version, arch)
+    scheduler = WorkStealingScheduler(n_base, n_ext, arch)
+    rows: list[Fig11Row] = []
+    for system in systems:
+        model = costs.model(system, arch)
+        for share in shares:
+            tasks = mixed_taskset(n_tasks, share)
+            result = scheduler.run(tasks, model)
+            rows.append(Fig11Row(
+                version=version,
+                system=system,
+                ext_share=share,
+                latency=result.makespan,
+                cpu_time=result.cpu_time,
+                accelerated_share=result.accelerated_share,
+                migrations=result.migrations,
+            ))
+    return rows

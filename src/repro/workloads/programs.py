@@ -1,0 +1,512 @@
+"""Self-checking kernel workloads, buildable per ISA variant.
+
+Every workload builds to a :class:`~repro.elf.binary.Binary` that
+computes a kernel, compares the result against expected values baked
+into the data segment at build time, and exits 0 on success / 1 on
+mismatch — so "passes its test suite" (§6.3) is a property the
+simulator can check for any rewritten variant.
+
+The ``base`` variants deliberately emit the *canonical loop idioms*
+(map loops, dot loops) a compiler would: those are the shapes
+:mod:`repro.core.upgrade` vectorizes, mirroring how the paper's
+upgrade path meets compiler-generated RV64GC code.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from repro.elf.binary import Binary
+from repro.elf.builder import ProgramBuilder
+
+_MASK = (1 << 64) - 1
+
+
+def _wrap(v: int) -> int:
+    v &= _MASK
+    return v
+
+
+_CHECK_EPILOGUE = """
+check:
+    li a0, {got}
+    li a1, {expect}
+    li a2, {check_n}
+chk_loop:
+    ld t0, 0(a0)
+    ld t1, 0(a1)
+    bne t0, t1, chk_fail
+    addi a0, a0, 8
+    addi a1, a1, 8
+    addi a2, a2, -1
+    bnez a2, chk_loop
+    li a7, 93
+    li a0, 0
+    ecall
+chk_fail:
+    li a7, 93
+    li a0, 1
+    ecall
+"""
+
+#: The strip-mined RVV dot-product fragment (pointers a0/a1, count a3,
+#: accumulator a4, temps t0/t1); mirrors what -O3 auto-vectorization
+#: emits for a reduction loop.
+_VECTOR_DOT = """
+    vsetvli t0, zero, e64
+    vmv.v.i v1, 0
+vdot{tag}:
+    vsetvli t0, a3, e64
+    vle64.v v2, (a0)
+    vle64.v v3, (a1)
+    vmacc.vv v1, v2, v3
+    slli t1, t0, 3
+    add a0, a0, t1
+    add a1, a1, t1
+    sub a3, a3, t0
+    bnez a3, vdot{tag}
+    vsetvli t0, zero, e64
+    vmv.v.i v2, 0
+    vredsum.vs v3, v1, v2
+    li t1, 1
+    vsetvli t0, t1, e64
+    addi sp, sp, -16
+    vse64.v v3, (sp)
+    ld t1, 0(sp)
+    addi sp, sp, 16
+    add a4, a4, t1
+"""
+
+#: The scalar dot-product loop in the exact shape the upgrade matcher
+#: recognizes (ld/ld/mul/add/advance/advance/count/branch).
+_SCALAR_DOT = """
+dot{tag}:
+    ld t0, 0(a0)
+    ld t1, 0(a1)
+    mul t2, t0, t1
+    add a4, a4, t2
+    addi a0, a0, 8
+    addi a1, a1, 8
+    addi a3, a3, -1
+    bnez a3, dot{tag}
+"""
+
+
+@dataclass
+class KernelWorkload:
+    """Base class: a named kernel with per-ISA-variant builders."""
+
+    name: str = "kernel"
+    seed: int = 1234
+
+    def variants(self) -> list[str]:
+        return ["base", "ext"]
+
+    def build(self, variant: str) -> Binary:
+        if variant not in self.variants():
+            raise ValueError(f"{self.name} has no variant {variant!r}")
+        builder = ProgramBuilder(f"{self.name}-{variant}")
+        self._populate(builder, variant)
+        binary = builder.build()
+        binary.metadata["workload"] = self.name
+        binary.metadata["variant"] = variant
+        return binary
+
+    def _populate(self, builder: ProgramBuilder, variant: str) -> None:
+        raise NotImplementedError
+
+    def _rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+
+@dataclass
+class FibonacciWorkload(KernelWorkload):
+    """Iterative Fibonacci (mod 2^64): the §6.1 *base task* — pure
+    integer work the vector extension cannot accelerate."""
+
+    name: str = "fibonacci"
+    iterations: int = 3000
+
+    def _populate(self, builder: ProgramBuilder, variant: str) -> None:
+        a, b = 0, 1
+        for _ in range(self.iterations):
+            a, b = b, _wrap(a + b)
+        builder.add_words("got", [0])
+        builder.add_words("expect", [a])
+        # Both variants are identical: there is nothing to vectorize.
+        builder.set_text(
+            f"""
+_start:
+    li a0, {self.iterations}
+    li a1, 0
+    li a2, 1
+fib:
+    add a3, a1, a2
+    mv a1, a2
+    mv a2, a3
+    addi a0, a0, -1
+    bnez a0, fib
+    li t0, {{got}}
+    sd a1, 0(t0)
+"""
+            + _CHECK_EPILOGUE.replace("{check_n}", "1")
+        )
+
+
+@dataclass
+class MatMulWorkload(KernelWorkload):
+    """Dense int64 matrix multiply C = A x B (B stored transposed so the
+    inner loop is a unit-stride dot product): the §6.1 *extension task*."""
+
+    name: str = "matmul"
+    n: int = 12
+
+    def _expected(self, rng: random.Random) -> tuple[list[int], list[int], list[int]]:
+        n = self.n
+        a = [rng.randrange(-50, 50) & _MASK for _ in range(n * n)]
+        bt = [rng.randrange(-50, 50) & _MASK for _ in range(n * n)]
+        c = []
+        for i in range(n):
+            for j in range(n):
+                acc = 0
+                for k in range(n):
+                    acc = _wrap(acc + _wrap(a[i * n + k] * bt[j * n + k]))
+                c.append(acc)
+        return a, bt, c
+
+    def _populate(self, builder: ProgramBuilder, variant: str) -> None:
+        n = self.n
+        a, bt, c = self._expected(self._rng())
+        builder.add_words("a_mat", a)
+        builder.add_words("bt_mat", bt)
+        builder.add_words("c_mat", [0] * (n * n))
+        builder.add_words("c_expect", c)
+        inner = _VECTOR_DOT if variant == "ext" else _SCALAR_DOT
+        builder.set_text(
+            f"""
+_start:
+    li s3, {n}
+    li s5, {{a_mat}}
+    li s7, {{c_mat}}
+iloop:
+    li s6, {{bt_mat}}
+    li s4, {n}
+jloop:
+    mv a0, s5
+    mv a1, s6
+    li a3, {n}
+    li a4, 0
+"""
+            + inner.format(tag="_mm")
+            + f"""
+    sd a4, 0(s7)
+    addi s7, s7, 8
+    addi s6, s6, {8 * n}
+    addi s4, s4, -1
+    bnez s4, jloop
+    addi s5, s5, {8 * n}
+    addi s3, s3, -1
+    bnez s3, iloop
+"""
+            + _CHECK_EPILOGUE.replace("{got}", "{c_mat}")
+            .replace("{expect}", "{c_expect}")
+            .replace("{check_n}", str(n * n))
+        )
+
+
+@dataclass
+class GemvWorkload(KernelWorkload):
+    """y = A x (int64): one dot product per matrix row (§6.4's gemv)."""
+
+    name: str = "gemv"
+    n: int = 16
+
+    def _populate(self, builder: ProgramBuilder, variant: str) -> None:
+        n = self.n
+        rng = self._rng()
+        a = [rng.randrange(-30, 30) & _MASK for _ in range(n * n)]
+        x = [rng.randrange(-30, 30) & _MASK for _ in range(n)]
+        y = []
+        for i in range(n):
+            acc = 0
+            for k in range(n):
+                acc = _wrap(acc + _wrap(a[i * n + k] * x[k]))
+            y.append(acc)
+        builder.add_words("a_mat", a)
+        builder.add_words("x_vec", x)
+        builder.add_words("y_vec", [0] * n)
+        builder.add_words("y_expect", y)
+        inner = _VECTOR_DOT if variant == "ext" else _SCALAR_DOT
+        builder.set_text(
+            f"""
+_start:
+    li s3, {n}
+    li s5, {{a_mat}}
+    li s7, {{y_vec}}
+row:
+    mv a0, s5
+    li a1, {{x_vec}}
+    li a3, {n}
+    li a4, 0
+"""
+            + inner.format(tag="_gv")
+            + f"""
+    sd a4, 0(s7)
+    addi s7, s7, 8
+    addi s5, s5, {8 * n}
+    addi s3, s3, -1
+    bnez s3, row
+"""
+            + _CHECK_EPILOGUE.replace("{got}", "{y_vec}")
+            .replace("{expect}", "{y_expect}")
+            .replace("{check_n}", str(n))
+        )
+
+
+@dataclass
+class VectorAddWorkload(KernelWorkload):
+    """Elementwise z = x + y over int64 arrays (the map-loop idiom)."""
+
+    name: str = "vecadd"
+    n: int = 64
+
+    def _populate(self, builder: ProgramBuilder, variant: str) -> None:
+        n = self.n
+        rng = self._rng()
+        x = [rng.randrange(0, 1 << 32) for _ in range(n)]
+        y = [rng.randrange(0, 1 << 32) for _ in range(n)]
+        z = [_wrap(p + q) for p, q in zip(x, y)]
+        builder.add_words("x_vec", x)
+        builder.add_words("y_vec", y)
+        builder.add_words("z_vec", [0] * n)
+        builder.add_words("z_expect", z)
+        if variant == "ext":
+            body = """
+vloop:
+    vsetvli t0, a3, e64
+    vle64.v v1, (a0)
+    vle64.v v2, (a1)
+    vadd.vv v3, v1, v2
+    vse64.v v3, (a2)
+    slli t1, t0, 3
+    add a0, a0, t1
+    add a1, a1, t1
+    add a2, a2, t1
+    sub a3, a3, t0
+    bnez a3, vloop
+"""
+        else:
+            body = """
+map:
+    ld t0, 0(a0)
+    ld t1, 0(a1)
+    add t2, t0, t1
+    sd t2, 0(a2)
+    addi a0, a0, 8
+    addi a1, a1, 8
+    addi a2, a2, 8
+    addi a3, a3, -1
+    bnez a3, map
+"""
+        builder.set_text(
+            f"""
+_start:
+    li a0, {{x_vec}}
+    li a1, {{y_vec}}
+    li a2, {{z_vec}}
+    li a3, {n}
+"""
+            + body
+            + _CHECK_EPILOGUE.replace("{got}", "{z_vec}")
+            .replace("{expect}", "{z_expect}")
+            .replace("{check_n}", str(n))
+        )
+
+
+@dataclass
+class DotProductWorkload(KernelWorkload):
+    """acc = sum(x[i] * y[i]) over int64 arrays (the dot-loop idiom)."""
+
+    name: str = "dot"
+    n: int = 64
+
+    def _populate(self, builder: ProgramBuilder, variant: str) -> None:
+        n = self.n
+        rng = self._rng()
+        x = [rng.randrange(-99, 99) & _MASK for _ in range(n)]
+        y = [rng.randrange(-99, 99) & _MASK for _ in range(n)]
+        acc = 0
+        for p, q in zip(x, y):
+            acc = _wrap(acc + _wrap(p * q))
+        builder.add_words("x_vec", x)
+        builder.add_words("y_vec", y)
+        builder.add_words("got", [0])
+        builder.add_words("expect", [acc])
+        inner = _VECTOR_DOT if variant == "ext" else _SCALAR_DOT
+        builder.set_text(
+            f"""
+_start:
+    li a0, {{x_vec}}
+    li a1, {{y_vec}}
+    li a3, {n}
+    li a4, 0
+"""
+            + inner.format(tag="_dp")
+            + """
+    li t0, {got}
+    sd a4, 0(t0)
+"""
+            + _CHECK_EPILOGUE.replace("{check_n}", "1")
+        )
+
+
+@dataclass
+class MemcpyWorkload(KernelWorkload):
+    """Block copy; the ext variant streams through the vector unit."""
+
+    name: str = "memcpy"
+    n: int = 128  # 64-bit words
+
+    def _populate(self, builder: ProgramBuilder, variant: str) -> None:
+        n = self.n
+        rng = self._rng()
+        src = [rng.randrange(0, _MASK) for _ in range(n)]
+        builder.add_words("src", src)
+        builder.add_words("dst", [0] * n)
+        builder.add_words("expect", src)
+        if variant == "ext":
+            body = """
+cp:
+    vsetvli t0, a2, e64
+    vle64.v v1, (a0)
+    vse64.v v1, (a1)
+    slli t1, t0, 3
+    add a0, a0, t1
+    add a1, a1, t1
+    sub a2, a2, t0
+    bnez a2, cp
+"""
+        else:
+            body = """
+cp:
+    ld t0, 0(a0)
+    sd t0, 0(a1)
+    addi a0, a0, 8
+    addi a1, a1, 8
+    addi a2, a2, -1
+    bnez a2, cp
+"""
+        builder.set_text(
+            f"""
+_start:
+    li a0, {{src}}
+    li a1, {{dst}}
+    li a2, {n}
+"""
+            + body
+            + _CHECK_EPILOGUE.replace("{got}", "{dst}")
+            .replace("{check_n}", str(n))
+        )
+
+
+@dataclass
+class IndirectDispatchWorkload(KernelWorkload):
+    """Function-pointer dispatch loop: the indirect-control stressor.
+
+    Each iteration loads a handler address from a data-segment table and
+    ``jalr``s to it; handlers do a small vector (ext) or scalar (base)
+    update and return.  This is the shape that makes regeneration-style
+    rewriters pay per-jump checks while CHBP pays nothing (§2.2) — and
+    the jump targets are invisible to static analysis, so rewritten
+    binaries exercise the fault-table path when handlers get patched.
+    """
+
+    name: str = "dispatch"
+    iterations: int = 120
+    handlers: int = 4
+
+    def _populate(self, builder: ProgramBuilder, variant: str) -> None:
+        it = self.iterations
+        rng = self._rng()
+        start = rng.randrange(1, 1 << 16)
+        # Each handler k adds (k+1) to the accumulator; replay in Python.
+        acc = start
+        for i in range(it):
+            acc = _wrap(acc + (i % self.handlers) + 1)
+        builder.add_words("got", [0])
+        builder.add_words("expect", [acc])
+        table = builder.add_words("table", [0] * self.handlers)
+        handler_defs = []
+        for k in range(self.handlers):
+            if variant == "ext" and k == 0:
+                # One vector-flavored handler so rewriting has a source
+                # instruction to chew on inside indirect-only code.
+                handler_defs.append(
+                    f"""
+handler{k}:
+    addi sp, sp, -16
+    li t2, 1
+    vsetvli t1, t2, e64
+    vse64.v v0, (sp)
+    ld t1, 0(sp)
+    addi sp, sp, 16
+    addi a4, a4, {k + 1}
+    ret
+"""
+                )
+            else:
+                handler_defs.append(
+                    f"""
+handler{k}:
+    addi a4, a4, {k + 1}
+    ret
+"""
+                )
+        builder.set_text(
+            f"""
+_start:
+    # fill the dispatch table with handler addresses
+    li t0, {table}
+    la t1, handler0
+    sd t1, 0(t0)
+    la t1, handler1
+    sd t1, 8(t0)
+    la t1, handler2
+    sd t1, 16(t0)
+    la t1, handler3
+    sd t1, 24(t0)
+    li a4, {start}
+    li s1, 0            # i
+    li s2, {it}
+disp:
+    andi t0, s1, {self.handlers - 1}
+    slli t0, t0, 3
+    li t1, {table}
+    add t0, t0, t1
+    ld t0, 0(t0)
+    jalr t0
+    addi s1, s1, 1
+    bne s1, s2, disp
+    li t0, {{got}}
+    sd a4, 0(t0)
+"""
+            + _CHECK_EPILOGUE.replace("{check_n}", "1")
+            + "".join(handler_defs)
+        )
+        for k in range(self.handlers):
+            builder.mark_function(f"handler{k}")
+
+
+#: Registry used by tests/benches to sweep every workload.
+ALL_WORKLOADS: dict[str, KernelWorkload] = {
+    w.name: w
+    for w in (
+        FibonacciWorkload(),
+        MatMulWorkload(),
+        GemvWorkload(),
+        VectorAddWorkload(),
+        DotProductWorkload(),
+        MemcpyWorkload(),
+        IndirectDispatchWorkload(),
+    )
+}

@@ -1,0 +1,314 @@
+"""Profile-driven synthetic benchmark binaries (the SPEC stand-ins).
+
+:class:`SyntheticBinary` generates a deterministic program whose static
+and dynamic shape follows a :class:`~repro.workloads.spec_profiles.BenchProfile`:
+
+* code size — ``profile.code_size_mb`` divided by ``scale`` (DESIGN.md
+  "Scaling note": benchmarks pass an ``ArchParams`` whose ``jal_reach``
+  is scaled identically);
+* static extension-instruction share — vector episodes and Zba sites
+  sprinkled at ``ext_inst_pct``;
+* dynamic heat — functions are split into a small hot set (called in a
+  loop) and a cold tail (called once); ``ext_heat`` biases how much of
+  the hot set contains extension instructions;
+* indirect-control density — a dispatch loop calls hot functions
+  through a function-pointer table at ``indirect_per_kinst``;
+* register pressure — ``high_pressure_share`` of functions keep a wide
+  accumulator set live across their bodies, defeating plain liveness at
+  trampoline exits (the Table 3 dead-register columns).
+
+Programs are self-contained and deterministic: correctness of a
+rewritten variant is checked differentially (final data segment and
+exit code must match the original run).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.elf.binary import Binary
+from repro.elf.builder import ProgramBuilder
+from repro.workloads.spec_profiles import BenchProfile
+
+#: Average bytes of text one generated function occupies (used to turn a
+#: code-size budget into a function count).
+_AVG_FUNC_BYTES = 380
+
+#: Registers the scalar filler mutates freely.
+_FILLER_REGS = ("a2", "a3", "a4", "a5", "t3", "t4")
+#: Wide accumulator set kept live in high-pressure functions.  Together
+#: with s0/s1 (pointers), t0-t2 (episode scratch, consumed right after
+#: each use), s10/s11 (callee-saved, live via the return ABI) and the
+#: forbidden exit registers, this covers the whole integer file — which
+#: is exactly what makes plain liveness fail at trampoline exits there.
+_PRESSURE_REGS = ("s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "a0",
+                  "a1", "a2", "a3", "a4", "a5", "a6", "a7", "t3", "t4",
+                  "t5", "t6")
+#: Compressed-eligible registers (x8..x15) used for RVC filler.
+_RVC_REGS = ("s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5")
+
+
+@dataclass
+class SyntheticBinary:
+    """Generator for one profile-shaped binary."""
+
+    profile: BenchProfile
+    scale: int = 64
+    dyn_target: int = 120_000
+    seed: int = 20260427
+    hot_functions: int = 6
+    dispatch_rounds: int = 60
+
+    def build(self) -> Binary:
+        # Stable across processes (str.__hash__ is salted; crc32 is not).
+        rng = random.Random(self.seed ^ zlib.crc32(self.profile.name.encode()))
+        code_budget = max(6_000, int(self.profile.code_size_mb * 1024 * 1024 / self.scale))
+        n_funcs = max(self.hot_functions + 2, code_budget // _AVG_FUNC_BYTES)
+
+        builder = ProgramBuilder(f"syn-{self.profile.name}")
+        builder.add_words("buf", [rng.randrange(1, 1 << 30) for _ in range(256)])
+        builder.add_words("vbuf", [rng.randrange(1, 1 << 30) for _ in range(64)])
+        builder.add_words("acc_out", [0] * 4)
+        table_addr = builder.add_words("fn_table", [0] * self.hot_functions)
+
+        hot = list(range(self.hot_functions))
+        # Loop counts tuned so total dynamic work lands near dyn_target.
+        per_hot = max(2, self.dyn_target // max(1, self.hot_functions * 260))
+
+        # Dynamic extension heat: Table 2's strawman/Safer trigger ratio
+        # r says how many source-instruction executions occur per indirect
+        # jump; each hot call is ~2 indirect jumps and each episode ~3
+        # sources, so hot episodes-per-call ~ 2r/3, spread over the pool.
+        total_hot_sites = max(1, round(2.0 * self.profile.ext_heat / 3.0 * self.hot_functions))
+        per_fn_sites = [0] * self.hot_functions
+        for i in range(min(total_hot_sites, 20 * self.hot_functions)):
+            per_fn_sites[i % self.hot_functions] += 1
+
+        chunks: list[str] = []
+        chunks.append(self._driver(table_addr, hot, per_hot))
+        for idx in range(n_funcs):
+            is_hot = idx < self.hot_functions
+            planned = per_fn_sites[idx] if is_hot else None
+            chunks.append(self._function(idx, rng, hot=is_hot, planned_sites=planned))
+            builder.mark_function(f"fn{idx}")
+        builder.set_text("\n".join(chunks))
+        binary = builder.build()
+        binary.metadata["workload"] = f"syn-{self.profile.name}"
+        binary.metadata["profile"] = self.profile.name
+        binary.metadata["scale"] = self.scale
+        return binary
+
+    # -- driver ---------------------------------------------------------
+
+    def _driver(self, table_addr: int, hot: list[int], per_hot: int) -> str:
+        lines = ["_start:"]
+        # Fill the dispatch table with hot-function addresses (the
+        # indirect targets no static analysis can enumerate).
+        lines.append(f"    li t0, {table_addr}")
+        for slot, idx in enumerate(hot):
+            lines.append(f"    la t1, fn{idx}")
+            lines.append(f"    sd t1, {slot * 8}(t0)")
+        # Direct warm-up calls: every function once (cold coverage).
+        lines.append("    li s10, 0")
+        lines.append(f"""
+    # hot dispatch loop: {self.dispatch_rounds} rounds x {per_hot} calls
+    li s11, {self.dispatch_rounds * per_hot}
+dispatch:
+    li t0, {table_addr}
+    li t1, {len(hot)}
+    remu t2, s10, t1
+    slli t2, t2, 3
+    add t0, t0, t2
+    ld t2, 0(t0)
+    jalr t2
+    addi s10, s10, 1
+    bne s10, s11, dispatch
+""")
+        # Cold sweep: call a sample of cold functions directly.
+        lines.append("    jal fn0")
+        lines.append(f"""
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+        return "\n".join(lines)
+
+    # -- functions ---------------------------------------------------------
+
+    def _function(self, idx: int, rng: random.Random, *, hot: bool,
+                  planned_sites: int | None = None) -> str:
+        p = self.profile
+        high_pressure = rng.random() < p.high_pressure_share
+        lines = [f"fn{idx}:"]
+        if planned_sites is not None:
+            # Hot-function body size sets the dynamic indirect-jump
+            # density (calls+returns per executed instruction): profiles
+            # with few indirect jumps get longer straight-line bodies.
+            body_blocks = max(3, min(24, round(3 + 20.0 / p.indirect_per_kinst)))
+        else:
+            body_blocks = rng.randint(3, 6)
+        # Each function owns a buffer window so stores stay in bounds.
+        lines.append("    addi sp, sp, -32")
+        lines.append("    sd s0, 0(sp)")
+        lines.append("    sd s1, 8(sp)")
+        if high_pressure:
+            lines.append("    sd s2, 16(sp)")
+            lines.append("    sd s3, 24(sp)")
+        window = rng.randrange(0, 128) * 8
+        lines.append("    li s0, {buf}")
+        if window:
+            lines.append(f"    addi s0, s0, {window}")
+        lines.append("    li s1, {vbuf}")
+        if high_pressure:
+            # Every accumulator is initialized here and consumed at the
+            # function's end, so all of them stay live across the body.
+            for reg in _PRESSURE_REGS:
+                lines.append(f"    li {reg}, {rng.randrange(1, 64)}")
+            lines.append("    li t2, 1")
+        ext_budget = p.ext_inst_pct / 100.0
+        emitted_ext = [0]
+        if planned_sites is not None:
+            # Hot function: deterministic site count (profile heat), no
+            # random sites, so dynamic trigger rates track Table 2.
+            for b in range(body_blocks):
+                lines.extend(self._block(idx, b, rng, 0.0, high_pressure, emitted_ext))
+            for s in range(planned_sites):
+                lines.extend(self._ext_site(idx, body_blocks + s, 0, rng, high_pressure))
+        else:
+            for b in range(body_blocks):
+                lines.extend(self._block(idx, b, rng, ext_budget, high_pressure, emitted_ext))
+        if high_pressure:
+            # Consume every accumulator (and the pointer registers) so
+            # each stays live through the whole body.
+            lines.append("    add t0, t2, zero")
+            for reg in _PRESSURE_REGS + ("s0", "s1"):
+                lines.append(f"    add t0, t0, {reg}")
+            lines.append("    li t1, {acc_out}")
+            lines.append("    sd t0, 0(t1)")
+        if high_pressure:
+            lines.append("    ld s3, 24(sp)")
+            lines.append("    ld s2, 16(sp)")
+        lines.append("    ld s1, 8(sp)")
+        lines.append("    ld s0, 0(sp)")
+        lines.append("    addi sp, sp, 32")
+        lines.append("    ret")
+        return "\n".join(lines)
+
+    def _block(self, fidx: int, bidx: int, rng: random.Random,
+               ext_budget: float, high_pressure: bool,
+               emitted_ext: list[int] | None = None) -> list[str]:
+        lines: list[str] = []
+        n_instr = rng.randint(8, 18)
+        label = f".Lf{fidx}b{bidx}"
+        # Occasional short forward branch to create block structure.
+        has_skip = rng.random() < 0.5
+        if has_skip:
+            reg = rng.choice(_FILLER_REGS)
+            lines.append(f"    andi {reg}, {reg}, 15")
+            lines.append(f"    beqz {reg}, {label}_skip")
+        block_has_ext = False
+        for k in range(n_instr):
+            roll = rng.random()
+            if roll < ext_budget and not block_has_ext:
+                lines.extend(self._ext_site(fidx, bidx, k, rng, high_pressure))
+                block_has_ext = True
+                if emitted_ext is not None:
+                    emitted_ext[0] += 1
+            elif roll < 0.35:
+                lines.append(self._rvc_filler(rng, high_pressure))
+            elif roll < 0.55:
+                off = rng.randrange(0, 16) * 8
+                reg = rng.choice(_FILLER_REGS)
+                if high_pressure:
+                    # Loads only clobber episode scratch and are consumed
+                    # immediately, preserving accumulator liveness.
+                    lines.append(f"    ld t1, {off}(s0)")
+                    lines.append(f"    add {reg}, {reg}, t1")
+                elif rng.random() < 0.5:
+                    lines.append(f"    ld {reg}, {off}(s0)")
+                else:
+                    lines.append(f"    sd {reg}, {off}(s0)")
+            else:
+                lines.append(self._alu_filler(rng, high_pressure))
+        if has_skip:
+            lines.append(f"{label}_skip:")
+        return lines
+
+    def _ext_site(self, fidx: int, bidx: int, k: int, rng: random.Random,
+                  high_pressure: bool) -> list[str]:
+        """One extension-instruction site (vector episode or Zba pair).
+
+        In high-pressure functions the episode's scratch registers
+        (t0/t1) are consumed *after* the site, so at the site's natural
+        exit every usable register is live (traditional liveness fails)
+        while one shift step past the consumers frees t0 (exit shifting
+        rescues).  With small probability the consumers sit beyond the
+        shift horizon, producing the paper's ~1% truly-unrescuable tail.
+        """
+        if rng.random() < 0.35:
+            n = rng.choice((1, 2, 3))
+            dst = rng.choice(("a2", "a3", "t3"))
+            lines = [f"    sh{n}add {dst}, {dst}, a5"]
+        else:
+            voff = rng.randrange(0, 4) * 64
+            avl = rng.choice((2, 3, 4))
+            op = rng.choice(("vadd.vv", "vmul.vv", "vxor.vv"))
+            lines = []
+            if not high_pressure and rng.random() < 0.4:
+                # Classic absolute data access (lui+lw) preceding the
+                # episode — the pair the Fig. 5 SMILE variant anchors on.
+                lines += [
+                    "    lui a0, 1024",  # 0x400000: the data segment base
+                    f"    lw a1, {rng.randrange(0, 32) * 8}(a0)",
+                ]
+            lines += [
+                f"    li t0, {avl}",
+                f"    vsetvli t0, t0, e64",
+                f"    addi t1, s1, {voff % 256}",
+                f"    vle64.v v1, (t1)",
+                f"    {op} v2, v1, v1",
+                f"    vse64.v v2, (t1)",
+            ]
+        if high_pressure:
+            consumers = [
+                "    add t2, t2, t0",   # keeps t0/t1/t2 live at the exit
+                "    add s2, s2, t1",
+            ]
+            if rng.random() < 0.04:
+                # Consumers beyond the shift horizon: no rescue possible.
+                filler_rmw = [
+                    f"    add {rng.choice(_PRESSURE_REGS)}, {rng.choice(_PRESSURE_REGS)}, t2"
+                    for _ in range(10)
+                ]
+                lines += filler_rmw + consumers
+            else:
+                lines += consumers
+        return lines
+
+    def _rvc_filler(self, rng: random.Random, high_pressure: bool) -> str:
+        reg = rng.choice(_RVC_REGS[2:])  # keep s0/s1 (pointers) intact
+        choice = rng.random()
+        if choice < 0.4 or high_pressure:
+            # c.addi is read-modify-write: safe for accumulator liveness.
+            return f"    c.addi {reg}, {rng.randrange(1, 16)}"
+        if choice < 0.7:
+            src = rng.choice(_RVC_REGS[2:])
+            return f"    c.mv {reg}, {src}" if src != reg else f"    c.addi {reg}, 1"
+        return f"    c.add {reg}, {rng.choice(_RVC_REGS[2:])}"
+
+    def _alu_filler(self, rng: random.Random, high_pressure: bool) -> str:
+        if high_pressure:
+            # Strictly read-modify-write so no accumulator ever goes dead.
+            dst = rng.choice(_PRESSURE_REGS)
+            src = rng.choice(_PRESSURE_REGS)
+            op = rng.choice(("add", "xor", "or"))
+            return f"    {op} {dst}, {dst}, {src}"
+        dst = rng.choice(_FILLER_REGS)
+        a = rng.choice(_FILLER_REGS)
+        b = rng.choice(_FILLER_REGS)
+        op = rng.choice(("add", "xor", "or", "and", "sub", "sll"))
+        if op == "sll":
+            return f"    andi {b}, {b}, 7\n    sll {dst}, {a}, {b}"
+        return f"    {op} {dst}, {a}, {b}"

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.machine import Core, Kernel
+
+
+@pytest.fixture
+def base_core() -> Core:
+    """An RV64GC core (no vector extension)."""
+    return Core(0, RV64GC)
+
+
+@pytest.fixture
+def ext_core() -> Core:
+    """An RV64GCV core."""
+    return Core(1, RV64GCV)
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel()
+
+
+def build_program(text: str, data: dict[str, list[int]] | None = None, name: str = "t"):
+    """Convenience: assemble a program with named 64-bit data arrays."""
+    builder = ProgramBuilder(name)
+    for key, values in (data or {}).items():
+        builder.add_words(key, values)
+    builder.set_text(text)
+    return builder.build()
+
+
+def run_program(text: str, data: dict[str, list[int]] | None = None, *,
+                core: Core | None = None, max_instructions: int = 5_000_000):
+    """Assemble, load and run; returns (binary, process, result)."""
+    binary = build_program(text, data)
+    process = make_process(binary)
+    result = Kernel().run(process, core or Core(0, RV64GCV),
+                          max_instructions=max_instructions)
+    return binary, process, result
+
+
+EXIT0 = """
+    li a7, 93
+    li a0, 0
+    ecall
+"""

@@ -1,0 +1,95 @@
+"""Trampoline windows over mixed 2/4-byte instructions (Fig. 4's cases)."""
+
+import pytest
+
+from repro.core.rewriter import ChimeraRewriter
+from repro.core.runtime import ChimeraRuntime
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.machine import Core, Kernel
+
+
+def build_with_neighbors(neighbors: str):
+    """A vector source followed by the given neighbor instructions."""
+    b = ProgramBuilder("cw")
+    b.add_words("buf", [3, 4] + [0] * 8)
+    b.add_words("out", [0])
+    b.set_text(f"""
+_start:
+    li a0, {{buf}}
+    li a1, 2
+    li s0, 0
+    li s1, 0
+    vsetvli t0, a1, e64
+{neighbors}
+    vle64.v v1, (a0)
+    vadd.vv v2, v1, v1
+    vse64.v v2, (a0)
+    add s0, s0, s1
+    li t1, {{out}}
+    sd s0, 0(t1)
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+    return b.build()
+
+
+NEIGHBOR_MIXES = [
+    pytest.param("    c.addi s0, 1\n    c.addi s1, 2\n", id="2+2-byte"),
+    pytest.param("    c.addi s0, 3\n    addi s1, s1, 4\n", id="2+4-byte"),
+    pytest.param("    addi s0, s0, 5\n    c.addi s1, 6\n", id="4+2-byte"),
+    pytest.param("    addi s0, s0, 7\n    addi s1, s1, 8\n", id="4+4-byte"),
+    pytest.param("    c.addi s0, 1\n    c.addi s1, 1\n    c.addi s0, 1\n    c.addi s1, 1\n",
+                 id="four-2-byte"),
+]
+
+
+@pytest.mark.parametrize("neighbors", NEIGHBOR_MIXES)
+def test_mixed_width_windows_preserve_semantics(neighbors):
+    binary = build_with_neighbors(neighbors)
+
+    # Reference: native run on an extension core.
+    ref_proc = make_process(binary)
+    ref = Kernel().run(ref_proc, Core(0, RV64GCV))
+    assert ref.ok
+    out = binary.symbol_addr("out")
+    expected = ref_proc.space.read_u64(out)
+
+    rewriter = ChimeraRewriter()
+    result = rewriter.rewrite(binary, RV64GC)
+    proc = make_process(result.binary)
+    kernel = Kernel()
+    ChimeraRuntime(result.binary, rewriter=rewriter, original=binary).install(kernel)
+    res = kernel.run(proc, Core(0, RV64GC))
+    assert res.ok, res.fault
+    assert proc.space.read_u64(out) == expected
+    buf = binary.symbol_addr("buf")
+    assert proc.space.read_u64(buf) == 6
+    assert proc.space.read_u64(buf + 8) == 8
+
+
+@pytest.mark.parametrize("neighbors", NEIGHBOR_MIXES)
+def test_interior_boundaries_recover(neighbors):
+    """Force the pc to every fault-table key; each must recover and the
+    program's remaining execution must still satisfy the self-state."""
+    binary = build_with_neighbors(neighbors)
+    rewriter = ChimeraRewriter()
+    result = rewriter.rewrite(binary, RV64GC)
+    runtime = ChimeraRuntime(result.binary)
+    from repro.sim.faults import SimFault
+
+    for key, redirect in dict(runtime.fault_table).items():
+        kernel = Kernel()
+        rt = ChimeraRuntime(result.binary)
+        rt.install(kernel)
+        proc = make_process(result.binary)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        cpu.pc = key
+        try:
+            cpu.step()
+        except SimFault as fault:
+            assert rt.handle_fault(kernel, proc, cpu, fault), \
+                f"boundary {key:#x} did not recover deterministically"
+            assert cpu.pc == redirect

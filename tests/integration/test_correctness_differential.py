@@ -1,0 +1,104 @@
+"""§6.3 correctness: every workload x rewriter x direction, checked
+differentially — the rewritten binary must pass its built-in test suite
+(self-check exit code) AND leave the data segment byte-identical to the
+original run.
+"""
+
+import pytest
+
+from repro.harness import run_armore, run_chimera, run_native, run_safer, run_strawman
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.elf.loader import make_process
+from repro.sim.machine import Core, Kernel
+from repro.workloads.programs import ALL_WORKLOADS
+
+RUNNERS = {
+    "chimera": run_chimera,
+    "safer": run_safer,
+    "armore": run_armore,
+    "strawman": run_strawman,
+}
+
+
+def final_data(binary, run_fn, profile, **kw):
+    """Run and capture (exit ok, final .data bytes)."""
+    run = run_fn(binary, profile, **kw) if run_fn is not run_native else run_native(binary, profile)
+    return run
+
+
+@pytest.mark.parametrize("workload", sorted(ALL_WORKLOADS))
+@pytest.mark.parametrize("system", sorted(RUNNERS))
+def test_downgraded_binary_passes_suite(workload, system):
+    binary = ALL_WORKLOADS[workload].build("ext")
+    run = RUNNERS[system](binary, RV64GC)
+    assert run.ok, f"{system} broke {workload}: {run.result.fault} exit={run.result.exit_code}"
+
+
+@pytest.mark.parametrize("workload", sorted(ALL_WORKLOADS))
+def test_upgraded_binary_passes_suite(workload):
+    binary = ALL_WORKLOADS[workload].build("base")
+    run = run_chimera(binary, RV64GCV)
+    assert run.ok, f"upgrade broke {workload}: {run.result.fault}"
+
+
+@pytest.mark.parametrize("workload", ["matmul", "vecadd", "dot", "memcpy"])
+def test_downgrade_differential_state(workload):
+    """Final data-segment bytes must match the native-extension run."""
+    w = ALL_WORKLOADS[workload]
+    ext = w.build("ext")
+
+    ref_proc = make_process(ext)
+    ref = Kernel().run(ref_proc, Core(0, RV64GCV))
+    assert ref.ok
+    ref_data = bytes(ref_proc.space.segment_at(ext.data.addr).data)
+
+    from repro.core.rewriter import ChimeraRewriter
+    from repro.core.runtime import ChimeraRuntime
+
+    rewriter = ChimeraRewriter()
+    result = rewriter.rewrite(ext, RV64GC)
+    proc = make_process(result.binary)
+    kernel = Kernel()
+    ChimeraRuntime(result.binary, rewriter=rewriter, original=ext).install(kernel)
+    res = kernel.run(proc, Core(0, RV64GC))
+    assert res.ok
+    got = bytes(proc.space.segment_at(ext.data.addr).data)
+    assert got == ref_data
+
+
+@pytest.mark.parametrize("workload", ["matmul", "vecadd", "dot"])
+def test_upgrade_differential_state(workload):
+    w = ALL_WORKLOADS[workload]
+    base = w.build("base")
+
+    ref_proc = make_process(base)
+    ref = Kernel().run(ref_proc, Core(0, RV64GC))
+    assert ref.ok
+    ref_data = bytes(ref_proc.space.segment_at(base.data.addr).data)
+
+    from repro.core.rewriter import ChimeraRewriter
+    from repro.core.runtime import ChimeraRuntime
+
+    rewriter = ChimeraRewriter()
+    result = rewriter.rewrite(base, RV64GCV)
+    proc = make_process(result.binary)
+    kernel = Kernel()
+    ChimeraRuntime(result.binary).install(kernel)
+    res = kernel.run(proc, Core(0, RV64GCV))
+    assert res.ok
+    got = bytes(proc.space.segment_at(base.data.addr).data)
+    assert got == ref_data
+
+
+def test_empty_patching_preserves_behavior():
+    """Empty-mode rewriting (replicated sources) on an extension core."""
+    binary = ALL_WORKLOADS["matmul"].build("ext")
+    run = run_chimera(binary, RV64GC, mode="empty", run_profile=RV64GCV)
+    assert run.ok
+
+
+@pytest.mark.parametrize("system", sorted(RUNNERS))
+def test_empty_patching_all_systems(system):
+    binary = ALL_WORKLOADS["dispatch"].build("ext")
+    run = RUNNERS[system](binary, RV64GC, mode="empty", run_profile=RV64GCV)
+    assert run.ok, f"{system}: {run.result.fault}"

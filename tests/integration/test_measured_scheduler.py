@@ -1,0 +1,85 @@
+"""Measured-execution scheduler vs the discrete-event engine."""
+
+import pytest
+
+from repro.core.machine_runner import (
+    HeteroTask,
+    MeasuredScheduler,
+    SYSTEMS,
+    varied_taskset,
+)
+from repro.core.scheduler import WorkStealingScheduler, mixed_taskset
+from repro.workloads.hetero import measure_hetero_costs
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return MeasuredScheduler(2, 2)
+
+
+class TestMeasuredScheduler:
+    def test_all_tasks_complete_and_pass(self, runner):
+        tasks = varied_taskset(12, 0.5)
+        for system in SYSTEMS:
+            result = runner.run(tasks, system)
+            assert result.failures == 0, system
+            assert len(result.per_task_cycles) == len(tasks)
+            assert result.makespan > 0
+
+    def test_fam_migrates_real_faults(self, runner):
+        tasks = [HeteroTask(i, "ext", 10) for i in range(8)]
+        result = runner.run(tasks, "fam")
+        assert result.migrations > 0
+        assert result.failures == 0
+
+    def test_chimera_needs_no_migrations(self, runner):
+        tasks = [HeteroTask(i, "ext", 10) for i in range(8)]
+        result = runner.run(tasks, "chimera")
+        assert result.migrations == 0
+        # Base cores contributed via stealing downgraded tasks.
+        assert result.steals > 0
+
+    def test_task_size_affects_cycles(self, runner):
+        tasks = [HeteroTask(0, "ext", 8), HeteroTask(1, "ext", 14)]
+        result = runner.run(tasks, "melf")
+        assert result.per_task_cycles[1] > result.per_task_cycles[0] * 2
+
+    def test_unknown_system_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.run([], "popcorn")
+
+    def test_chimera_beats_fam_at_full_ext_load(self, runner):
+        tasks = varied_taskset(16, 1.0)
+        fam = runner.run(tasks, "fam")
+        chim = runner.run(tasks, "chimera")
+        assert chim.makespan < fam.makespan
+
+
+class TestDesValidation:
+    """The DES engine's makespans must track full measured execution."""
+
+    def test_makespan_agreement(self):
+        n_tasks, share = 24, 1.0
+        measured = MeasuredScheduler(2, 2).run(varied_taskset(n_tasks, share), "chimera")
+
+        # DES with the single-point measured costs (fixed-size tasks).
+        costs = measure_hetero_costs("ext")
+        des = WorkStealingScheduler(2, 2).run(
+            mixed_taskset(n_tasks, share), costs.model("chimera")
+        )
+        # Same policy, same mix; sizes vary in the measured run, so allow
+        # a generous band — the DES must still land in the right regime.
+        ratio = measured.makespan / des.makespan
+        assert 0.5 < ratio < 2.0, f"DES diverges from measured execution: {ratio:.2f}"
+
+    def test_system_ordering_agrees(self):
+        tasks = varied_taskset(16, 1.0)
+        runner = MeasuredScheduler(2, 2)
+        measured = {s: runner.run(tasks, s).makespan for s in ("fam", "melf", "chimera")}
+        # The ordering Fig. 11 rests on: rewriters beat FAM at high share,
+        # Chimera near MELF.  (Small matrices amplify per-trampoline
+        # overhead proportionally, so the band is wider than the paper's
+        # fixed-size 3.2%.)
+        assert measured["melf"] < measured["fam"]
+        assert measured["chimera"] < measured["fam"]
+        assert measured["chimera"] < measured["melf"] * 1.35

@@ -1,0 +1,186 @@
+"""End-to-end cross-core migration through MMViews.
+
+A task starts on an extension core (running vector code natively),
+gets preempted mid-run, migrates to a base core (switching to the
+downgraded MMView, converting vector state to the simulated-register
+region), finishes there — and the result must match a single-core run.
+"""
+
+import pytest
+
+from repro.core.mmview import MMViewProcess
+from repro.core.rewriter import ChimeraRewriter
+from repro.core.runtime import ChimeraRuntime
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.cpu import Cpu
+from repro.sim.faults import ExitRequest, SimFault
+from repro.sim.machine import Core, Kernel
+
+
+def striped_workload(n=24):
+    """A strip-mined vector loop long enough to preempt mid-flight,
+    with vector state live ACROSS iterations (the accumulate register)."""
+    b = ProgramBuilder("mig")
+    b.add_words("x", list(range(1, n + 1)))
+    b.add_words("y", list(range(100, 100 + n)))
+    b.add_words("out", [0])
+    b.set_text(f"""
+_start:
+    li a0, {{x}}
+    li a1, {{y}}
+    li a3, {n}
+    li a4, 0
+    vsetvli t0, zero, e64
+    vmv.v.i v1, 0
+loop:
+    vsetvli t0, a3, e64
+    vle64.v v2, (a0)
+    vle64.v v3, (a1)
+    vmacc.vv v1, v2, v3
+    slli t1, t0, 3
+    add a0, a0, t1
+    add a1, a1, t1
+    sub a3, a3, t0
+    bnez a3, loop
+    vsetvli t0, zero, e64
+    vmv.v.i v2, 0
+    vredsum.vs v3, v1, v2
+    li t1, 1
+    vsetvli t0, t1, e64
+    addi sp, sp, -16
+    vse64.v v3, (sp)
+    ld t1, 0(sp)
+    addi sp, sp, 16
+    add a4, a4, t1
+    li t0, {{out}}
+    sd a4, 0(t0)
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+    return b.build()
+
+
+def expected_dot(binary):
+    proc = make_process(binary)
+    res = Kernel().run(proc, Core(0, RV64GCV))
+    assert res.ok
+    return proc.space.read_u64(binary.symbol_addr("out"))
+
+
+def make_views(binary, rewriter):
+    return {
+        "rv64gcv": rewriter.rewrite(binary, RV64GCV).binary,
+        "rv64gc": rewriter.rewrite(binary, RV64GC).binary,
+    }
+
+
+def step_once(kernel, proc, cpu) -> bool:
+    """One instruction with kernel services; True when the program exited."""
+    from repro.sim.faults import EcallTrap
+    from repro.sim.syscalls import handle_syscall
+
+    try:
+        cpu.step()
+    except EcallTrap:
+        try:
+            handle_syscall(kernel, proc, cpu)
+        except ExitRequest:
+            return True
+    except ExitRequest:
+        return True
+    except SimFault as fault:
+        for handler in kernel._fault_handlers:
+            if handler(kernel, proc, cpu, fault):
+                return False
+        raise
+    return False
+
+
+class TestMigrationEndToEnd:
+    @pytest.mark.parametrize("preempt_after", [5, 17, 40, 90])
+    def test_ext_to_base_migration_preserves_result(self, preempt_after):
+        binary = striped_workload()
+        expected = expected_dot(binary)
+
+        rewriter = ChimeraRewriter()
+        views = make_views(binary, rewriter)
+        proc = MMViewProcess("mig", views, initial="rv64gcv")
+
+        kernel = Kernel()
+        ChimeraRuntime(views["rv64gc"], rewriter=rewriter, original=binary).install(kernel)
+
+        ext_core = Core(0, RV64GCV)
+        base_core = Core(1, RV64GC)
+        cpu = kernel.make_cpu(proc, ext_core)
+
+        # Phase 1: run a few instructions on the extension core.
+        for _ in range(preempt_after):
+            if step_once(kernel, proc, cpu):
+                pytest.skip("finished before preemption point")
+
+        # Phase 2: migrate (possibly delayed until a safe pc).
+        if not proc.migrate(cpu, "rv64gc"):
+            for _ in range(10_000):
+                if step_once(kernel, proc, cpu):
+                    # Finished before a safe point arrived: still correct.
+                    assert proc.space.read_u64(binary.symbol_addr("out")) == expected
+                    return
+                if proc.try_commit_pending(cpu):
+                    break
+            else:
+                raise AssertionError("pending migration never committed")
+        assert proc.active_view == "rv64gc"
+
+        # Phase 3: finish on the base core with a downgraded-view CPU.
+        cpu2 = Cpu(proc.space, profile=base_core.profile, cost_model=cpu.cost)
+        cpu2.regs[:] = cpu.regs
+        cpu2.pc = cpu.pc
+        cpu2.vector.restore(cpu.vector.snapshot())  # harmless; region is live
+        res = kernel.run(proc, base_core, cpu=cpu2)
+        assert res.ok, res.fault
+        assert proc.space.read_u64(binary.symbol_addr("out")) == expected
+
+    def test_round_trip_migration(self):
+        """ext -> base -> ext mid-run, still correct."""
+        binary = striped_workload()
+        expected = expected_dot(binary)
+        rewriter = ChimeraRewriter()
+        views = make_views(binary, rewriter)
+        proc = MMViewProcess("mig", views, initial="rv64gcv")
+        kernel = Kernel()
+        ChimeraRuntime(views["rv64gc"], rewriter=rewriter, original=binary).install(kernel)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GCV))
+
+        finished = False
+
+        def hop(cpu, to, profile):
+            nonlocal finished
+            if not proc.migrate(cpu, to):
+                for _ in range(10_000):
+                    if step_once(kernel, proc, cpu):
+                        finished = True
+                        return cpu
+                    if proc.try_commit_pending(cpu):
+                        break
+            nxt = Cpu(proc.space, profile=profile, cost_model=cpu.cost)
+            nxt.regs[:] = cpu.regs
+            nxt.pc = cpu.pc
+            nxt.vector.restore(cpu.vector.snapshot())
+            return nxt
+
+        for _ in range(12):
+            step_once(kernel, proc, cpu)
+        cpu = hop(cpu, "rv64gc", RV64GC)
+        for _ in range(60):
+            if finished or step_once(kernel, proc, cpu):
+                finished = True
+                break
+        if not finished:
+            cpu = hop(cpu, "rv64gcv", RV64GCV)
+        if not finished:
+            res = kernel.run(proc, Core(0, RV64GCV), cpu=cpu)
+            assert res.ok, res.fault
+        assert proc.space.read_u64(binary.symbol_addr("out")) == expected

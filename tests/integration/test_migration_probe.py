@@ -1,0 +1,98 @@
+"""Probe-based delayed migration (the paper's uprobe mechanism)."""
+
+import pytest
+
+from repro.core.mmview import MigrationProbeManager, MMViewProcess
+from repro.core.rewriter import ChimeraRewriter
+from repro.core.runtime import ChimeraRuntime
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.cpu import Cpu
+from repro.sim.machine import Core, Kernel
+
+from tests.integration.test_migration_e2e import (
+    expected_dot,
+    make_views,
+    step_once,
+    striped_workload,
+)
+
+
+class TestMigrationProbe:
+    def test_probe_fires_and_commits(self):
+        binary = striped_workload()
+        expected = expected_dot(binary)
+        rewriter = ChimeraRewriter()
+        views = make_views(binary, rewriter)
+        proc = MMViewProcess("probe", views, initial="rv64gcv")
+        kernel = Kernel()
+        probes = MigrationProbeManager(proc)
+        probes.install(kernel)
+        ChimeraRuntime(views["rv64gc"], rewriter=rewriter, original=binary).install(kernel)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GCV))
+
+        # Step into the vector loop (an unsafe region for the base view).
+        for _ in range(20):
+            step_once(kernel, proc, cpu)
+        migrated_now = probes.request_migration(cpu, "rv64gc")
+
+        if migrated_now:
+            pytest.skip("pc happened to be at a safe point; nothing to probe")
+        assert proc.pending_migration == "rv64gc"
+        assert probes._armed, "no probe armed despite delayed migration"
+
+        # Keep running: the probe must fire, restore the bytes, and
+        # commit the view switch.
+        finished = False
+        for _ in range(200_000):
+            if proc.active_view == "rv64gc":
+                break
+            if step_once(kernel, proc, cpu):
+                finished = True
+                break
+        if not finished:
+            assert proc.active_view == "rv64gc"
+            assert probes.fired == 1
+            assert not probes._armed  # original bytes restored
+            # Finish on a base-core CPU and verify the result.
+            cpu2 = Cpu(proc.space, profile=RV64GC, cost_model=cpu.cost)
+            cpu2.regs[:] = cpu.regs
+            cpu2.pc = cpu.pc
+            cpu2.vector.restore(cpu.vector.snapshot())
+            res = kernel.run(proc, Core(1, RV64GC), cpu=cpu2)
+            assert res.ok, res.fault
+        assert proc.space.read_u64(binary.symbol_addr("out")) == expected
+
+    def test_probe_restores_original_bytes(self):
+        binary = striped_workload()
+        rewriter = ChimeraRewriter()
+        views = make_views(binary, rewriter)
+        proc = MMViewProcess("probe", views, initial="rv64gcv")
+        kernel = Kernel()
+        probes = MigrationProbeManager(proc)
+        probes.install(kernel)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GCV))
+        addr = binary.entry + 4
+        before = bytes(proc.space.fetch(addr, 2))
+        probes.arm(cpu, addr)
+        assert bytes(proc.space.fetch(addr, 2)) != before
+        # Run until the probe traps; the handler restores the bytes.
+        for _ in range(50):
+            step_once(kernel, proc, cpu)
+            if probes.fired:
+                break
+        assert probes.fired == 1
+        assert bytes(proc.space.fetch(addr, 2)) == before
+
+    def test_safe_pc_migrates_immediately(self):
+        binary = striped_workload()
+        rewriter = ChimeraRewriter()
+        views = make_views(binary, rewriter)
+        proc = MMViewProcess("probe", views, initial="rv64gcv")
+        kernel = Kernel()
+        probes = MigrationProbeManager(proc)
+        probes.install(kernel)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GCV))
+        # At the entry point nothing is patched: immediate switch.
+        assert probes.request_migration(cpu, "rv64gc")
+        assert proc.active_view == "rv64gc"
+        assert probes.fired == 0

@@ -1,0 +1,138 @@
+"""Signal-delivery compatibility (paper Fig. 10 + §4.3 priority rule)."""
+
+import pytest
+
+from repro.core.rewriter import ChimeraRewriter
+from repro.core.runtime import ChimeraRuntime
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.isa.registers import Reg
+from repro.sim.machine import Core, Kernel, SIGILL, SIGSEGV
+
+
+def vector_binary():
+    b = ProgramBuilder("sig")
+    b.add_words("buf", [1, 2] + [0] * 8)
+    b.set_text("""
+_start:
+    li a0, {buf}
+    li a1, 2
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    vse64.v v1, (a0)
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+    return b.build()
+
+
+class TestGpRestoreOnSignal:
+    def test_handler_observes_abi_gp(self):
+        """If a signal lands while gp is clobbered by a SMILE trampoline,
+        Chimera's pre-delivery hook must restore the ABI value before the
+        user handler runs (Fig. 10)."""
+        binary = vector_binary()
+        result = ChimeraRewriter().rewrite(binary, RV64GC)
+        runtime = ChimeraRuntime(result.binary)
+        kernel = Kernel()
+        runtime.install(kernel)
+        proc = make_process(result.binary)
+        proc.signal_handlers[SIGSEGV] = 0xCAFE0  # never executed here
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        cpu.set_reg(Reg.GP, 0x123456)  # mid-trampoline clobbered value
+        kernel.deliver_signal(proc, cpu, SIGSEGV)
+        assert cpu.get_reg(Reg.GP) == binary.global_pointer
+        assert runtime.stats.signals_gp_restored == 1
+
+    def test_no_restore_when_gp_already_correct(self):
+        binary = vector_binary()
+        result = ChimeraRewriter().rewrite(binary, RV64GC)
+        runtime = ChimeraRuntime(result.binary)
+        kernel = Kernel()
+        runtime.install(kernel)
+        proc = make_process(result.binary)
+        proc.signal_handlers[SIGILL] = 0xCAFE0
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        kernel.deliver_signal(proc, cpu, SIGILL)
+        assert runtime.stats.signals_gp_restored == 0
+
+
+class TestPriorityOverUserHandlers:
+    def test_chbp_fault_not_delivered_to_user_handler(self):
+        """A user SIGSEGV handler must NOT intercept CHBP's deterministic
+        faults — the kernel checks CHBP first (§4.3)."""
+        binary = vector_binary()
+        rewriter = ChimeraRewriter()
+        result = rewriter.rewrite(binary, RV64GC)
+        runtime = ChimeraRuntime(result.binary, rewriter=rewriter, original=binary)
+        kernel = Kernel()
+        runtime.install(kernel)
+        proc = make_process(result.binary)
+        # Register a user handler that would exit(42) if ever invoked.
+        # (Handler address points at unmapped memory; reaching it would
+        # crash the run, which the assertion below would catch.)
+        proc.signal_handlers[SIGSEGV] = 0xDEAD000
+        proc.signal_handlers[SIGILL] = 0xDEAD000
+        res = kernel.run(proc, Core(0, RV64GC))
+        assert res.ok, res.fault
+
+    def test_user_handler_still_gets_non_chbp_faults(self):
+        """A genuine user segfault falls through to the registered
+        handler, which exits the program."""
+        b = ProgramBuilder("uh")
+        b.add_words("buf", [0] * 4)
+        b.set_text("""
+_start:
+    li a0, 11              # SIGSEGV
+    la a1, handler
+    li a7, 134             # sigaction
+    ecall
+    li t0, 0x7f0000000
+    ld t1, 0(t0)           # wild read: real user fault
+    li a7, 93
+    li a0, 1
+    ecall
+handler:
+    li a7, 93
+    li a0, 42
+    ecall
+""")
+        b.mark_function("handler")
+        binary = b.build()
+        rewriter = ChimeraRewriter()
+        result = rewriter.rewrite(binary, RV64GC)
+        runtime = ChimeraRuntime(result.binary)
+        kernel = Kernel()
+        runtime.install(kernel)
+        proc = make_process(result.binary)
+        res = kernel.run(proc, Core(0, RV64GC))
+        assert res.exit_code == 42  # user handler ran
+
+    def test_handler_observes_prefault_registers(self):
+        """The signal frame hands the user handler the interrupted
+        context: registers hold their pre-fault values."""
+        b = ProgramBuilder("sr")
+        b.set_text("""
+_start:
+    li a0, 4               # SIGILL
+    la a1, handler
+    li a7, 134
+    ecall
+    li s2, 777
+    .half 0x0000           # defined-illegal parcel: raises SIGILL
+    li a7, 93
+    li a0, 1
+    ecall
+handler:
+    andi a0, s2, 0xff      # 777 & 0xff == 9: visible in the exit code
+    li a7, 93
+    ecall
+""")
+        b.mark_function("handler")
+        binary = b.build()
+        proc = make_process(binary)
+        kernel = Kernel()
+        res = kernel.run(proc, Core(0, RV64GCV))
+        assert res.exit_code == 777 & 0xFF

@@ -1,0 +1,143 @@
+"""Erroneous-execution recovery: real indirect jumps into SMILE interiors.
+
+These are the paper's P1/P2/P3 scenarios (Fig. 2/4) driven end-to-end:
+a function pointer stored in the data segment targets an instruction
+that the rewriter later overwrote with (part of) a SMILE trampoline.
+The jump must raise a *deterministic* fault, and the runtime must
+redirect it so the program's semantics are preserved.
+"""
+
+import pytest
+
+from repro.core.rewriter import ChimeraRewriter
+from repro.core.runtime import ChimeraRuntime
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.machine import Core, Kernel
+
+
+def build_erroneous_jump_binary():
+    """A program whose second phase jumps straight at the *neighbor* of a
+    vector instruction — an address that after rewriting sits inside a
+    SMILE trampoline (the P1 jalr slot or a mid-parcel)."""
+    b = ProgramBuilder("err")
+    b.add_words("buf", [10, 20] + [0] * 8)
+    b.add_words("out", [0, 0])
+    b.set_text("""
+_start:
+    # Phase 1: normal pass through the vector episode.
+    li a0, {buf}
+    li a1, 2
+    jal episode
+    # Phase 2: jump directly at the episode's SECOND instruction (the
+    # vle64), exactly what an old function pointer could do.  After
+    # rewriting, that address is the interior of a SMILE trampoline.
+    la t0, ep_second
+    li a5, 1            # marks the erroneous-entry pass
+    jalr t0
+    li t1, {out}
+    sd a4, 0(t1)
+    li a7, 93
+    li a0, 0
+    ecall
+
+episode:
+    vsetvli t0, a1, e64
+ep_second:
+    vle64.v v1, (a0)
+    vadd.vv v2, v1, v1
+    vse64.v v2, (a0)
+    addi a4, a4, 1
+    ret
+""")
+    b.mark_function("episode")
+    return b.build()
+
+
+class TestErroneousEntryRecovery:
+    def test_p1_style_entry_recovers_with_correct_semantics(self):
+        binary = build_erroneous_jump_binary()
+        rewriter = ChimeraRewriter()
+        result = rewriter.rewrite(binary, RV64GC)
+        # ep_second must be covered by a trampoline window.
+        ep_second = binary.symbol_addr("ep_second")
+        runtime = ChimeraRuntime(result.binary, rewriter=rewriter, original=binary)
+        kernel = Kernel()
+        runtime.install(kernel)
+        proc = make_process(result.binary)
+        res = kernel.run(proc, Core(0, RV64GC))
+        assert res.ok, res.fault
+        # Both passes ran the episode tail: a4 == 2.
+        assert proc.space.read_u64(binary.symbol_addr("out")) == 2
+        # Phase 1: buf doubled once; phase 2 doubled it again (entry at
+        # the vle64 still executes the whole remaining episode).
+        buf = binary.symbol_addr("buf")
+        assert proc.space.read_u64(buf) == 40
+        assert proc.space.read_u64(buf + 8) == 80
+        # The recovery was a deterministic-fault redirect, not a trap.
+        assert runtime.stats.deterministic_faults >= 1
+
+    def test_every_interior_boundary_faults_deterministically(self):
+        """Force the pc onto every fault-table key: each must raise a
+        deterministic fault (SIGSEGV-exec via gp, or SIGILL) and recover."""
+        binary = build_erroneous_jump_binary()
+        rewriter = ChimeraRewriter()
+        result = rewriter.rewrite(binary, RV64GC)
+        runtime = ChimeraRuntime(result.binary)
+        table = dict(runtime.fault_table)
+        assert table, "rewrite produced no fault-table entries"
+        for key, redirect in table.items():
+            kernel = Kernel()
+            runtime2 = ChimeraRuntime(result.binary)
+            runtime2.install(kernel)
+            proc = make_process(result.binary)
+            cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+            cpu.pc = key  # simulate the erroneous indirect jump
+            from repro.sim.faults import SimFault
+
+            try:
+                for _ in range(10):
+                    cpu.step()
+                    if cpu.pc == redirect:
+                        break
+            except SimFault as fault:
+                handled = runtime2.handle_fault(kernel, proc, cpu, fault)
+                assert handled, f"key {key:#x}: fault {fault} not recovered"
+            assert cpu.pc == redirect or runtime2.stats.deterministic_faults >= 1
+
+    def test_partial_jalr_with_abi_gp_faults_into_data(self):
+        """Entering at a trampoline's jalr with the ABI gp must raise an
+        exec fault inside the (non-executable) data segment."""
+        from repro.elf.binary import Perm
+        from repro.isa.decoding import decode
+        from repro.isa.registers import Reg
+        from repro.sim.faults import SegmentationFault
+
+        binary = build_erroneous_jump_binary()
+        result = ChimeraRewriter().rewrite(binary, RV64GC)
+        text = result.binary.text
+        # Find a SMILE jalr: scan patched text for jalr gp, imm(gp).
+        jalr_addr = None
+        for key in dict(result.fault_table):
+            try:
+                instr = decode(text.data, key - text.addr, addr=key)
+            except Exception:
+                continue
+            if instr.mnemonic == "jalr" and instr.rs1 == int(Reg.GP):
+                jalr_addr = key
+                break
+        if jalr_addr is None:
+            pytest.skip("no P1-style boundary in this layout")
+        proc = make_process(result.binary)
+        kernel = Kernel()
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        cpu.pc = jalr_addr
+        with pytest.raises(SegmentationFault) as exc:
+            for _ in range(2):
+                cpu.step()
+        assert exc.value.access == "exec"
+        seg = proc.space.segment_at(exc.value.addr)
+        assert seg is not None and Perm.X not in seg.perm
+        # And gp now holds the return address the handler derives P1 from.
+        assert cpu.get_reg(Reg.GP) == jalr_addr + 4

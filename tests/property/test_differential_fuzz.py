@@ -1,0 +1,233 @@
+"""Differential fuzzing: random programs, original vs rewritten execution.
+
+Hypothesis generates small structured programs (scalar filler, vector
+episodes, loops, stores), which run natively on an extension core and —
+after rewriting by each system — on a base core.  Exit state (registers
+of interest + the data segment) must match exactly.  This is the §6.3
+correctness claim tested over a program space rather than a benchmark
+list.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.rewriter import ChimeraRewriter
+from repro.core.runtime import ChimeraRuntime
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.machine import Core, Kernel
+
+# -- program generator -------------------------------------------------------
+
+SCALAR_OPS = ("add", "sub", "xor", "or", "and", "mul")
+VECTOR_OPS = ("vadd.vv", "vsub.vv", "vmul.vv", "vxor.vv")
+REGS = ("a2", "a3", "a4", "a5", "t3", "t4")
+
+
+@st.composite
+def scalar_stmt(draw):
+    op = draw(st.sampled_from(SCALAR_OPS))
+    dst, a, b = (draw(st.sampled_from(REGS)) for _ in range(3))
+    return f"    {op} {dst}, {a}, {b}"
+
+
+@st.composite
+def store_stmt(draw):
+    reg = draw(st.sampled_from(REGS))
+    off = draw(st.integers(min_value=0, max_value=15)) * 8
+    return f"    sd {reg}, {off}(s0)"
+
+
+@st.composite
+def load_stmt(draw):
+    reg = draw(st.sampled_from(REGS))
+    off = draw(st.integers(min_value=0, max_value=15)) * 8
+    return f"    ld {reg}, {off}(s0)"
+
+
+@st.composite
+def compressed_stmt(draw):
+    reg = draw(st.sampled_from(("a2", "a3", "a4", "a5")))
+    imm = draw(st.integers(min_value=1, max_value=15))
+    return f"    c.addi {reg}, {imm}"
+
+
+@st.composite
+def vector_episode(draw, idx):
+    avl = draw(st.integers(min_value=1, max_value=6))
+    op = draw(st.sampled_from(VECTOR_OPS))
+    voff = draw(st.integers(min_value=0, max_value=3)) * 64
+    lines = [
+        f"    li t0, {avl}",
+        "    vsetvli t0, t0, e64",
+        f"    addi t1, s1, {voff}",
+        "    vle64.v v1, (t1)",
+        f"    {op} v2, v1, v1",
+        "    vse64.v v2, (t1)",
+    ]
+    if draw(st.booleans()):
+        lines.append(f"    sh{draw(st.integers(min_value=1, max_value=3))}add a2, a2, a3")
+    return "\n".join(lines)
+
+
+@st.composite
+def block(draw, idx):
+    stmts = draw(st.lists(
+        st.one_of(scalar_stmt(), store_stmt(), load_stmt(), compressed_stmt()),
+        min_size=2, max_size=8,
+    ))
+    if draw(st.integers(min_value=0, max_value=2)) == 0:
+        pos = draw(st.integers(min_value=0, max_value=len(stmts)))
+        stmts.insert(pos, draw(vector_episode(idx)))
+    return "\n".join(stmts)
+
+
+@st.composite
+def program(draw):
+    n_blocks = draw(st.integers(min_value=1, max_value=4))
+    loop_count = draw(st.integers(min_value=1, max_value=3))
+    body = "\n".join(draw(block(i)) for i in range(n_blocks))
+    return f"""
+_start:
+    li s0, {{buf}}
+    li s1, {{vbuf}}
+    li s2, {loop_count}
+top:
+{body}
+    addi s2, s2, -1
+    bnez s2, top
+    li t0, {{out}}
+    sd a2, 0(t0)
+    sd a3, 8(t0)
+    sd a4, 16(t0)
+    sd a5, 24(t0)
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+
+
+def build(text: str):
+    b = ProgramBuilder("fuzz")
+    b.add_words("buf", [(i * 2654435761) % (1 << 62) for i in range(16)])
+    b.add_words("vbuf", [(i * 40503) % (1 << 60) for i in range(32)])
+    b.add_words("out", [0] * 4)
+    b.set_text(text)
+    return b.build()
+
+
+def data_snapshot(binary, proc) -> bytes:
+    return bytes(proc.space.segment_at(binary.data.addr).data)
+
+
+def run_native(binary):
+    proc = make_process(binary)
+    res = Kernel().run(proc, Core(0, RV64GCV), max_instructions=2_000_000)
+    assert res.ok, f"native run failed: {res.fault}"
+    return data_snapshot(binary, proc)
+
+
+FUZZ_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestChimeraDifferential:
+    @given(text=program())
+    @FUZZ_SETTINGS
+    def test_downgrade_preserves_state(self, text):
+        binary = build(text)
+        expected = run_native(binary)
+        rewriter = ChimeraRewriter()
+        result = rewriter.rewrite(binary, RV64GC)
+        proc = make_process(result.binary)
+        kernel = Kernel()
+        ChimeraRuntime(result.binary, rewriter=rewriter, original=binary).install(kernel)
+        res = kernel.run(proc, Core(0, RV64GC), max_instructions=4_000_000)
+        assert res.ok, f"rewritten run failed: {res.fault}\nprogram:\n{text}"
+        assert data_snapshot(binary, proc) == expected, f"state diverged:\n{text}"
+
+    @given(text=program())
+    @FUZZ_SETTINGS
+    def test_empty_patch_identity(self, text):
+        """Empty patching on an extension core must be a perfect identity."""
+        binary = build(text)
+        expected = run_native(binary)
+        rewriter = ChimeraRewriter(mode="empty")
+        result = rewriter.rewrite(binary, RV64GC)
+        proc = make_process(result.binary)
+        kernel = Kernel()
+        ChimeraRuntime(result.binary).install(kernel)
+        res = kernel.run(proc, Core(0, RV64GCV), max_instructions=4_000_000)
+        assert res.ok, f"{res.fault}\nprogram:\n{text}"
+        assert data_snapshot(binary, proc) == expected
+
+
+class TestBaselineDifferential:
+    @given(text=program())
+    @FUZZ_SETTINGS
+    def test_safer_preserves_state(self, text):
+        from repro.baselines.safer import SaferRewriter, SaferRuntime
+
+        binary = build(text)
+        expected = run_native(binary)
+        result = SaferRewriter().rewrite(binary, RV64GC)
+        proc = make_process(result.binary)
+        kernel = Kernel()
+        SaferRuntime(result.binary).install(kernel)
+        res = kernel.run(proc, Core(0, RV64GC), max_instructions=4_000_000)
+        assert res.ok, f"{res.fault}\nprogram:\n{text}"
+        assert data_snapshot(binary, proc) == expected
+
+    @given(text=program())
+    @FUZZ_SETTINGS
+    def test_strawman_preserves_state(self, text):
+        from repro.baselines.strawman import rewrite_strawman
+
+        binary = build(text)
+        expected = run_native(binary)
+        result = rewrite_strawman(binary, RV64GC)
+        proc = make_process(result.binary)
+        kernel = Kernel()
+        ChimeraRuntime(result.binary).install(kernel)
+        res = kernel.run(proc, Core(0, RV64GC), max_instructions=4_000_000)
+        assert res.ok, f"{res.fault}\nprogram:\n{text}"
+        assert data_snapshot(binary, proc) == expected
+
+    @given(text=program())
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_armore_preserves_state(self, text):
+        from repro.baselines.armore import ArmoreRewriter, ArmoreRuntime
+
+        binary = build(text)
+        expected = run_native(binary)
+        result = ArmoreRewriter().rewrite(binary, RV64GC)
+        proc = make_process(result.binary)
+        kernel = Kernel()
+        runtime = ArmoreRuntime(result.binary)
+        runtime.install(kernel)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        runtime.attach_cpu(cpu)
+        res = kernel.run(proc, Core(0, RV64GC), cpu=cpu, max_instructions=4_000_000)
+        assert res.ok, f"{res.fault}\nprogram:\n{text}"
+        assert data_snapshot(binary, proc) == expected
+
+    @given(text=program())
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_multiverse_preserves_state(self, text):
+        from repro.baselines.multiverse import MultiverseRewriter, MultiverseRuntime
+
+        binary = build(text)
+        expected = run_native(binary)
+        result = MultiverseRewriter().rewrite(binary, RV64GC)
+        proc = make_process(result.binary)
+        kernel = Kernel()
+        MultiverseRuntime(result.binary).install(kernel)
+        res = kernel.run(proc, Core(0, RV64GC), max_instructions=4_000_000)
+        assert res.ok, f"{res.fault}\nprogram:\n{text}"
+        assert data_snapshot(binary, proc) == expected

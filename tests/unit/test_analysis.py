@@ -1,0 +1,270 @@
+"""Scanner, CFG and liveness tests."""
+
+import pytest
+
+from repro.analysis.cfg import UNKNOWN, build_cfg
+from repro.analysis.liveness import LivenessAnalysis
+from repro.analysis.scan import RecursiveScanner
+from repro.elf.builder import ProgramBuilder
+from repro.isa.registers import Reg
+from tests.conftest import build_program
+
+
+def scan_of(text: str, data=None, mark_funcs=(), jump_tables=None):
+    builder = ProgramBuilder("t")
+    for key, values in (data or {}).items():
+        builder.add_words(key, values)
+    builder.set_text(text)
+    for f in mark_funcs:
+        builder.mark_function(f)
+    binary = builder.build()
+    if jump_tables:
+        binary.metadata["jump_tables"] = {
+            binary.symbol_addr(k) if isinstance(k, str) else k: [
+                binary.symbol_addr(t) if isinstance(t, str) else t for t in v
+            ]
+            for k, v in jump_tables.items()
+        }
+    return binary, RecursiveScanner().scan(binary)
+
+
+class TestScanner:
+    def test_full_coverage_of_straightline(self):
+        binary, scan = scan_of("_start:\nnop\nnop\nret\n")
+        assert scan.coverage(binary.text.size) == 1.0
+
+    def test_follows_branches_both_ways(self):
+        binary, scan = scan_of(
+            "_start:\nbeqz a0, skip\nli a1, 1\nskip:\nli a1, 2\nret\n"
+        )
+        assert binary.symbol_addr("skip") in scan.instructions
+
+    def test_follows_calls_and_fallthrough(self):
+        binary, scan = scan_of("_start:\njal f\nret\nf:\nnop\nret\n")
+        assert binary.symbol_addr("f") in scan.instructions
+        # The ret after the call (fall-through) is recovered too.
+        assert binary.symbol_addr("_start") + 4 in scan.instructions
+
+    def test_stops_at_unconditional_jump(self):
+        binary, scan = scan_of(
+            "_start:\nj end\n.word 0xffffffff\nend:\nret\n"
+        )
+        # The raw data word after `j` must NOT be decoded as code.
+        gap_addr = binary.symbol_addr("_start") + 4
+        assert gap_addr not in scan.instructions
+        assert len(scan.unrecognized_ranges) >= 1
+
+    def test_indirect_only_code_stays_unrecognized(self):
+        binary, scan = scan_of(
+            """
+_start:
+    la t0, hidden
+    jr t0
+hidden:
+    nop
+    ret
+""")
+        # `hidden` is only reachable indirectly; without a symbol it is
+        # invisible to the scanner (the paper's completeness gap, §4.1).
+        hidden = binary.symbol_addr("hidden")
+        # The label is exported as kind="label", not "func": unseeded.
+        assert hidden not in scan.instructions
+        assert any(lo <= hidden < hi for lo, hi in scan.unrecognized_ranges)
+
+    def test_func_symbols_seed_the_scan(self):
+        binary, scan = scan_of(
+            "_start:\nret\nhelper:\nnop\nret\n", mark_funcs=["helper"]
+        )
+        assert binary.symbol_addr("helper") in scan.instructions
+
+    def test_jump_table_metadata_resolves_indirect(self):
+        binary, scan = scan_of(
+            """
+_start:
+    la t0, case0
+    jr t0
+case0:
+    nop
+    ret
+""",
+            jump_tables=None,
+        )
+        jr_addr = binary.symbol_addr("_start") + 8
+        assert jr_addr in scan.unresolved_indirect
+        binary2, scan2 = scan_of(
+            """
+_start:
+    la t0, case0
+    jr t0
+case0:
+    nop
+    ret
+""",
+            jump_tables={binary.symbol_addr("_start") + 8: ["case0"]},
+        )
+        assert binary2.symbol_addr("case0") in scan2.instructions
+        # The table-resolved jr is no longer unresolved (the trailing
+        # `ret` legitimately remains an unresolved indirect).
+        assert jr_addr not in scan2.unresolved_indirect
+
+    def test_extra_entries(self):
+        binary, _ = scan_of("_start:\nret\nextra:\nnop\nret\n")
+        scan = RecursiveScanner().scan(binary, extra_entries=[binary.symbol_addr("extra")])
+        assert binary.symbol_addr("extra") in scan.instructions
+
+    def test_address_taken_seeding_closes_gap(self):
+        text = """
+_start:
+    la t0, hidden
+    jr t0
+    .word 0xffffffff
+hidden:
+    la t1, deeper
+    jr t1
+    .word 0xffffffff
+deeper:
+    nop
+    ret
+"""
+        binary, plain = scan_of(text)
+        hidden = binary.symbol_addr("hidden")
+        deeper = binary.symbol_addr("deeper")
+        assert hidden not in plain.instructions
+        seeded = RecursiveScanner(seed_address_taken=True).scan(binary)
+        # The iteration follows chains: hidden's code reveals deeper.
+        assert hidden in seeded.instructions
+        assert deeper in seeded.instructions
+
+    def test_address_taken_absolute_li(self):
+        binary, plain = scan_of("""
+_start:
+    li t0, 0x10014
+    jr t0
+    .word 0xffffffff
+    .word 0xffffffff
+target:
+    nop
+    ret
+""")
+        target = binary.symbol_addr("target")
+        assert target == 0x10014  # layout check: li(8) + jr(4) + 2 words
+        seeded = RecursiveScanner(seed_address_taken=True).scan(binary)
+        assert target in seeded.instructions
+
+    def test_address_taken_ignores_data_pointers(self):
+        binary, _ = scan_of("_start:\nla t0, {blob}\nld t1, 0(t0)\nret\n",
+                            data={"blob": [1, 2]})
+        seeded = RecursiveScanner(seed_address_taken=True).scan(binary)
+        # Data-segment constants must not become code entries.
+        assert all(binary.text.contains(a) for a in seeded.instructions)
+
+
+class TestCfg:
+    def test_blocks_split_at_branch_targets(self):
+        binary, scan = scan_of(
+            "_start:\nli a0, 3\nloop:\naddi a0, a0, -1\nbnez a0, loop\nret\n"
+        )
+        cfg = build_cfg(scan)
+        loop = binary.symbol_addr("loop")
+        block = cfg.block_at(loop)
+        assert block is not None
+        assert loop in block.successors  # back edge
+        assert len(cfg) == 3
+
+    def test_return_has_no_successors(self):
+        binary, scan = scan_of("_start:\nret\n")
+        cfg = build_cfg(scan)
+        block = cfg.block_containing(binary.entry)
+        assert block.successors == []
+
+    def test_indirect_jump_unknown_successor(self):
+        binary, scan = scan_of("_start:\nla t0, _start\njr t0\n")
+        cfg = build_cfg(scan)
+        block = cfg.block_containing(binary.entry)
+        assert cfg.has_unknown_successor(block)
+
+    def test_call_edges_are_fallthrough(self):
+        binary, scan = scan_of("_start:\njal f\nret\nf:\nret\n")
+        cfg = build_cfg(scan)
+        block = cfg.block_containing(binary.entry)
+        assert block.successors == [binary.entry + 4]
+
+    def test_predecessors_populated(self):
+        binary, scan = scan_of(
+            "_start:\nbeqz a0, a\nnop\na:\nret\n"
+        )
+        cfg = build_cfg(scan)
+        a = cfg.block_at(binary.symbol_addr("a"))
+        assert len(a.predecessors) == 2
+
+
+class TestLiveness:
+    def test_dead_after_last_use(self):
+        binary, scan = scan_of(
+            """
+_start:
+    li t0, 5
+    add a0, t0, t0
+    li a7, 93
+    ecall
+""")
+        cfg = build_cfg(scan)
+        live = LivenessAnalysis(cfg).run()
+        after_add = binary.entry + 8
+        assert live.is_dead_before(after_add, int(Reg.T0))
+
+    def test_live_through_loop(self):
+        binary, scan = scan_of(
+            """
+_start:
+    li t0, 5
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ret
+""")
+        cfg = build_cfg(scan)
+        live = LivenessAnalysis(cfg).run()
+        assert not live.is_dead_before(binary.symbol_addr("loop"), int(Reg.T0))
+
+    def test_unknown_successor_makes_everything_live(self):
+        binary, scan = scan_of(
+            """
+_start:
+    la t1, _start
+    nop
+    jr t1
+""")
+        cfg = build_cfg(scan)
+        live = LivenessAnalysis(cfg).run()
+        nop_addr = binary.entry + 8
+        assert live.dead_before(nop_addr) == frozenset()
+
+    def test_call_clobbers_make_temporaries_dead(self):
+        binary, scan = scan_of(
+            """
+_start:
+    li t3, 9
+    jal f
+    li a7, 93
+    ecall
+f:
+    ret
+""")
+        cfg = build_cfg(scan)
+        live = LivenessAnalysis(cfg).run()
+        call_addr = binary.entry + 4
+        # t3's value cannot survive the call per the ABI: dead before it.
+        assert live.is_dead_before(call_addr, int(Reg.T3))
+
+    def test_exit_ecall_keeps_args_live_only(self):
+        binary, scan = scan_of("_start:\nli a0, 0\nli a7, 93\necall\n")
+        cfg = build_cfg(scan)
+        live = LivenessAnalysis(cfg).run()
+        assert not live.is_dead_before(binary.entry + 8, int(Reg.A7))
+        assert live.is_dead_before(binary.entry + 8, int(Reg.T2))
+
+    def test_query_unknown_address_is_conservative(self):
+        binary, scan = scan_of("_start:\nret\n")
+        live = LivenessAnalysis(build_cfg(scan)).run()
+        assert live.dead_before(0xDEAD) == frozenset()

@@ -1,0 +1,171 @@
+"""Assembler tests: syntax, labels, pseudo-instructions, errors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.assembler import Assembler, AssemblyError, assemble
+from repro.isa.decoding import decode
+from repro.isa.disassembler import disassemble
+
+
+class TestBasics:
+    def test_simple_program_size(self):
+        p = assemble("addi a0, a0, 1\nadd a1, a1, a0\n")
+        assert len(p.code) == 8
+
+    def test_comments_and_blanks_ignored(self):
+        p = assemble("# leading comment\n\naddi a0, a0, 1  # trailing\n")
+        assert len(p.code) == 4
+
+    def test_labels_resolve_absolute(self):
+        p = assemble("start:\nnop\nend:\nnop\n", base=0x100)
+        assert p.labels == {"start": 0x100, "end": 0x104}
+
+    def test_label_same_line(self):
+        p = assemble("start: addi a0, a0, 1\n")
+        assert p.labels["start"] == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\nnop\na:\nnop\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate a0, a1\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("addi q0, a0, 1\n")
+
+    def test_memory_operand_forms(self):
+        p = assemble("lw t0, 8(sp)\nsw t0, -4(s0)\nld t1, (a0)\n")
+        instrs = disassemble(p.code)
+        assert instrs[0].imm == 8
+        assert instrs[1].imm == -4
+        assert instrs[2].imm == 0
+
+
+class TestBranchesAndJumps:
+    def test_backward_branch(self):
+        p = assemble("loop:\naddi a0, a0, -1\nbnez a0, loop\n")
+        branch = disassemble(p.code)[1]
+        assert branch.imm == -4
+
+    def test_forward_branch(self):
+        p = assemble("beq a0, a1, out\nnop\nout:\nnop\n")
+        assert disassemble(p.code)[0].imm == 8
+
+    def test_jal_with_and_without_rd(self):
+        p = assemble("f:\njal f\njal zero, f\n")
+        i1, i2 = disassemble(p.code)
+        assert i1.rd == 1 and i2.rd == 0
+
+    def test_j_and_ret(self):
+        p = assemble("x:\nj x\nret\n")
+        i1, i2 = disassemble(p.code)
+        assert i1.mnemonic == "jal" and i1.rd == 0
+        assert i2.mnemonic == "jalr" and i2.rd == 0 and i2.rs1 == 1
+
+    def test_call_uses_ra(self):
+        p = assemble("f:\ncall f\n")
+        assert disassemble(p.code)[0].rd == 1
+
+    def test_compressed_branch_to_label(self):
+        p = assemble("top:\nc.bnez a0, top\nc.j top\n")
+        i1, i2 = disassemble(p.code)
+        assert i1.imm == 0 and i2.imm == -2
+
+
+class TestPseudoExpansion:
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_li_small(self, value):
+        p = assemble(f"li a0, {value}\n")
+        assert len(p.code) == 4
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_li_any_value_assembles(self, value):
+        assemble(f"li a0, {value}\n")
+
+    def test_la_is_pc_relative(self):
+        p = assemble("la a0, target\nnop\ntarget:\nnop\n", base=0x4000)
+        auipc, addi = disassemble(p.code, 0x4000)[:2]
+        assert auipc.mnemonic == "auipc"
+        from repro.isa.fields import sign_extend
+        computed = 0x4000 + sign_extend(auipc.imm << 12, 32) + addi.imm
+        assert computed == p.labels["target"]
+
+    def test_mv_not_neg_seqz_snez(self):
+        p = assemble("mv a0, a1\nnot a2, a3\nneg a4, a5\nseqz a6, a7\nsnez t0, t1\n")
+        mnems = [i.mnemonic for i in disassemble(p.code)]
+        assert mnems == ["addi", "xori", "sub", "sltiu", "sltu"]
+
+    def test_nop(self):
+        p = assemble("nop\n")
+        i = disassemble(p.code)[0]
+        assert (i.mnemonic, i.rd, i.rs1, i.imm) == ("addi", 0, 0, 0)
+
+
+class TestDirectives:
+    def test_align_pads(self):
+        p = assemble("c.nop\n.align 3\nnop\n")
+        assert p.labels == {}
+        assert len(p.code) == 8 + 4
+
+    def test_space(self):
+        p = assemble(".space 6\nnop\n")
+        assert len(p.code) == 10
+
+    def test_data_words(self):
+        p = assemble(".word 0x11223344\n.dword 1\n.byte 1, 2\n.half 0x5566\n")
+        assert p.code[:4] == bytes([0x44, 0x33, 0x22, 0x11])
+        assert len(p.code) == 4 + 8 + 2 + 2
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError):
+            assemble(".bogus 1\n")
+
+
+class TestVectorSyntax:
+    def test_vsetvli_sew_names(self):
+        p = assemble("vsetvli t0, a0, e64\nvsetvli t1, a1, e32\n")
+        i1, i2 = disassemble(p.code)
+        from repro.isa.encoding import decode_vtype
+        assert decode_vtype(i1.imm) == 64
+        assert decode_vtype(i2.imm) == 32
+
+    def test_vsetvli_raw_vtype(self):
+        p = assemble("vsetvli t0, a0, 24\n")
+        assert disassemble(p.code)[0].imm == 24
+
+    def test_vector_mem_requires_zero_offset(self):
+        with pytest.raises(AssemblyError):
+            assemble("vle64.v v1, 8(a0)\n")
+
+    def test_vv_operand_order(self):
+        p = assemble("vsub.vv v3, v1, v2\n")
+        i = disassemble(p.code)[0]
+        assert (i.vd, i.vs2, i.vs1) == (3, 1, 2)
+
+
+class TestLiSemantics:
+    """li must materialize the exact value (checked via the CPU)."""
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_li_materializes_exact_value(self, value):
+        from repro.isa.extensions import RV64GCV
+        from repro.sim.cpu import Cpu
+        from repro.sim.memory import AddressSpace
+        from repro.elf.binary import Perm
+
+        p = assemble(f"li a0, {value}\nebreak\n", base=0x1000)
+        space = AddressSpace()
+        space.map(".text", 0x1000, bytearray(p.code), Perm.RX)
+        cpu = Cpu(space, RV64GCV)
+        cpu.pc = 0x1000
+        from repro.sim.faults import BreakpointTrap
+        try:
+            for _ in range(32):
+                cpu.step()
+        except BreakpointTrap:
+            pass
+        assert cpu.get_reg(10) == value & (2**64 - 1)

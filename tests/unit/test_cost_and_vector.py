@@ -1,0 +1,121 @@
+"""Cost model, vector unit, and ArchParams tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import Instruction
+from repro.sim.cost import ArchParams, CostModel, DEFAULT_ARCH
+from repro.sim.vector import VectorUnit
+
+
+class TestArchParams:
+    def test_scaled_divides_jal_reach(self):
+        scaled = DEFAULT_ARCH.scaled(16)
+        assert scaled.jal_reach == DEFAULT_ARCH.jal_reach // 16
+        assert scaled.scale == 16
+        # Costs are architectural, not layout: unscaled.
+        assert scaled.trap_cost == DEFAULT_ARCH.trap_cost
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_ARCH.trap_cost = 1  # type: ignore[misc]
+
+    def test_hashable_for_caches(self):
+        assert hash(DEFAULT_ARCH) == hash(ArchParams())
+
+
+class TestCostModel:
+    def test_alu_cheapest(self):
+        m = CostModel()
+        assert m.instruction_cost(Instruction("add", rd=1, rs1=2, rs2=3)) == 1
+
+    def test_loads_cost_more(self):
+        m = CostModel()
+        assert m.instruction_cost(Instruction("ld", rd=1, rs1=2, imm=0)) > 1
+
+    def test_div_expensive(self):
+        m = CostModel()
+        assert m.instruction_cost(Instruction("div", rd=1, rs1=2, rs2=3)) >= 10
+
+    def test_taken_branch_penalty(self):
+        m = CostModel()
+        b = Instruction("beq", rs1=1, rs2=2, imm=8)
+        assert m.instruction_cost(b, taken=True) == m.instruction_cost(b, taken=False) + 1
+
+    def test_vector_default_cost(self):
+        from repro.isa.extensions import Extension
+
+        m = CostModel()
+        v = Instruction("vadd.vv", vd=1, vs2=2, vs1=3, extension=Extension.V)
+        assert m.instruction_cost(v) == 2
+
+    def test_trap_and_fault_costs_exposed(self):
+        m = CostModel()
+        assert m.trap_cost == DEFAULT_ARCH.trap_cost
+        assert m.fault_handling_cost == DEFAULT_ARCH.fault_handling_cost
+        assert m.fault_handling_cost >= m.trap_cost  # fault adds table work
+
+
+class TestVectorUnit:
+    def test_vlmax_by_sew(self):
+        vu = VectorUnit(256)
+        assert vu.set_vl(100, 64) == 4
+        assert vu.set_vl(100, 32) == 8
+
+    def test_set_vl_passthrough(self):
+        vu = VectorUnit(256)
+        assert vu.set_vl(3, 64) == 3
+
+    def test_bad_sew_rejected(self):
+        vu = VectorUnit(256)
+        with pytest.raises(ValueError):
+            vu.set_vl(4, 16)
+
+    def test_bad_vlen_rejected(self):
+        with pytest.raises(ValueError):
+            VectorUnit(100)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=4))
+    def test_elem_roundtrip_64(self, values):
+        vu = VectorUnit(256)
+        vu.set_vl(len(values), 64)
+        vu.write_elems(3, values)
+        assert vu.read_elems(3, len(values)) == values
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=8))
+    def test_elem_roundtrip_32(self, values):
+        vu = VectorUnit(256)
+        vu.set_vl(len(values), 32)
+        vu.write_elems(1, values)
+        assert vu.read_elems(1, len(values)) == values
+
+    def test_write_wraps_to_sew(self):
+        vu = VectorUnit(256)
+        vu.set_vl(1, 32)
+        vu.write_elem(0, 0, 2**40 + 7)
+        assert vu.read_elem(0, 0) == 7
+
+    def test_signed_elem(self):
+        vu = VectorUnit(256)
+        vu.set_vl(1, 64)
+        vu.write_elem(0, 0, 2**64 - 5)
+        assert vu.signed_elem(0, 0) == -5
+
+    def test_reg_bytes_roundtrip(self):
+        vu = VectorUnit(256)
+        data = bytes(range(32))
+        vu.load_reg_bytes(7, data)
+        assert vu.reg_bytes(7) == data
+        with pytest.raises(ValueError):
+            vu.load_reg_bytes(7, b"short")
+
+    def test_snapshot_restore(self):
+        vu = VectorUnit(256)
+        vu.set_vl(4, 64)
+        vu.write_elems(2, [9, 8, 7, 6])
+        snap = vu.snapshot()
+        vu.write_elems(2, [0, 0, 0, 0])
+        vu.set_vl(8, 32)
+        vu.restore(snap)
+        assert vu.vl == 4 and vu.sew == 64
+        assert vu.read_elems(2, 4) == [9, 8, 7, 6]

@@ -1,0 +1,309 @@
+"""Interpreter semantics: each instruction class against a Python model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.elf.binary import Perm
+from repro.isa.assembler import assemble
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.isa.fields import sign_extend
+from repro.sim.cpu import Cpu
+from repro.sim.faults import (
+    BreakpointTrap,
+    EcallTrap,
+    IllegalInstructionFault,
+    SegmentationFault,
+)
+from repro.sim.memory import AddressSpace
+
+U64 = st.integers(min_value=0, max_value=2**64 - 1)
+MASK = 2**64 - 1
+
+
+def make_cpu(asm: str, *, profile=RV64GCV, data_size=4096) -> Cpu:
+    p = assemble(asm + "\nebreak\n", base=0x1000)
+    space = AddressSpace()
+    space.map(".text", 0x1000, bytearray(p.code), Perm.RX)
+    space.map(".data", 0x8000, data_size, Perm.RW)
+    cpu = Cpu(space, profile)
+    cpu.pc = 0x1000
+    return cpu
+
+
+def run_to_break(cpu: Cpu, limit: int = 10_000) -> Cpu:
+    try:
+        for _ in range(limit):
+            cpu.step()
+        raise AssertionError("program did not reach ebreak")
+    except BreakpointTrap:
+        return cpu
+
+
+def _s(v):
+    return v - 2**64 if v >> 63 else v
+
+
+class TestIntegerALU:
+    @given(U64, U64)
+    @settings(max_examples=30)
+    def test_add_sub(self, a, b):
+        cpu = make_cpu("add a2, a0, a1\nsub a3, a0, a1")
+        cpu.set_reg(10, a)
+        cpu.set_reg(11, b)
+        run_to_break(cpu)
+        assert cpu.get_reg(12) == (a + b) & MASK
+        assert cpu.get_reg(13) == (a - b) & MASK
+
+    @given(U64, U64)
+    @settings(max_examples=30)
+    def test_logic(self, a, b):
+        cpu = make_cpu("and a2, a0, a1\nor a3, a0, a1\nxor a4, a0, a1")
+        cpu.set_reg(10, a)
+        cpu.set_reg(11, b)
+        run_to_break(cpu)
+        assert cpu.get_reg(12) == a & b
+        assert cpu.get_reg(13) == a | b
+        assert cpu.get_reg(14) == a ^ b
+
+    @given(U64, st.integers(min_value=0, max_value=63))
+    @settings(max_examples=30)
+    def test_shifts(self, a, sh):
+        cpu = make_cpu(f"slli a2, a0, {sh}\nsrli a3, a0, {sh}\nsrai a4, a0, {sh}")
+        cpu.set_reg(10, a)
+        run_to_break(cpu)
+        assert cpu.get_reg(12) == (a << sh) & MASK
+        assert cpu.get_reg(13) == a >> sh
+        assert cpu.get_reg(14) == (_s(a) >> sh) & MASK
+
+    @given(U64, U64)
+    @settings(max_examples=30)
+    def test_slt(self, a, b):
+        cpu = make_cpu("slt a2, a0, a1\nsltu a3, a0, a1")
+        cpu.set_reg(10, a)
+        cpu.set_reg(11, b)
+        run_to_break(cpu)
+        assert cpu.get_reg(12) == (1 if _s(a) < _s(b) else 0)
+        assert cpu.get_reg(13) == (1 if a < b else 0)
+
+    @given(U64, U64)
+    @settings(max_examples=30)
+    def test_word_ops_sign_extend(self, a, b):
+        cpu = make_cpu("addw a2, a0, a1\nsubw a3, a0, a1")
+        cpu.set_reg(10, a)
+        cpu.set_reg(11, b)
+        run_to_break(cpu)
+        assert cpu.get_reg(12) == sign_extend((a + b) & 0xFFFFFFFF, 32) & MASK
+        assert cpu.get_reg(13) == sign_extend((a - b) & 0xFFFFFFFF, 32) & MASK
+
+    def test_x0_is_hardwired(self):
+        cpu = make_cpu("addi zero, zero, 5\nadd a0, zero, zero")
+        run_to_break(cpu)
+        assert cpu.get_reg(0) == 0
+        assert cpu.get_reg(10) == 0
+
+
+class TestMulDiv:
+    @given(U64, U64)
+    @settings(max_examples=30)
+    def test_mul_and_high_parts(self, a, b):
+        cpu = make_cpu("mul a2, a0, a1\nmulhu a3, a0, a1\nmulh a4, a0, a1")
+        cpu.set_reg(10, a)
+        cpu.set_reg(11, b)
+        run_to_break(cpu)
+        assert cpu.get_reg(12) == (a * b) & MASK
+        assert cpu.get_reg(13) == (a * b) >> 64
+        assert cpu.get_reg(14) == ((_s(a) * _s(b)) >> 64) & MASK
+
+    @given(U64, U64)
+    @settings(max_examples=30)
+    def test_div_rem_signed(self, a, b):
+        cpu = make_cpu("div a2, a0, a1\nrem a3, a0, a1")
+        cpu.set_reg(10, a)
+        cpu.set_reg(11, b)
+        run_to_break(cpu)
+        sa, sb = _s(a), _s(b)
+        if sb == 0:
+            assert cpu.get_reg(12) == MASK
+            assert cpu.get_reg(13) == a
+        elif sa == -(2**63) and sb == -1:
+            assert cpu.get_reg(12) == a
+            assert cpu.get_reg(13) == 0
+        else:
+            q = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                q = -q
+            r = sa - sb * q
+            assert cpu.get_reg(12) == q & MASK
+            assert cpu.get_reg(13) == r & MASK
+
+    def test_divu_by_zero(self):
+        cpu = make_cpu("divu a2, a0, a1\nremu a3, a0, a1")
+        cpu.set_reg(10, 77)
+        run_to_break(cpu)
+        assert cpu.get_reg(12) == MASK
+        assert cpu.get_reg(13) == 77
+
+
+class TestZba:
+    @given(U64, U64)
+    @settings(max_examples=20)
+    def test_shadd(self, a, b):
+        cpu = make_cpu("sh1add a2, a0, a1\nsh2add a3, a0, a1\nsh3add a4, a0, a1")
+        cpu.set_reg(10, a)
+        cpu.set_reg(11, b)
+        run_to_break(cpu)
+        assert cpu.get_reg(12) == ((a << 1) + b) & MASK
+        assert cpu.get_reg(13) == ((a << 2) + b) & MASK
+        assert cpu.get_reg(14) == ((a << 3) + b) & MASK
+
+
+class TestMemory:
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    @settings(max_examples=20)
+    def test_store_load_widths(self, value):
+        cpu = make_cpu(
+            "li t0, 0x8000\n"
+            "sw a0, 0(t0)\nlw a1, 0(t0)\nlwu a2, 0(t0)\n"
+            "sd a0, 8(t0)\nld a3, 8(t0)\n"
+        )
+        cpu.set_reg(10, value & MASK)
+        run_to_break(cpu)
+        assert cpu.get_reg(11) == sign_extend(value & 0xFFFFFFFF, 32) & MASK
+        assert cpu.get_reg(12) == value & 0xFFFFFFFF
+        assert cpu.get_reg(13) == value & MASK
+
+    def test_byte_halfword(self):
+        cpu = make_cpu(
+            "li t0, 0x8000\nli a0, 0x1FF\n"
+            "sb a0, 0(t0)\nlb a1, 0(t0)\nlbu a2, 0(t0)\n"
+            "sh a0, 2(t0)\nlh a3, 2(t0)\nlhu a4, 2(t0)\n"
+        )
+        run_to_break(cpu)
+        assert cpu.get_reg(11) == MASK  # 0xFF sign-extends to -1
+        assert cpu.get_reg(12) == 0xFF
+        assert cpu.get_reg(13) == 0x1FF
+        assert cpu.get_reg(14) == 0x1FF
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not(self):
+        cpu = make_cpu(
+            "li a0, 1\nbeqz a0, bad\nli a1, 7\nj out\nbad:\nli a1, 9\nout:\n"
+        )
+        run_to_break(cpu)
+        assert cpu.get_reg(11) == 7
+
+    def test_jal_links(self):
+        cpu = make_cpu("jal a0, next\nnext:\n")
+        run_to_break(cpu)
+        assert cpu.get_reg(10) == 0x1004
+
+    def test_jalr_clears_low_bit(self):
+        # li expands to 8 bytes, so the jalr sits at 0x1008 and the next
+        # instruction at 0x100c; target 0x100d clears its low bit.
+        cpu = make_cpu("li t0, 0x100d\njalr a0, 0(t0)\nnop\nnop\n")
+        run_to_break(cpu)
+        assert cpu.get_reg(10) == 0x100c  # link = jalr addr + 4
+
+    def test_fault_leaves_pc_on_faulting_instruction(self):
+        cpu = make_cpu("li t0, 0x8000\njr t0\n")
+        with pytest.raises(SegmentationFault) as exc:
+            run_to_break(cpu)
+        assert exc.value.access == "exec"
+        assert cpu.pc == 0x8000
+
+
+class TestExtensionGating:
+    def test_vector_on_base_core_faults(self):
+        cpu = make_cpu("vsetvli t0, a0, e64", profile=RV64GC)
+        with pytest.raises(IllegalInstructionFault) as exc:
+            run_to_break(cpu)
+        assert exc.value.kind == "unsupported-extension"
+
+    def test_zba_on_base_core_faults(self):
+        cpu = make_cpu("sh1add a0, a1, a2", profile=RV64GC)
+        with pytest.raises(IllegalInstructionFault) as exc:
+            run_to_break(cpu)
+        assert exc.value.kind == "unsupported-extension"
+
+    def test_ecall_raises_with_pc(self):
+        cpu = make_cpu("nop\necall")
+        with pytest.raises(EcallTrap) as exc:
+            run_to_break(cpu)
+        assert exc.value.pc == 0x1004
+
+
+class TestVectorSemantics:
+    def test_strip_mine_vl(self):
+        cpu = make_cpu("li a0, 9\nvsetvli t0, a0, e64")
+        run_to_break(cpu)
+        assert cpu.get_reg(5) == 4  # VLEN=256, SEW=64 -> VLMAX=4
+
+    def test_vsetvli_rs1_x0_gives_vlmax(self):
+        cpu = make_cpu("vsetvli t0, zero, e32")
+        run_to_break(cpu)
+        assert cpu.get_reg(5) == 8
+
+    def test_vector_load_compute_store(self):
+        cpu = make_cpu(
+            "li t0, 0x8000\nli a0, 4\n"
+            "vsetvli a1, a0, e64\n"
+            "li a2, 3\nsd a2, 0(t0)\nli a2, 5\nsd a2, 8(t0)\n"
+            "li a2, 7\nsd a2, 16(t0)\nli a2, 11\nsd a2, 24(t0)\n"
+            "vle64.v v1, (t0)\n"
+            "vmul.vv v2, v1, v1\n"
+            "li t1, 0x8100\nvse64.v v2, (t1)\n"
+        )
+        run_to_break(cpu)
+        got = [cpu.space.read_u64(0x8100 + 8 * i) for i in range(4)]
+        assert got == [9, 25, 49, 121]
+
+    def test_vmacc_accumulates(self):
+        cpu = make_cpu(
+            "li a0, 2\nvsetvli t0, a0, e64\n"
+            "li a1, 3\nvmv.v.x v1, a1\n"
+            "li a1, 4\nvmv.v.x v2, a1\n"
+            "vmv.v.i v3, 1\n"
+            "vmacc.vv v3, v1, v2\n"
+        )
+        run_to_break(cpu)
+        assert cpu.vector.read_elems(3, 2) == [13, 13]
+
+    def test_vredsum(self):
+        cpu = make_cpu(
+            "li a0, 4\nvsetvli t0, a0, e64\n"
+            "vmv.v.i v1, 5\nvmv.v.i v2, 2\n"
+            "vredsum.vs v3, v1, v2\n"
+        )
+        run_to_break(cpu)
+        assert cpu.vector.read_elem(3, 0) == 4 * 5 + 2
+
+    def test_tail_lanes_preserved(self):
+        cpu = make_cpu(
+            "li a0, 4\nvsetvli t0, a0, e64\nvmv.v.i v1, 9\n"
+            "li a0, 2\nvsetvli t0, a0, e64\nvmv.v.i v1, 1\n"
+        )
+        run_to_break(cpu)
+        cpu.vector.set_vl(4, 64)
+        assert cpu.vector.read_elems(1, 4) == [1, 1, 9, 9]
+
+
+class TestDecodeCache:
+    def test_cache_invalidated_by_patch(self):
+        cpu = make_cpu("addi a0, a0, 1\nnop")
+        cpu.step()
+        assert cpu.get_reg(10) == 1
+        # Patch the first instruction to addi a0, a0, 2 and re-run it.
+        from repro.isa.encoding import encode
+        from repro.isa.instructions import Instruction
+
+        cpu.space.patch_code(0x1000, encode(Instruction("addi", rd=10, rs1=10, imm=2)))
+        cpu.pc = 0x1000
+        cpu.step()
+        assert cpu.get_reg(10) == 3
+
+    def test_counters_and_instret(self):
+        cpu = make_cpu("nop\nnop\nnop")
+        run_to_break(cpu)
+        assert cpu.instret == 3
+        assert cpu.cycles >= 3

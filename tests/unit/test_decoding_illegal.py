@@ -1,0 +1,101 @@
+"""Reserved/illegal encoding behavior — SMILE's fault surface."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.decoding import IllegalEncodingError, decode, instruction_length
+from repro.isa.fields import p16, p32
+
+
+def expect_illegal(data: bytes, kind: str | None = None):
+    with pytest.raises(IllegalEncodingError) as exc:
+        decode(data, 0)
+    if kind is not None:
+        assert exc.value.kind == kind
+    return exc.value
+
+
+class TestParcelLengthRules:
+    def test_compressed_low_bits(self):
+        assert instruction_length(0b01) == 2
+        assert instruction_length(0b10) == 2
+        assert instruction_length(0b00) == 2
+
+    def test_32bit_low_bits(self):
+        assert instruction_length(0b0000011) == 4  # load opcode
+
+    def test_long_prefix_raises(self):
+        # Any parcel whose low 5 bits are 11111 announces >=48-bit.
+        with pytest.raises(IllegalEncodingError) as exc:
+            instruction_length(0b11111)
+        assert exc.value.kind == "long-prefix"
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_length_partition(self, parcel):
+        """Every parcel is 2-byte, 4-byte, or a long-prefix fault."""
+        try:
+            assert instruction_length(parcel) in (2, 4)
+        except IllegalEncodingError as exc:
+            assert parcel & 0b11111 == 0b11111
+            assert exc.kind == "long-prefix"
+
+
+class TestReservedCompressed:
+    def test_all_zero_parcel(self):
+        expect_illegal(p16(0x0000), "reserved-compressed")
+
+    def test_c_addiw_rd0(self):
+        # Q1, funct3=001, rd=0 — the encoding SMILE's jalr parcel becomes.
+        parcel = (0b001 << 13) | 0b01
+        expect_illegal(p16(parcel), "reserved-compressed")
+
+    def test_c_addi4spn_zero_imm(self):
+        expect_illegal(p16(0b000_00000000_000_00), "reserved-compressed")
+
+    def test_c_jr_x0(self):
+        parcel = (0b100 << 13) | (0 << 12) | (0 << 7) | 0b10
+        expect_illegal(p16(parcel), "reserved-compressed")
+
+    def test_c_lwsp_rd0(self):
+        parcel = (0b010 << 13) | (0 << 7) | 0b10
+        expect_illegal(p16(parcel), "reserved-compressed")
+
+    def test_c_lui_imm0(self):
+        parcel = (0b011 << 13) | (5 << 7) | 0b01  # imm bits all zero
+        expect_illegal(p16(parcel), "reserved-compressed")
+
+
+class TestUnknown32Bit:
+    def test_unknown_major_opcode(self):
+        expect_illegal(p32(0b1111011), "unknown")  # custom-3 space
+
+    def test_bad_branch_funct3(self):
+        word = (0b010 << 12) | 0x63  # funct3=010 unused in BRANCH
+        expect_illegal(p32(word), "unknown")
+
+    def test_bad_system(self):
+        word = (7 << 20) | 0x73
+        expect_illegal(p32(word), "unknown")
+
+    def test_unimplemented_vector_funct6(self):
+        word = (0b111111 << 26) | (0b000 << 12) | 0x57  # OPIVV funct6=111111
+        expect_illegal(p32(word))
+
+
+class TestTruncation:
+    def test_empty(self):
+        expect_illegal(b"", "truncated")
+
+    def test_half_of_32bit(self):
+        expect_illegal(p32(0x00000033)[:2], "truncated")
+
+
+class TestDecodeAddrBinding:
+    def test_addr_recorded(self):
+        from repro.isa.encoding import encode
+        from repro.isa.instructions import Instruction
+
+        data = encode(Instruction("jal", rd=0, imm=8))
+        instr = decode(data, 0, addr=0x1000)
+        assert instr.addr == 0x1000
+        assert instr.target() == 0x1008

@@ -1,0 +1,142 @@
+"""Binary container, builder, and loader tests."""
+
+import pytest
+
+from repro.elf.binary import Binary, Perm, Section, Symbol
+from repro.elf.builder import GP_OFFSET, BuildError, ProgramBuilder
+from repro.elf.loader import load_binary, make_process
+from repro.sim.faults import SegmentationFault
+
+
+def simple_binary() -> Binary:
+    b = ProgramBuilder("t")
+    b.add_words("arr", [1, 2, 3])
+    b.set_text("_start:\nnop\nret\n")
+    return b.build()
+
+
+class TestSection:
+    def test_read_write_bounds(self):
+        s = Section(".d", 0x100, bytearray(16), Perm.RW)
+        s.write(0x108, b"\x01\x02")
+        assert s.read(0x108, 2) == b"\x01\x02"
+        with pytest.raises(ValueError):
+            s.read(0x100, 17)
+        with pytest.raises(ValueError):
+            s.write(0xFF, b"x")
+
+    def test_contains(self):
+        s = Section(".d", 0x100, bytearray(16), Perm.RW)
+        assert s.contains(0x100) and s.contains(0x10F)
+        assert not s.contains(0x110)
+
+
+class TestBinary:
+    def test_overlap_rejected(self):
+        b = Binary("t")
+        b.add_section(Section(".a", 0x0, bytearray(16), Perm.R))
+        with pytest.raises(ValueError):
+            b.add_section(Section(".b", 0x8, bytearray(16), Perm.R))
+
+    def test_section_lookup(self):
+        binary = simple_binary()
+        assert binary.text.name == ".text"
+        assert binary.section_at(binary.entry) is binary.text
+        assert binary.section_at(0xDEAD0000) is None
+        with pytest.raises(KeyError):
+            binary.section("nope")
+
+    def test_clone_is_deep(self):
+        binary = simple_binary()
+        clone = binary.clone()
+        clone.text.data[0] = 0xFF
+        assert binary.text.data[0] != 0xFF
+        assert clone.entry == binary.entry
+        assert clone.global_pointer == binary.global_pointer
+
+    def test_total_code_size(self):
+        binary = simple_binary()
+        assert binary.total_code_size() == binary.text.size
+
+
+class TestBuilder:
+    def test_gp_points_into_data(self):
+        binary = simple_binary()
+        gp = binary.global_pointer
+        section = binary.section_at(gp)
+        assert section is not None and Perm.W in section.perm
+        assert Perm.X not in section.perm  # the SMILE precondition
+        assert gp == binary.data.addr + GP_OFFSET
+
+    def test_data_symbols(self):
+        b = ProgramBuilder("t")
+        a1 = b.add_words("a1", [1])
+        a2 = b.add_words("a2", [2, 3])
+        b.set_text("_start:\nret\n")
+        binary = b.build()
+        assert binary.symbol_addr("a1") == a1
+        assert binary.symbol_addr("a2") == a2
+        assert binary.symbols["a2"].size == 16
+
+    def test_text_placeholders(self):
+        b = ProgramBuilder("t")
+        addr = b.add_words("blob", [7])
+        b.set_text("_start:\nli a0, {blob}\nret\n")
+        binary = b.build()
+        assert binary.entry == binary.symbol_addr("_start")
+
+    def test_unknown_placeholder_rejected(self):
+        b = ProgramBuilder("t")
+        b.set_text("_start:\nli a0, {nosuch}\nret\n")
+        with pytest.raises(BuildError):
+            b.build()
+
+    def test_missing_entry_rejected(self):
+        b = ProgramBuilder("t")
+        b.set_text("main:\nret\n")
+        with pytest.raises(BuildError):
+            b.build()
+
+    def test_mark_function_exports_func_symbol(self):
+        b = ProgramBuilder("t")
+        b.set_text("_start:\nret\nhelper:\nret\n")
+        b.mark_function("helper")
+        binary = b.build()
+        assert binary.symbols["helper"].kind == "func"
+        assert binary.symbols["_start"].kind == "func"
+
+
+class TestLoader:
+    def test_segments_and_permissions(self):
+        binary = simple_binary()
+        space = load_binary(binary)
+        text_seg = space.segment_at(binary.entry)
+        assert Perm.X in text_seg.perm
+        data_seg = space.segment_at(binary.data.addr)
+        assert Perm.W in data_seg.perm and Perm.X not in data_seg.perm
+        # Executing from data faults deterministically.
+        with pytest.raises(SegmentationFault):
+            space.fetch(binary.data.addr, 4)
+
+    def test_copy_isolation(self):
+        binary = simple_binary()
+        space = load_binary(binary)
+        space.write(binary.symbol_addr("arr"), b"\xAA")
+        assert binary.data.read(binary.symbol_addr("arr"), 1) != b"\xAA"
+
+    def test_shared_data_between_spaces(self):
+        binary = simple_binary()
+        s1 = load_binary(binary)
+        s2 = load_binary(binary, share_data_from=s1)
+        addr = binary.symbol_addr("arr")
+        s1.write(addr, b"\x55")
+        assert s2.read(addr, 1) == b"\x55"  # MMView property
+        # Code is NOT shared.
+        assert s1.segment_at(binary.entry).data is not s2.segment_at(binary.entry).data
+
+    def test_make_process_seeds_abi(self):
+        binary = simple_binary()
+        proc = make_process(binary)
+        assert proc.gp == binary.global_pointer
+        assert proc.entry == binary.entry
+        assert proc.sp > 0

@@ -1,0 +1,241 @@
+"""Encode->decode roundtrip coverage for the implemented instruction set.
+
+Every instruction the encoder can produce must decode back to the same
+mnemonic and operands — this pins the bit-level layouts the SMILE
+trampoline math depends on.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.decoding import decode
+from repro.isa.encoding import EncodingError, encode, encode_vtype, decode_vtype
+from repro.isa.instructions import Instruction
+
+REG = st.integers(min_value=0, max_value=31)
+NZREG = st.integers(min_value=1, max_value=31)
+RVC_REG = st.integers(min_value=8, max_value=15)
+IMM12 = st.integers(min_value=-2048, max_value=2047)
+SHAMT6 = st.integers(min_value=0, max_value=63)
+
+
+def roundtrip(instr: Instruction) -> Instruction:
+    data = encode(instr)
+    back = decode(data, 0, addr=0)
+    assert back.mnemonic == instr.mnemonic
+    assert len(data) == instr.length
+    return back
+
+
+class TestRType:
+    @pytest.mark.parametrize("mnem", [
+        "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+        "addw", "subw", "sllw", "srlw", "sraw",
+        "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+        "mulw", "divw", "divuw", "remw", "remuw",
+        "sh1add", "sh2add", "sh3add",
+    ])
+    def test_all_r_type(self, mnem):
+        back = roundtrip(Instruction(mnem, rd=5, rs1=6, rs2=7))
+        assert (back.rd, back.rs1, back.rs2) == (5, 6, 7)
+
+    @given(REG, REG, REG)
+    def test_add_operand_fields(self, rd, rs1, rs2):
+        back = roundtrip(Instruction("add", rd=rd, rs1=rs1, rs2=rs2))
+        assert (back.rd, back.rs1, back.rs2) == (rd, rs1, rs2)
+
+
+class TestIType:
+    @pytest.mark.parametrize("mnem", ["addi", "slti", "sltiu", "xori", "ori", "andi", "addiw"])
+    @given(imm=IMM12)
+    def test_imm_arith(self, mnem, imm):
+        back = roundtrip(Instruction(mnem, rd=3, rs1=4, imm=imm))
+        assert back.imm == imm
+
+    @pytest.mark.parametrize("mnem", ["slli", "srli", "srai"])
+    @given(shamt=SHAMT6)
+    def test_shifts(self, mnem, shamt):
+        back = roundtrip(Instruction(mnem, rd=10, rs1=11, imm=shamt))
+        assert back.imm == shamt
+
+    @pytest.mark.parametrize("mnem", ["slliw", "srliw", "sraiw"])
+    def test_word_shifts(self, mnem):
+        back = roundtrip(Instruction(mnem, rd=10, rs1=11, imm=17))
+        assert back.imm == 17
+
+    def test_imm_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=2048))
+
+    @given(IMM12)
+    def test_jalr(self, imm):
+        back = roundtrip(Instruction("jalr", rd=1, rs1=5, imm=imm))
+        assert back.imm == imm
+
+
+class TestLoadsStores:
+    @pytest.mark.parametrize("mnem", ["lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"])
+    @given(imm=IMM12)
+    def test_loads(self, mnem, imm):
+        back = roundtrip(Instruction(mnem, rd=8, rs1=9, imm=imm))
+        assert (back.rd, back.rs1, back.imm) == (8, 9, imm)
+
+    @pytest.mark.parametrize("mnem", ["sb", "sh", "sw", "sd"])
+    @given(imm=IMM12)
+    def test_stores(self, mnem, imm):
+        back = roundtrip(Instruction(mnem, rs1=9, rs2=8, imm=imm))
+        assert (back.rs1, back.rs2, back.imm) == (9, 8, imm)
+
+
+class TestControl:
+    @pytest.mark.parametrize("mnem", ["beq", "bne", "blt", "bge", "bltu", "bgeu"])
+    @given(imm=st.integers(min_value=-2048, max_value=2047).map(lambda x: x * 2))
+    def test_branches(self, mnem, imm):
+        back = roundtrip(Instruction(mnem, rs1=1, rs2=2, imm=imm))
+        assert back.imm == imm
+
+    @given(st.integers(min_value=-(2**19), max_value=2**19 - 1).map(lambda x: x * 2))
+    def test_jal(self, imm):
+        back = roundtrip(Instruction("jal", rd=1, imm=imm))
+        assert back.imm == imm
+
+    def test_branch_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction("beq", rs1=0, rs2=0, imm=3))
+
+    @given(st.integers(min_value=0, max_value=0xFFFFF))
+    def test_lui_auipc(self, imm20):
+        for mnem in ("lui", "auipc"):
+            back = roundtrip(Instruction(mnem, rd=7, imm=imm20))
+            assert back.imm == imm20
+
+
+class TestSystem:
+    @pytest.mark.parametrize("mnem", ["ecall", "ebreak", "fence"])
+    def test_system(self, mnem):
+        roundtrip(Instruction(mnem))
+
+
+class TestCompressed:
+    @given(NZREG, st.integers(min_value=-32, max_value=31))
+    def test_c_addi(self, rd, imm):
+        back = roundtrip(Instruction("c.addi", rd=rd, rs1=rd, imm=imm, length=2))
+        assert back.rd == rd and back.imm == imm
+
+    @given(NZREG, st.integers(min_value=-32, max_value=31))
+    def test_c_addiw(self, rd, imm):
+        back = roundtrip(Instruction("c.addiw", rd=rd, rs1=rd, imm=imm, length=2))
+        assert back.imm == imm
+
+    @given(NZREG, st.integers(min_value=-32, max_value=31))
+    def test_c_li(self, rd, imm):
+        back = roundtrip(Instruction("c.li", rd=rd, imm=imm, length=2))
+        assert back.imm == imm
+
+    @given(RVC_REG, RVC_REG)
+    def test_c_alu(self, rd, rs2):
+        for mnem in ("c.sub", "c.xor", "c.or", "c.and", "c.subw", "c.addw"):
+            back = roundtrip(Instruction(mnem, rd=rd, rs1=rd, rs2=rs2, length=2))
+            assert (back.rd, back.rs2) == (rd, rs2)
+
+    @given(NZREG, NZREG)
+    def test_c_mv_add(self, rd, rs2):
+        back = roundtrip(Instruction("c.mv", rd=rd, rs2=rs2, length=2))
+        assert (back.rd, back.rs2) == (rd, rs2)
+        back = roundtrip(Instruction("c.add", rd=rd, rs1=rd, rs2=rs2, length=2))
+        assert (back.rd, back.rs2) == (rd, rs2)
+
+    @given(st.integers(min_value=-1024, max_value=1023).map(lambda x: x * 2))
+    def test_c_j(self, imm):
+        back = roundtrip(Instruction("c.j", imm=imm, length=2))
+        assert back.imm == imm
+
+    @given(RVC_REG, st.integers(min_value=-128, max_value=127).map(lambda x: x * 2))
+    def test_c_branches(self, rs1, imm):
+        for mnem in ("c.beqz", "c.bnez"):
+            back = roundtrip(Instruction(mnem, rs1=rs1, imm=imm, length=2))
+            assert (back.rs1, back.imm) == (rs1, imm)
+
+    @given(RVC_REG, RVC_REG, st.integers(min_value=0, max_value=31).map(lambda x: x * 8))
+    def test_c_ld_sd(self, rd, rs1, imm):
+        back = roundtrip(Instruction("c.ld", rd=rd, rs1=rs1, imm=imm, length=2))
+        assert (back.rd, back.rs1, back.imm) == (rd, rs1, imm)
+        back = roundtrip(Instruction("c.sd", rs1=rs1, rs2=rd, imm=imm, length=2))
+        assert (back.rs1, back.rs2, back.imm) == (rs1, rd, imm)
+
+    @given(RVC_REG, RVC_REG, st.integers(min_value=0, max_value=31).map(lambda x: x * 4))
+    def test_c_lw_sw(self, rd, rs1, imm):
+        back = roundtrip(Instruction("c.lw", rd=rd, rs1=rs1, imm=imm, length=2))
+        assert back.imm == imm
+        back = roundtrip(Instruction("c.sw", rs1=rs1, rs2=rd, imm=imm, length=2))
+        assert back.imm == imm
+
+    @given(NZREG, st.integers(min_value=0, max_value=31).map(lambda x: x * 8))
+    def test_c_ldsp_sdsp(self, rd, imm):
+        back = roundtrip(Instruction("c.ldsp", rd=rd, rs1=2, imm=imm, length=2))
+        assert back.imm == imm
+        back = roundtrip(Instruction("c.sdsp", rs1=2, rs2=rd, imm=imm, length=2))
+        assert back.imm == imm
+
+    def test_c_jr_jalr(self):
+        back = roundtrip(Instruction("c.jr", rs1=5, length=2))
+        assert back.rs1 == 5
+        back = roundtrip(Instruction("c.jalr", rd=1, rs1=5, length=2))
+        assert back.rs1 == 5 and back.rd == 1
+
+    def test_c_nop_and_ebreak(self):
+        roundtrip(Instruction("c.nop", length=2))
+        roundtrip(Instruction("c.ebreak", length=2))
+
+    def test_reserved_c_encodings_rejected_by_encoder(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("c.addiw", rd=0, rs1=0, imm=1, length=2))
+        with pytest.raises(EncodingError):
+            encode(Instruction("c.jr", rs1=0, length=2))
+
+
+class TestVector:
+    def test_vsetvli(self):
+        back = roundtrip(Instruction("vsetvli", rd=5, rs1=6, imm=encode_vtype(64)))
+        assert decode_vtype(back.imm) == 64
+
+    @pytest.mark.parametrize("mnem", ["vadd.vv", "vsub.vv", "vmul.vv", "vmacc.vv",
+                                      "vand.vv", "vor.vv", "vxor.vv", "vredsum.vs"])
+    def test_vv_forms(self, mnem):
+        back = roundtrip(Instruction(mnem, vd=1, vs2=2, vs1=3))
+        assert (back.vd, back.vs2, back.vs1) == (1, 2, 3)
+
+    def test_vadd_vx(self):
+        back = roundtrip(Instruction("vadd.vx", vd=4, vs2=5, rs1=10))
+        assert (back.vd, back.vs2, back.rs1) == (4, 5, 10)
+
+    @given(st.integers(min_value=-16, max_value=15))
+    def test_vadd_vi(self, imm):
+        back = roundtrip(Instruction("vadd.vi", vd=4, vs2=5, imm=imm))
+        assert back.imm == imm
+
+    def test_vmv_forms(self):
+        back = roundtrip(Instruction("vmv.v.x", vd=2, vs2=0, rs1=11))
+        assert back.rs1 == 11
+        back = roundtrip(Instruction("vmv.v.i", vd=2, vs2=0, imm=-3))
+        assert back.imm == -3
+
+    @pytest.mark.parametrize("mnem", ["vle32.v", "vle64.v", "vse32.v", "vse64.v"])
+    def test_vector_memory(self, mnem):
+        back = roundtrip(Instruction(mnem, vd=7, rs1=12))
+        assert (back.vd, back.rs1) == (7, 12)
+
+    def test_vtype_rejects_unsupported(self):
+        with pytest.raises(EncodingError):
+            encode_vtype(128)
+
+
+class TestEncodeErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("bogus"))
+
+    def test_low_bits_invariant(self):
+        # 32-bit encodings end in 0b11, compressed ones do not.
+        assert encode(Instruction("add", rd=1, rs1=2, rs2=3))[0] & 0b11 == 0b11
+        assert encode(Instruction("c.nop", length=2))[0] & 0b11 != 0b11

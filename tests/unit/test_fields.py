@@ -1,0 +1,111 @@
+"""Bit-manipulation helper tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.fields import (
+    bit,
+    bits,
+    check_aligned,
+    check_signed,
+    check_unsigned,
+    fits_signed,
+    fits_unsigned,
+    p16,
+    p32,
+    sign_extend,
+    split_hi_lo,
+    to_signed64,
+    to_unsigned64,
+    u16,
+    u32,
+)
+
+
+class TestBits:
+    def test_bits_extracts_inclusive_range(self):
+        assert bits(0b1101100, 5, 2) == 0b1011
+
+    def test_bits_full_width(self):
+        assert bits(0xDEADBEEF, 31, 0) == 0xDEADBEEF
+
+    def test_bits_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            bits(0, 1, 3)
+
+    def test_bit_single(self):
+        assert bit(0b100, 2) == 1
+        assert bit(0b100, 1) == 0
+
+
+class TestSignExtend:
+    def test_positive_unchanged(self):
+        assert sign_extend(0x7F, 8) == 0x7F
+
+    def test_negative_extends(self):
+        assert sign_extend(0x80, 8) == -128
+        assert sign_extend(0xFFF, 12) == -1
+
+    def test_to_signed64_wraps(self):
+        assert to_signed64(2**64 - 1) == -1
+        assert to_signed64(5) == 5
+
+    def test_to_unsigned64_wraps(self):
+        assert to_unsigned64(-1) == 2**64 - 1
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip_32(self, value):
+        assert to_unsigned64(sign_extend(value, 32)) & 0xFFFFFFFF == value
+
+
+class TestFits:
+    def test_signed_boundaries(self):
+        assert fits_signed(2047, 12)
+        assert fits_signed(-2048, 12)
+        assert not fits_signed(2048, 12)
+        assert not fits_signed(-2049, 12)
+
+    def test_unsigned_boundaries(self):
+        assert fits_unsigned(0, 5)
+        assert fits_unsigned(31, 5)
+        assert not fits_unsigned(32, 5)
+        assert not fits_unsigned(-1, 5)
+
+    def test_check_signed_raises(self):
+        with pytest.raises(ValueError):
+            check_signed(4096, 12, "imm")
+        assert check_signed(-5, 12, "imm") == -5
+
+    def test_check_unsigned_raises(self):
+        with pytest.raises(ValueError):
+            check_unsigned(64, 6, "shamt")
+
+    def test_check_aligned(self):
+        assert check_aligned(8, 4, "x") == 8
+        with pytest.raises(ValueError):
+            check_aligned(6, 4, "x")
+
+
+class TestSplitHiLo:
+    @given(st.integers(min_value=-(2**31) + 2048, max_value=2**31 - 2049))
+    def test_recombination(self, offset):
+        hi, lo = split_hi_lo(offset)
+        assert sign_extend(hi << 12, 32) + lo == offset
+
+    def test_carry_case(self):
+        hi, lo = split_hi_lo(0x801)  # lo sign-extends negative, hi absorbs
+        assert sign_extend(hi << 12, 32) + lo == 0x801
+        assert -2048 <= lo < 2048
+
+
+class TestPacking:
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_u16_roundtrip(self, value):
+        assert u16(p16(value)) == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_u32_roundtrip(self, value):
+        assert u32(p32(value)) == value
+
+    def test_little_endian_order(self):
+        assert p32(0x11223344) == bytes([0x44, 0x33, 0x22, 0x11])

@@ -1,0 +1,110 @@
+"""Harness wrappers, hetero cost measurement, and openblas model tests."""
+
+import pytest
+
+from repro.harness import (
+    run_armore,
+    run_chimera,
+    run_fam,
+    run_native,
+    run_safer,
+    run_strawman,
+)
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.workloads.hetero import measure_hetero_costs, run_fig11
+from repro.workloads.openblas import _core_split, measure_kernel, run_fig14
+from repro.workloads.programs import DotProductWorkload, FibonacciWorkload
+
+
+@pytest.fixture(scope="module")
+def dot_ext():
+    return DotProductWorkload(n=16).build("ext")
+
+
+class TestHarness:
+    def test_native(self, dot_ext):
+        run = run_native(dot_ext, RV64GCV)
+        assert run.ok and run.system == "native"
+
+    def test_chimera_stats_attached(self, dot_ext):
+        run = run_chimera(dot_ext, RV64GC)
+        assert run.ok
+        assert "trampolines" in run.rewrite_stats
+        assert "smile_segv_recoveries" in run.runtime_stats
+
+    def test_fam_wrapper(self, dot_ext):
+        run = run_fam(dot_ext)
+        assert run.ok
+        assert run.runtime_stats["migrations"] == 1
+
+    def test_all_rewriters_agree_on_fibonacci(self):
+        """A pure-base binary is a no-op for every rewriter."""
+        binary = FibonacciWorkload(iterations=100).build("base")
+        native = run_native(binary, RV64GC)
+        for fn in (run_chimera, run_safer, run_strawman):
+            run = fn(binary, RV64GC)
+            assert run.ok
+            assert abs(run.cycles - native.cycles) <= native.cycles * 0.02
+
+
+class TestHeteroCosts:
+    def test_ext_version_cells(self):
+        costs = measure_hetero_costs("ext")
+        cells = costs.cells
+        # FAM cannot run extension tasks on base cores.
+        assert cells["fam"][("ext", False)] is None
+        # The 2:2:2:1-ish cost structure (paper's calibration).
+        ext_fast = cells["melf"][("ext", True)]
+        base_cost = cells["melf"][("base", False)]
+        ext_slow = cells["melf"][("ext", False)]
+        assert 1.5 <= base_cost / ext_fast <= 3.0
+        assert 1.5 <= ext_slow / ext_fast <= 3.0
+        # Chimera's downgraded cost tracks MELF's scalar compile.
+        assert cells["chimera"][("ext", False)] <= ext_slow * 1.15
+
+    def test_base_version_cells(self):
+        costs = measure_hetero_costs("base")
+        cells = costs.cells
+        # FAM gets no acceleration from upgrade-direction inputs.
+        assert cells["fam"][("ext", True)] == cells["fam"][("ext", False)]
+        # Chimera's upgraded cost approaches the native vector compile.
+        assert cells["chimera"][("ext", True)] <= cells["melf"][("ext", True)] * 1.25
+
+    def test_fig11_rows_complete(self):
+        rows = run_fig11("ext", (0.0, 1.0), n_tasks=100)
+        assert len(rows) == 2 * 4  # shares x systems
+        assert all(r.latency > 0 and r.cpu_time > 0 for r in rows)
+
+    def test_invalid_version(self):
+        with pytest.raises(ValueError):
+            measure_hetero_costs("avx")
+
+
+class TestOpenblasModel:
+    def test_core_split(self):
+        assert _core_split(2, 4, 4) == (1, 1)
+        assert _core_split(8, 4, 4) == (4, 4)
+        assert _core_split(64, 32, 32) == (32, 32)
+
+    def test_kernel_costs_ordered(self):
+        c = measure_kernel("dgemm")
+        assert c.native_ext < c.native_scalar
+        assert c.chimera_base >= c.native_scalar * 0.9  # downgrade ~= scalar
+        assert c.chimera_ext <= c.native_ext * 1.3
+
+    def test_sgemm_vector_cheaper_than_dgemm(self):
+        d = measure_kernel("dgemm")
+        s = measure_kernel("sgemm")
+        assert s.native_ext < d.native_ext
+        assert s.native_scalar == d.native_scalar
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            measure_kernel("zgemm")
+
+    def test_fig14_rows(self):
+        rows = run_fig14("dgemv", (2, 8), tasks_per_run=64)
+        fam_ext = [r for r in rows if r.system == "fam_ext"]
+        assert all(r.acceleration_vs_fam_ext == pytest.approx(1.0) for r in fam_ext)
+        chim8 = next(r for r in rows if r.system == "chimera" and r.threads == 8)
+        assert chim8.acceleration_vs_fam_ext > 1.0

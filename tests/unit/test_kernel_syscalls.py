@@ -1,0 +1,128 @@
+"""Simulated kernel: syscall servicing, fault dispatch, run loop."""
+
+import pytest
+
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.faults import IllegalInstructionFault, SimulationLimitExceeded
+from repro.sim.machine import Core, Kernel, Machine
+
+
+def run(text, data=None, core=None, kernel=None, **kw):
+    b = ProgramBuilder("k")
+    for k, v in (data or {}).items():
+        b.add_words(k, v)
+    b.set_text(text)
+    binary = b.build()
+    proc = make_process(binary)
+    result = (kernel or Kernel()).run(proc, core or Core(0, RV64GCV), **kw)
+    return binary, proc, result
+
+
+class TestSyscalls:
+    def test_exit_code(self):
+        _, _, res = run("_start:\nli a7, 93\nli a0, 7\necall\n")
+        assert res.exit_code == 7
+
+    def test_write_collects_output(self):
+        b = ProgramBuilder("w")
+        msg = b.add_data("msg", b"hello\n")
+        b.set_text(f"""
+_start:
+    li a7, 64
+    li a0, 1
+    li a1, {msg}
+    li a2, 6
+    ecall
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+        binary = b.build()
+        proc = make_process(binary)
+        res = Kernel().run(proc, Core(0, RV64GCV))
+        assert res.output == b"hello\n"
+        assert res.ok
+
+    def test_unknown_syscall_returns_enosys(self):
+        _, _, res = run("""
+_start:
+    li a7, 4095
+    ecall
+    li a7, 93
+    mv a0, zero
+    ecall
+""")
+        assert res.ok  # -ENOSYS returned, program continues
+
+    def test_yield_is_noop(self):
+        _, _, res = run("""
+_start:
+    li a7, 124
+    ecall
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+        assert res.ok
+
+
+class TestRunLoop:
+    def test_instruction_budget(self):
+        _, _, res = run("_start:\nj _start\n", max_instructions=1000)
+        assert isinstance(res.fault, SimulationLimitExceeded)
+        assert res.instret <= 1001
+
+    def test_unhandled_fault_ends_run(self):
+        _, _, res = run("_start:\nvsetvli t0, a0, e64\n", core=Core(0, RV64GC))
+        assert isinstance(res.fault, IllegalInstructionFault)
+        assert res.exit_code == -1
+
+    def test_fault_handler_chain_order(self):
+        calls = []
+
+        def first(kernel, proc, cpu, fault):
+            calls.append("first")
+            return False
+
+        def second(kernel, proc, cpu, fault):
+            calls.append("second")
+            return False
+
+        kernel = Kernel()
+        kernel.register_fault_handler(second)
+        kernel.register_fault_handler(first, priority=True)
+        run("_start:\nvsetvli t0, a0, e64\n", core=Core(0, RV64GC), kernel=kernel)
+        assert calls == ["first", "second"]
+
+    def test_handler_can_recover(self):
+        def skip_instruction(kernel, proc, cpu, fault):
+            cpu.pc += 4
+            return True
+
+        kernel = Kernel()
+        kernel.register_fault_handler(skip_instruction)
+        _, _, res = run(
+            "_start:\nvsetvli t0, a0, e64\nli a7, 93\nli a0, 0\necall\n",
+            core=Core(0, RV64GC), kernel=kernel,
+        )
+        assert res.ok
+
+    def test_counters_propagated(self):
+        _, _, res = run("_start:\nli a7, 93\nli a0, 0\necall\n")
+        assert res.counters.get("syscalls") == 1
+
+
+class TestMachine:
+    def test_isax_machine_partition(self):
+        m = Machine.isax(4, 4)
+        assert len(m.base_cores) == 4
+        assert len(m.extension_cores) == 4
+        assert all(not c.is_extension_core for c in m.base_cores)
+        assert all(c.is_extension_core for c in m.extension_cores)
+
+    def test_core_str(self):
+        m = Machine.isax(1, 1)
+        assert "rv64gc" in str(m.cores[0])
+        assert "rv64gcv" in str(m.cores[1])

@@ -1,0 +1,101 @@
+"""Address-space and permission tests."""
+
+import pytest
+
+from repro.elf.binary import Perm
+from repro.sim.faults import SegmentationFault
+from repro.sim.memory import AddressSpace, MemorySegment
+
+
+def space_with(perm: Perm, base=0x1000, size=64) -> AddressSpace:
+    s = AddressSpace()
+    s.map("seg", base, size, perm)
+    return s
+
+
+class TestMapping:
+    def test_overlap_rejected(self):
+        s = AddressSpace()
+        s.map("a", 0x1000, 64, Perm.RW)
+        with pytest.raises(ValueError):
+            s.map("b", 0x1020, 64, Perm.RW)
+
+    def test_segment_lookup(self):
+        s = space_with(Perm.RW)
+        assert s.segment_at(0x1000) is not None
+        assert s.segment_at(0x0FFF) is None
+        assert s.segment_named("seg").base == 0x1000
+        with pytest.raises(KeyError):
+            s.segment_named("zzz")
+
+    def test_shared_backing(self):
+        backing = bytearray(32)
+        s1 = AddressSpace()
+        s2 = AddressSpace()
+        s1.map_segment(MemorySegment("d", 0x0, backing, Perm.RW))
+        s2.map_segment(MemorySegment("d", 0x0, backing, Perm.RW))
+        s1.write(0, b"\x07")
+        assert s2.read(0, 1) == b"\x07"
+
+
+class TestPermissions:
+    def test_read_requires_r(self):
+        s = AddressSpace()
+        s.map("x", 0, 16, Perm.W)
+        with pytest.raises(SegmentationFault) as e:
+            s.read(0, 1)
+        assert e.value.access == "read"
+
+    def test_write_requires_w(self):
+        s = space_with(Perm.R)
+        with pytest.raises(SegmentationFault) as e:
+            s.write(0x1000, b"a")
+        assert e.value.access == "write"
+
+    def test_exec_requires_x(self):
+        s = space_with(Perm.RW)
+        with pytest.raises(SegmentationFault) as e:
+            s.fetch(0x1000, 4)
+        assert e.value.access == "exec"
+
+    def test_unmapped_faults(self):
+        s = space_with(Perm.RW)
+        with pytest.raises(SegmentationFault):
+            s.read(0x9999, 1)
+
+    def test_straddling_end_faults(self):
+        s = space_with(Perm.RW, size=8)
+        with pytest.raises(SegmentationFault):
+            s.read(0x1006, 4)
+
+
+class TestTypedAccess:
+    def test_u64_roundtrip(self):
+        s = space_with(Perm.RW)
+        s.write_u64(0x1008, 0x1122334455667788)
+        assert s.read_u64(0x1008) == 0x1122334455667788
+
+    def test_u32_roundtrip(self):
+        s = space_with(Perm.RW)
+        s.write_u32(0x1004, 0xCAFEBABE)
+        assert s.read_u32(0x1004) == 0xCAFEBABE
+
+    def test_u64_wraps_negative(self):
+        s = space_with(Perm.RW)
+        s.write_u64(0x1000, -1)
+        assert s.read_u64(0x1000) == 2**64 - 1
+
+
+class TestKernelPatching:
+    def test_patch_code_ignores_w_and_bumps_version(self):
+        s = space_with(Perm.RX)
+        seg = s.segment_named("seg")
+        v0 = seg.version
+        s.patch_code(0x1000, b"\x13\x00\x00\x00")
+        assert seg.version == v0 + 1
+        assert s.fetch(0x1000, 4) == b"\x13\x00\x00\x00"
+
+    def test_patch_outside_faults(self):
+        s = space_with(Perm.RX)
+        with pytest.raises(SegmentationFault):
+            s.patch_code(0x2000, b"\x00")

@@ -1,0 +1,145 @@
+"""Small-surface coverage: builder/loader/instruction/FAM/cfg corners."""
+
+import pytest
+
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import load_binary, make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.isa.instructions import Instruction, RawBytes
+from repro.sim.machine import Core, Kernel
+
+
+class TestBuilderCorners:
+    def test_add_data_accepts_size_or_bytes(self):
+        b = ProgramBuilder("t")
+        a1 = b.add_data("zeros", 16)
+        a2 = b.add_data("blob", b"\x01\x02\x03")
+        b.set_text("_start:\nret\n")
+        binary = b.build()
+        assert binary.read(a1, 16) == bytes(16)
+        assert binary.read(a2, 3) == b"\x01\x02\x03"
+
+    def test_data_addr_of_matches_build(self):
+        b = ProgramBuilder("t")
+        b.add_words("first", [1])
+        b.add_words("second", [2, 3])
+        pre = b.data_addr_of("second")
+        b.set_text("_start:\nret\n")
+        binary = b.build()
+        assert binary.symbol_addr("second") == pre
+        with pytest.raises(KeyError):
+            b.data_addr_of("nope")
+
+    def test_alignment_respected(self):
+        b = ProgramBuilder("t")
+        b.add_data("odd", b"x", align=1)
+        addr = b.add_words("aligned", [1], width=8)
+        assert addr % 8 == 0
+
+    def test_custom_bases(self):
+        b = ProgramBuilder("t", text_base=0x20000, data_base=0x600000)
+        b.add_words("d", [9])
+        b.set_text("_start:\nret\n")
+        binary = b.build()
+        assert binary.entry == 0x20000
+        assert binary.data.addr == 0x600000
+        assert binary.global_pointer == 0x600800
+
+
+class TestLoaderCorners:
+    def _binary(self):
+        b = ProgramBuilder("t")
+        b.add_words("d", [1])
+        b.set_text("_start:\nret\n")
+        return b.build()
+
+    def test_without_stack(self):
+        space = load_binary(self._binary(), with_stack=False)
+        assert all(seg.name != "[stack]" for seg in space.segments)
+
+    def test_stack_shared_between_views(self):
+        binary = self._binary()
+        s1 = load_binary(binary)
+        s2 = load_binary(binary, share_data_from=s1)
+        stack1 = s1.segment_named("[stack]")
+        stack2 = s2.segment_named("[stack]")
+        assert stack1.data is stack2.data
+
+    def test_no_copy_mode_aliases_binary(self):
+        binary = self._binary()
+        space = load_binary(binary, copy_sections=False)
+        space.write(binary.data.addr, b"\x42")
+        assert binary.data.data[0] == 0x42
+
+
+class TestInstructionHelpers:
+    def test_target_requires_addr(self):
+        j = Instruction("jal", rd=0, imm=8)
+        assert j.target() is None
+        assert j.with_addr(0x100).target() == 0x108
+
+    def test_indirect_has_no_target(self):
+        r = Instruction("jalr", rd=0, rs1=1, imm=0, addr=0x100)
+        assert r.target() is None
+        assert r.is_indirect_jump()
+
+    def test_regs_written_excludes_x0(self):
+        assert Instruction("addi", rd=0, rs1=5, imm=1).regs_written() == frozenset()
+        assert Instruction("addi", rd=7, rs1=5, imm=1).regs_written() == {7}
+
+    def test_copy_is_independent(self):
+        a = Instruction("addi", rd=1, rs1=2, imm=3, addr=0x10)
+        b = a.copy()
+        b.imm = 99
+        assert a.imm == 3
+
+    def test_rawbytes_repr(self):
+        raw = RawBytes(b"\xde\xad", addr=0x40)
+        assert "dead" in str(raw)
+        assert raw.length == 2
+
+    def test_str_forms(self):
+        assert "addi" in str(Instruction("addi", rd=1, rs1=2, imm=3))
+        assert "0x10:" in str(Instruction("c.nop", length=2, addr=0x10))
+
+
+class TestFamCorners:
+    def test_start_on_ext_never_migrates(self):
+        from repro.baselines.fam import FamRuntime
+        from repro.workloads.programs import MatMulWorkload
+
+        binary = MatMulWorkload(n=6).build("ext")
+        proc = make_process(binary)
+        outcome = FamRuntime().run(proc, Core(0, RV64GC), Core(1, RV64GCV),
+                                   start_on_base=False)
+        assert outcome.migrations == 0
+        assert outcome.result.ok
+
+
+class TestCfgCorners:
+    def test_block_at_vs_containing(self):
+        from repro.analysis.cfg import build_cfg
+        from repro.analysis.scan import RecursiveScanner
+
+        b = ProgramBuilder("t")
+        b.set_text("_start:\nnop\nnop\nbeqz a0, out\nnop\nout:\nret\n")
+        binary = b.build()
+        cfg = build_cfg(RecursiveScanner().scan(binary))
+        entry_block = cfg.block_at(binary.entry)
+        assert entry_block is not None
+        mid = binary.entry + 4
+        assert cfg.block_at(mid) is None
+        assert cfg.block_containing(mid) is entry_block
+        assert cfg.block_containing(0xDEAD) is None
+        assert len(entry_block) >= 3
+        assert list(entry_block)  # iterable
+
+
+class TestCostCompressed:
+    def test_compressed_memory_costs_match_wide_forms(self):
+        from repro.sim.cost import CostModel
+
+        m = CostModel()
+        wide = m.instruction_cost(Instruction("ld", rd=8, rs1=9, imm=0))
+        narrow = m.instruction_cost(Instruction("c.ld", rd=8, rs1=9, imm=0, length=2))
+        assert wide == narrow

@@ -1,0 +1,141 @@
+"""MMView process-model tests (multi-view processes, migration safety)."""
+
+import pytest
+
+from repro.core.mmview import MMViewProcess
+from repro.core.rewriter import ChimeraRewriter
+from repro.core.runtime import ChimeraRuntime
+from repro.elf.builder import ProgramBuilder
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.machine import Core, Kernel
+
+
+def two_view_process():
+    b = ProgramBuilder("mm")
+    b.add_words("buf", [1, 2, 3, 4] + [0] * 8)
+    b.set_text("""
+_start:
+    li a0, {buf}
+    li a1, 4
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    vadd.vv v2, v1, v1
+    vse64.v v2, (a0)
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+    binary = b.build()
+    rewriter = ChimeraRewriter()
+    views = {
+        "rv64gc": rewriter.rewrite(binary, RV64GC).binary,
+        "rv64gcv": rewriter.rewrite(binary, RV64GCV).binary,
+    }
+    return binary, MMViewProcess("mm", views, initial="rv64gcv")
+
+
+class TestConstruction:
+    def test_views_share_data(self):
+        binary, proc = two_view_process()
+        addr = binary.symbol_addr("buf")
+        proc.views["rv64gcv"].space.write(addr, b"\x42")
+        assert proc.views["rv64gc"].space.read(addr, 1) == b"\x42"
+
+    def test_views_have_distinct_code(self):
+        binary, proc = two_view_process()
+        gc = proc.views["rv64gc"].space.segment_at(binary.entry)
+        gcv = proc.views["rv64gcv"].space.segment_at(binary.entry)
+        assert gc.data is not gcv.data
+
+    def test_bad_initial_rejected(self):
+        binary, proc = two_view_process()
+        with pytest.raises(ValueError):
+            MMViewProcess("x", {"rv64gc": proc.views["rv64gc"].binary}, initial="nope")
+
+
+class TestMigrationSafety:
+    def test_original_text_pc_is_safe(self):
+        binary, proc = two_view_process()
+        assert proc.migration_safe_pc(binary.entry)
+
+    def test_chimera_text_pc_is_unsafe(self):
+        binary, proc = two_view_process()
+        view = proc.views["rv64gc"]
+        if view.has_chimera_text:
+            ct = view.binary.section(".chimera.text")
+            proc.active_view = "rv64gc"
+            proc.space = view.space
+            assert not proc.migration_safe_pc(ct.addr)
+
+    def test_migrate_switches_space(self):
+        binary, proc = two_view_process()
+        kernel = Kernel()
+        cpu = kernel.make_cpu(proc, Core(0, RV64GCV))
+        cpu.pc = binary.entry
+        assert proc.migrate(cpu, "rv64gc")
+        assert proc.active_view == "rv64gc"
+        assert cpu.space is proc.views["rv64gc"].space
+        assert proc.migrations == 1
+
+    def test_migrate_to_same_view_noop(self):
+        binary, proc = two_view_process()
+        kernel = Kernel()
+        cpu = kernel.make_cpu(proc, Core(0, RV64GCV))
+        assert proc.migrate(cpu, "rv64gcv")
+        assert proc.migrations == 0
+
+    def test_unsafe_pc_delays_migration(self):
+        binary, proc = two_view_process()
+        proc.active_view = "rv64gc"
+        proc.space = proc.views["rv64gc"].space
+        kernel = Kernel()
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        ct = proc.views["rv64gc"].binary.section(".chimera.text")
+        cpu.pc = ct.addr
+        assert not proc.migrate(cpu, "rv64gcv")
+        assert proc.pending_migration == "rv64gcv"
+        assert proc.delayed_migrations == 1
+        # Once the pc leaves the target-instruction section, it commits.
+        cpu.pc = binary.entry
+        assert proc.try_commit_pending(cpu)
+        assert proc.active_view == "rv64gcv"
+
+
+class TestVectorStateSync:
+    def test_arch_regs_to_region_on_downgrade_migration(self):
+        binary, proc = two_view_process()
+        kernel = Kernel()
+        cpu = kernel.make_cpu(proc, Core(0, RV64GCV))
+        cpu.pc = binary.entry
+        cpu.vector.set_vl(4, 64)
+        cpu.vector.write_elems(1, [11, 22, 33, 44])
+        proc.migrate(cpu, "rv64gc")
+        meta = proc.views["rv64gc"].binary.metadata["chimera"]
+        base = meta["vregs_base"]
+        got = [proc.space.read_u64(base + 32 + 8 * i) for i in range(4)]  # v1 image
+        assert got == [11, 22, 33, 44]
+
+    def test_region_to_arch_regs_on_upgrade_migration(self):
+        binary, proc = two_view_process()
+        kernel = Kernel()
+        cpu = kernel.make_cpu(proc, Core(0, RV64GCV))
+        cpu.pc = binary.entry
+        cpu.vector.set_vl(2, 64)
+        cpu.vector.write_elems(2, [7, 9])
+        proc.migrate(cpu, "rv64gc")   # arch -> region
+        cpu.vector.write_elems(2, [0, 0])
+        proc.migrate(cpu, "rv64gcv")  # region -> arch
+        assert cpu.vector.read_elems(2, 2) == [7, 9]
+
+
+class TestEndToEndMigration:
+    def test_run_on_base_view_correct(self):
+        binary, proc = two_view_process()
+        proc.active_view = "rv64gc"
+        proc.space = proc.views["rv64gc"].space
+        kernel = Kernel()
+        ChimeraRuntime(proc.views["rv64gc"].binary).install(kernel)
+        res = kernel.run(proc, Core(0, RV64GC))
+        assert res.ok
+        buf = binary.symbol_addr("buf")
+        assert [proc.space.read_u64(buf + 8 * i) for i in range(4)] == [2, 4, 6, 8]

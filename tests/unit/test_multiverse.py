@@ -1,0 +1,58 @@
+"""Multiverse baseline tests."""
+
+import pytest
+
+from repro.baselines.multiverse import LOOKUP_COST, MultiverseRewriter, MultiverseRuntime
+from repro.elf.loader import make_process
+from repro.harness import run_multiverse, run_native, run_safer
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.machine import Core, Kernel
+from repro.workloads.programs import ALL_WORKLOADS, IndirectDispatchWorkload
+
+
+class TestMultiverse:
+    def test_rewrites_and_passes_selfcheck(self):
+        binary = IndirectDispatchWorkload().build("ext")
+        result = MultiverseRewriter().rewrite(binary, RV64GC)
+        runtime = MultiverseRuntime(result.binary)
+        kernel = Kernel()
+        runtime.install(kernel)
+        proc = make_process(result.binary)
+        res = kernel.run(proc, Core(0, RV64GC))
+        assert res.ok
+        assert runtime.checks > 0
+
+    def test_requires_multiverse_metadata(self):
+        binary = IndirectDispatchWorkload().build("ext")
+        with pytest.raises(ValueError):
+            MultiverseRuntime(binary)
+
+    def test_slower_than_safer_on_indirect_heavy_code(self):
+        """The whole point of Safer: avoiding Multiverse's per-jump
+        lookups."""
+        binary = IndirectDispatchWorkload(iterations=200).build("ext")
+        mv = run_multiverse(binary, RV64GC)
+        sf = run_safer(binary, RV64GC)
+        assert mv.ok and sf.ok
+        assert mv.cycles > sf.cycles
+
+    def test_lookup_count_matches_indirect_executions(self):
+        binary = IndirectDispatchWorkload(iterations=100).build("ext")
+        mv = run_multiverse(binary, RV64GC)
+        # one jalr + one ret per iteration, plus noise
+        assert mv.runtime_stats["lookups"] >= 200
+
+    @pytest.mark.parametrize("workload", ["vecadd", "dot", "dispatch"])
+    def test_correctness_across_workloads(self, workload):
+        binary = ALL_WORKLOADS[workload].build("ext")
+        run = run_multiverse(binary, RV64GC)
+        assert run.ok, run.result.fault
+
+    def test_overhead_in_papers_range(self):
+        """Paper: Multiverse causes 'above 30% performance overhead' on
+        indirect-heavy code."""
+        binary = IndirectDispatchWorkload(iterations=300).build("base")
+        native = run_native(binary, RV64GC)
+        mv = run_multiverse(binary, RV64GC)
+        overhead = (mv.cycles - native.cycles) / native.cycles
+        assert overhead > 0.25, f"only {overhead:.1%}"

@@ -1,0 +1,210 @@
+"""CHBP patcher unit tests: windows, batching, exits, tables, stats."""
+
+import pytest
+
+from repro.core.patcher import ChbpPatcher
+from repro.core.rewriter import ChimeraRewriter
+from repro.elf.binary import Perm
+from repro.elf.builder import ProgramBuilder
+from repro.isa.decoding import IllegalEncodingError, decode
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.isa.registers import Reg
+
+
+def vector_program(extra_text: str = "", data=None) -> "Binary":
+    b = ProgramBuilder("p")
+    b.add_words("buf", (data or [1, 2, 3, 4]) + [0] * 16)
+    b.set_text(f"""
+_start:
+    li a0, {{buf}}
+    li a1, 4
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    vadd.vv v2, v1, v1
+    vse64.v v2, (a0)
+{extra_text}
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+    return b.build()
+
+
+def patch(binary, profile=RV64GC, **kw):
+    patcher = ChbpPatcher(binary, profile, **kw)
+    return patcher.patch(), patcher
+
+
+class TestBasicPatching:
+    def test_trampoline_replaces_source(self):
+        binary = vector_program()
+        rewritten, patcher = patch(binary)
+        assert patcher.stats.trampolines >= 1
+        first_source = binary.symbol_addr("_start") + 12  # after two 4B li + ...
+        # The rewritten text differs from the original at the source site.
+        assert rewritten.text.data != binary.text.data
+
+    def test_chimera_sections_added(self):
+        rewritten, _ = patch(vector_program())
+        assert rewritten.has_section(".chimera.text")
+        assert rewritten.has_section(".chimera.vregs")
+        ct = rewritten.section(".chimera.text")
+        assert Perm.X in ct.perm
+
+    def test_original_untouched(self):
+        binary = vector_program()
+        snapshot = bytes(binary.text.data)
+        patch(binary)
+        assert bytes(binary.text.data) == snapshot
+
+    def test_metadata_attached(self):
+        rewritten, patcher = patch(vector_program())
+        meta = rewritten.metadata["chimera"]
+        assert meta["fault_table"] is patcher.fault_table
+        assert meta["target_profile"] == "rv64gc"
+
+    def test_no_sources_no_sections(self):
+        b = ProgramBuilder("plain")
+        b.set_text("_start:\nli a7, 93\nli a0, 0\necall\n")
+        rewritten, patcher = patch(b.build())
+        assert patcher.stats.trampolines == 0
+        assert not rewritten.has_section(".chimera.text")
+
+    def test_target_profile_with_extension_no_downgrade(self):
+        rewritten, patcher = patch(vector_program(), profile=RV64GCV)
+        # Nothing to downgrade when the target supports V.
+        assert patcher.stats.trampolines == 0 or patcher.stats.upgrade_sites > 0
+
+
+class TestWindows:
+    def test_interior_boundaries_in_fault_table(self):
+        binary = vector_program()
+        rewritten, patcher = patch(binary)
+        table = patcher.fault_table
+        assert len(table) >= 1
+        # Every key is an original instruction boundary inside the text.
+        for key, value in table:
+            assert binary.text.contains(key)
+
+    def test_smile_parcels_fault_deterministically(self):
+        """Decode the patched bytes at every table key: each must be a
+        deterministic fault (illegal parcel) or the jalr of a SMILE."""
+        binary = vector_program()
+        rewritten, patcher = patch(binary)
+        text = rewritten.text
+        for key, _ in patcher.fault_table:
+            try:
+                instr = decode(text.data, key - text.addr, addr=key)
+            except IllegalEncodingError:
+                continue  # P2/P3-style parcel: SIGILL, deterministic
+            # P1-style: must be the jalr half of a SMILE (gp-based).
+            assert instr.mnemonic == "jalr"
+            assert instr.rs1 == int(Reg.GP) and instr.rd == int(Reg.GP)
+
+    def test_direct_target_neighbors_not_overwritten(self):
+        binary = vector_program(extra_text="""
+    bnez a1, hot
+hot:
+    nop
+""")
+        rewritten, patcher = patch(binary)
+        hot = binary.symbol_addr("hot")
+        # `hot` is a branch target: it must never be an interior boundary.
+        assert patcher.fault_table.lookup(hot) is None
+
+
+class TestBatching:
+    def test_batching_groups_block_sources(self):
+        _, patcher = patch(vector_program(), batch_blocks=True)
+        assert patcher.stats.batches >= 1
+        assert patcher.stats.batched_sources >= 2
+
+    def test_batching_off_more_trampolines(self):
+        b1 = vector_program()
+        _, with_batch = patch(b1, batch_blocks=True)
+        _, without = patch(vector_program(), batch_blocks=False)
+        assert without.stats.trampolines + without.stats.trap_fallbacks >= \
+            with_batch.stats.trampolines
+
+    def test_secondary_trampolines_preserved(self):
+        """Sources after the first in a batch still get patched so
+        external (indirect) jumps to them are covered."""
+        binary = vector_program()
+        rewritten, patcher = patch(binary, batch_blocks=True)
+        covered = patcher.stats.trampolines + patcher.stats.trap_fallbacks
+        assert covered >= 2  # head + preserved secondaries (or fallbacks)
+
+
+class TestExitSelection:
+    def test_shift_disabled_counts_not_found(self):
+        src = """
+_start:
+    li s2, 1
+    li s3, 2
+    li s4, 3
+    li a1, 4
+    li a0, {buf}
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    add s2, s2, t0
+    add s3, s3, s2
+    add a0, a0, s3
+    li a7, 93
+    ecall
+"""
+        b = ProgramBuilder("x")
+        b.add_words("buf", [0] * 8)
+        b.set_text(src)
+        _, p1 = patch(b.build(), shift_exits=True)
+        b2 = ProgramBuilder("x")
+        b2.add_words("buf", [0] * 8)
+        b2.set_text(src)
+        _, p2 = patch(b2.build(), shift_exits=False)
+        assert p2.stats.dead_reg_not_found >= p2.stats.exit_shift_rescues
+        assert p1.stats.trap_fallbacks <= p2.stats.trap_fallbacks
+
+    def test_stats_accounting_consistent(self):
+        _, patcher = patch(vector_program())
+        s = patcher.stats
+        assert s.exit_shift_rescues + s.dead_reg_not_found <= s.traditional_liveness_failures \
+            or s.traditional_liveness_failures == 0
+        assert s.exit_candidates >= s.trampolines
+
+
+class TestEmptyMode:
+    def test_empty_mode_replicates_sources(self):
+        binary = vector_program()
+        rewritten, patcher = patch(binary, mode="empty")
+        assert patcher.stats.trampolines >= 1
+        # The chimera text must still contain the original vector opcodes.
+        ct = rewritten.section(".chimera.text")
+        # look for a vsetvli (OP-V opcode 0x57) anywhere in the section
+        assert any(
+            ct.data[i] & 0x7F == 0x57
+            for i in range(0, len(ct.data) - 4, 2)
+        )
+
+
+class TestStrawman:
+    def test_in_reach_sources_get_jal_trampolines(self):
+        from repro.baselines.strawman import StrawmanPatcher
+
+        binary = vector_program()
+        patcher = StrawmanPatcher(binary, RV64GC, batch_blocks=False, enable_upgrades=False)
+        patcher.patch()
+        # Small binary: blocks sit right after the text, within jal reach.
+        assert patcher.stats.trampolines >= 1
+        assert patcher.fault_table.entries == {}  # no SMILE, no table
+
+    def test_out_of_reach_sources_trap(self):
+        from repro.baselines.strawman import StrawmanPatcher
+        from repro.sim.cost import DEFAULT_ARCH
+
+        binary = vector_program()
+        arch = DEFAULT_ARCH.scaled(1 << 17)  # jal reach ~8 bytes
+        patcher = StrawmanPatcher(binary, RV64GC, arch=arch,
+                                  batch_blocks=False, enable_upgrades=False)
+        patcher.patch()
+        assert patcher.stats.trampolines == 0
+        assert patcher.stats.trap_fallbacks >= 1
+        assert len(patcher.trap_table) >= 2 * patcher.stats.trap_fallbacks

@@ -1,0 +1,151 @@
+"""Advanced window-selection and allocator-statistic cases."""
+
+import pytest
+
+from repro.core.patcher import ChbpPatcher
+from repro.elf.builder import ProgramBuilder
+from repro.isa.extensions import RV64GC
+
+
+def build(text, data=None):
+    b = ProgramBuilder("w")
+    for k, v in (data or {"buf": [1, 2, 3, 4] + [0] * 8}).items():
+        b.add_words(k, v)
+    b.set_text(text)
+    return b.build()
+
+
+class TestLeftShiftedWindows:
+    def test_source_before_terminator_shifts_left(self):
+        """A source whose only following neighbor is a branch forces the
+        window to start at the preceding instructions instead."""
+        binary = build("""
+_start:
+    li a0, {buf}
+    li a1, 2
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    vse64.v v1, (a0)
+    mv a2, a3
+    mv a3, a4
+lonely:
+    vadd.vv v2, v1, v1
+    beqz a2, out
+    nop
+out:
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+        patcher = ChbpPatcher(binary, RV64GC, enable_upgrades=False)
+        patcher.patch()
+        lonely = binary.symbol_addr("lonely")
+        # `lonely` is a vadd (4 bytes) directly followed by a branch: the
+        # usable window must have covered the two mv's BEFORE it (or the
+        # site fell back to a trap).  Either way it must be handled.
+        covered = lonely in patcher._covered
+        trapped = lonely in patcher.trap_table
+        assert covered or trapped
+
+    def test_left_shift_refused_for_branch_targets(self):
+        """If the source IS a direct branch target, the window must start
+        at the source (hot entries hit the trampoline head)."""
+        binary = build("""
+_start:
+    li a0, {buf}
+    li a1, 2
+    beqz a2, hot
+    nop
+hot:
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    vse64.v v1, (a0)
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+        patcher = ChbpPatcher(binary, RV64GC, enable_upgrades=False)
+        patcher.patch()
+        hot = binary.symbol_addr("hot")
+        # hot must not be an interior boundary of any window.
+        assert patcher.fault_table.lookup(hot) is None
+        # And it was actually patched (trampoline head or trap).
+        assert hot in patcher._covered
+
+    def test_unrecognized_neighbor_blocks_window(self):
+        """A data island adjacent to the source leaves no safe window."""
+        binary = build("""
+_start:
+    li a0, {buf}
+    li a1, 2
+    vsetvli t0, a1, e64
+    j skip
+    .word 0xffffffff
+skip:
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+        patcher = ChbpPatcher(binary, RV64GC, enable_upgrades=False)
+        out = patcher.patch()
+        # The forward neighbor is a direct jump (uncopyable) and then
+        # data: the window must shift LEFT over the preceding li's, or
+        # the site falls back to a trap — never overwrite the jump.
+        assert patcher.stats.trampolines + patcher.stats.trap_fallbacks >= 1
+        from repro.isa.decoding import decode
+
+        j_addr = binary.symbol_addr("_start") + 12 + 4  # after li(8)+li(4)+vsetvli(4)...
+        # Locate the j by scanning the patched text for an intact jal x0.
+        text = out.text
+        found_jal = False
+        offset = 0
+        while offset < text.size:
+            try:
+                instr = decode(text.data, offset, addr=text.addr + offset)
+            except Exception:
+                offset += 2
+                continue
+            if instr.mnemonic == "jal" and instr.rd == 0 and instr.target() == binary.symbol_addr("skip"):
+                found_jal = True
+            offset += instr.length
+        assert found_jal, "the direct jump was clobbered"
+
+
+class TestAllocatorAccounting:
+    def test_padding_counts_internal_gaps_only(self):
+        binary = build("""
+_start:
+    li a0, {buf}
+    li a1, 2
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    vse64.v v1, (a0)
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+        patcher = ChbpPatcher(binary, RV64GC, enable_upgrades=False)
+        out = patcher.patch()
+        ct = out.section(".chimera.text")
+        assert patcher.stats.padding_bytes <= ct.size
+        assert patcher.stats.target_block_bytes == ct.size
+
+    def test_migration_unsafe_ranges_recorded(self):
+        binary = build("""
+_start:
+    li a0, {buf}
+    li a1, 2
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    vse64.v v1, (a0)
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+        patcher = ChbpPatcher(binary, RV64GC, enable_upgrades=False)
+        out = patcher.patch()
+        ranges = out.metadata["chimera"]["migration_unsafe"]
+        assert ranges
+        for lo, hi in ranges:
+            assert binary.text.contains(lo)
+            assert hi > lo

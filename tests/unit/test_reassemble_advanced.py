@@ -1,0 +1,149 @@
+"""Reassembly-engine edge cases: range overflow, veneers, pc-relative pairs."""
+
+import pytest
+
+from repro.analysis.scan import RecursiveScanner
+from repro.baselines.reassemble import ReassemblyError, reassemble
+from repro.core.translate import TranslationContext, Translator
+from repro.elf.builder import ProgramBuilder
+from repro.isa.decoding import decode
+from repro.isa.disassembler import disassemble
+
+
+def scan_and_reassemble(text, data=None, base=0x200000, needs=lambda i: False, **kw):
+    b = ProgramBuilder("r")
+    for k, v in (data or {"blob": [7]}).items():
+        b.add_words(k, v)
+    b.set_text(text)
+    binary = b.build()
+    scan = RecursiveScanner().scan(binary)
+    translator = Translator(TranslationContext(0x700000, binary.global_pointer))
+    return binary, reassemble(scan, translator, base, needs_translation=needs, **kw)
+
+
+class TestPcRelativePairs:
+    def test_la_pair_recomputed(self):
+        binary, code = scan_and_reassemble("""
+_start:
+    la a0, {blob}
+    ld a1, 0(a0)
+    ret
+""")
+        instrs = disassemble(code.code, code.base)
+        auipc, addi = instrs[0], instrs[1]
+        assert auipc.mnemonic == "auipc"
+        from repro.isa.fields import sign_extend
+
+        value = code.base + sign_extend(auipc.imm << 12, 32) + addi.imm
+        assert value == binary.symbol_addr("blob")
+
+    def test_unpaired_auipc_rejected(self):
+        with pytest.raises(ReassemblyError):
+            scan_and_reassemble("""
+_start:
+    auipc a0, 1
+    add a1, a1, a2
+    ret
+""")
+
+
+class TestBranchRetargeting:
+    def test_compressed_branch_widened(self):
+        """c.bnez is re-emitted as a 4-byte bne with a retargeted offset."""
+        binary, code = scan_and_reassemble("""
+_start:
+    li a0, 3
+top:
+    c.addi a0, -1
+    c.bnez a0, top
+    ret
+""")
+        mnems = [i.mnemonic for i in disassemble(code.code, code.base)]
+        assert "bne" in mnems
+        assert "c.bnez" not in mnems
+
+    def test_call_ra_style_original(self):
+        """ARMore mode: calls materialize the ORIGINAL return address."""
+        binary, code = scan_and_reassemble("""
+_start:
+    jal helper
+    li a7, 93
+    li a0, 0
+    ecall
+helper:
+    ret
+""", base=0x300000, needs=lambda i: False, call_ra_style="original")
+        instrs = disassemble(code.code, code.base)
+        # The call expands to lui ra / addiw ra / jal x0.
+        assert instrs[0].mnemonic == "lui" and instrs[0].rd == 1
+        assert instrs[1].mnemonic == "addiw" and instrs[1].rd == 1
+        assert instrs[2].mnemonic == "jal" and instrs[2].rd == 0
+        from repro.isa.fields import sign_extend
+
+        ra = sign_extend((instrs[0].imm << 12) & 0xFFFFFFFF, 32) + instrs[1].imm
+        assert ra == binary.entry + 4  # original-layout return address
+
+    def test_invalid_call_ra_style(self):
+        with pytest.raises(ValueError):
+            scan_and_reassemble("_start:\nret\n", call_ra_style="weird")
+
+
+class TestPatternSites:
+    def test_pattern_head_replaced_members_elided(self):
+        from repro.analysis.cfg import build_cfg
+        from repro.analysis.liveness import LivenessAnalysis
+        from repro.core.downgrade_loops import find_downgrade_loop_sites
+        from repro.isa.extensions import RV64GC
+
+        b = ProgramBuilder("p")
+        b.add_words("x", list(range(8)))
+        b.add_words("z", [0] * 8)
+        b.set_text("""
+_start:
+    li a0, {x}
+    li a2, {z}
+    li a3, 8
+cp:
+    vsetvli t0, a3, e64
+    vle64.v v1, (a0)
+    vse64.v v1, (a2)
+    slli t1, t0, 3
+    add a0, a0, t1
+    add a2, a2, t1
+    sub a3, a3, t0
+    bnez a3, cp
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+        binary = b.build()
+        scan = RecursiveScanner().scan(binary)
+        cfg = build_cfg(scan)
+        live = LivenessAnalysis(cfg).run()
+        sites = find_downgrade_loop_sites(scan, cfg, live, RV64GC)
+        assert sites
+        translator = Translator(TranslationContext(0x700000, binary.global_pointer))
+        code = reassemble(scan, translator, 0x300000,
+                          needs_translation=lambda i: False, pattern_sites=sites)
+        # No vector opcodes survive in the output.
+        for instr in disassemble(code.code, code.base):
+            if hasattr(instr, "extension"):
+                from repro.isa.extensions import Extension
+
+                assert instr.extension is not Extension.V
+        # Member addresses map to the replacement head.
+        head_new = code.addr_map[sites[0].start]
+        for member in sites[0].instructions[1:]:
+            assert code.addr_map[member.addr] == head_new
+
+    def test_addr_map_monotone_for_plain_items(self):
+        binary, code = scan_and_reassemble("""
+_start:
+    nop
+    nop
+    c.addi a0, 1
+    ret
+""")
+        addrs = sorted(code.addr_map)
+        news = [code.addr_map[a] for a in addrs]
+        assert news == sorted(news)

@@ -1,0 +1,75 @@
+"""Register model tests."""
+
+import pytest
+
+from repro.isa.registers import (
+    ABI_NAMES,
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    NAME_TO_REG,
+    Reg,
+    RESERVED_FOR_ABI,
+    is_rvc_reg,
+    parse_reg,
+    parse_vreg,
+    reg_name,
+    rvc_decode_reg,
+    rvc_encode_reg,
+    vreg_name,
+)
+
+
+class TestNames:
+    def test_abi_names_complete(self):
+        assert len(ABI_NAMES) == 32
+        assert ABI_NAMES[0] == "zero"
+        assert ABI_NAMES[3] == "gp"
+
+    def test_parse_abi_and_xn(self):
+        assert parse_reg("sp") == Reg.SP
+        assert parse_reg("x2") == Reg.SP
+        assert parse_reg("fp") == Reg.S0
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            parse_reg("q7")
+
+    def test_parse_vreg(self):
+        assert parse_vreg("v31") == 31
+        with pytest.raises(KeyError):
+            parse_vreg("v32")
+
+    def test_reg_name_roundtrip(self):
+        for i in range(32):
+            assert parse_reg(reg_name(i)) == i
+
+    def test_vreg_name(self):
+        assert vreg_name(7) == "v7"
+
+
+class TestSets:
+    def test_saved_sets_disjoint(self):
+        assert not (CALLER_SAVED & CALLEE_SAVED)
+
+    def test_gp_is_reserved(self):
+        assert Reg.GP in RESERVED_FOR_ABI
+        assert Reg.SP in RESERVED_FOR_ABI
+
+    def test_every_reg_categorized(self):
+        categorized = CALLER_SAVED | CALLEE_SAVED | RESERVED_FOR_ABI
+        # tp/zero/gp/sp reserved; everything else caller or callee saved.
+        assert {Reg(i) for i in range(32)} <= categorized | {Reg.TP}
+
+
+class TestRvcFields:
+    def test_rvc_range(self):
+        assert is_rvc_reg(8) and is_rvc_reg(15)
+        assert not is_rvc_reg(7) and not is_rvc_reg(16)
+
+    def test_rvc_encode_decode_roundtrip(self):
+        for reg in range(8, 16):
+            assert rvc_decode_reg(rvc_encode_reg(reg)) == reg
+
+    def test_rvc_encode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            rvc_encode_reg(int(Reg.SP))

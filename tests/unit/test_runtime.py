@@ -1,0 +1,216 @@
+"""ChimeraRuntime fault-classification and recovery tests."""
+
+import pytest
+
+from repro.core.fault_table import FaultTable
+from repro.core.rewriter import ChimeraRewriter
+from repro.core.runtime import ChimeraRuntime
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.isa.registers import Reg
+from repro.sim.faults import BreakpointTrap, IllegalInstructionFault, SegmentationFault
+from repro.sim.machine import Core, Kernel
+
+
+def rewritten_vector_binary():
+    b = ProgramBuilder("p")
+    b.add_words("buf", [3, 4, 5, 6] + [0] * 8)
+    b.set_text("""
+_start:
+    li a0, {buf}
+    li a1, 4
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    vadd.vv v2, v1, v1
+    vse64.v v2, (a0)
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+    binary = b.build()
+    rewriter = ChimeraRewriter()
+    result = rewriter.rewrite(binary, RV64GC)
+    return binary, result, rewriter
+
+
+class TestFaultTable:
+    def test_add_lookup(self):
+        t = FaultTable()
+        t.add(0x100, 0x900)
+        assert t.lookup(0x100) == 0x900
+        assert t.lookup(0x104) is None
+        assert 0x100 in t and len(t) == 1
+
+    def test_conflicting_entry_rejected(self):
+        t = FaultTable()
+        t.add(0x100, 0x900)
+        with pytest.raises(ValueError):
+            t.add(0x100, 0x904)
+        t.add(0x100, 0x900)  # idempotent re-add is fine
+
+
+class TestInstallation:
+    def test_requires_chimera_metadata(self):
+        b = ProgramBuilder("x")
+        b.set_text("_start:\nli a7, 93\nli a0, 0\necall\n")
+        with pytest.raises(ValueError):
+            ChimeraRuntime(b.build())
+
+    def test_priority_registration(self):
+        _, result, _ = rewritten_vector_binary()
+        kernel = Kernel()
+        calls = []
+        kernel.register_fault_handler(lambda *a: calls.append("other") or False)
+        ChimeraRuntime(result.binary).install(kernel)
+        assert kernel._fault_handlers[0].__self__.__class__ is ChimeraRuntime
+
+
+class TestSegvClassification:
+    def test_p1_fault_recovers(self):
+        """Simulate the P1 scenario: gp holds a SMILE return address whose
+        fault-table key redirects; the handler must restore gp and jump."""
+        binary, result, _ = rewritten_vector_binary()
+        runtime = ChimeraRuntime(result.binary)
+        kernel = Kernel()
+        runtime.install(kernel)
+        proc = make_process(result.binary)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        key, redirect = next(iter(runtime.fault_table))
+        cpu.set_reg(Reg.GP, key + 4)  # jalr wrote P1+4
+        fault = SegmentationFault(binary.global_pointer + 0x200, "exec")
+        assert runtime.handle_fault(kernel, proc, cpu, fault)
+        assert cpu.pc == redirect
+        assert cpu.get_reg(Reg.GP) == binary.global_pointer
+        assert runtime.stats.smile_segv_recoveries == 1
+
+    def test_exec_fault_in_executable_segment_not_ours(self):
+        binary, result, _ = rewritten_vector_binary()
+        runtime = ChimeraRuntime(result.binary)
+        kernel = Kernel()
+        proc = make_process(result.binary)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        fault = SegmentationFault(binary.entry, "exec")
+        assert not runtime.handle_fault(kernel, proc, cpu, fault)
+
+    def test_unknown_gp_not_ours(self):
+        binary, result, _ = rewritten_vector_binary()
+        runtime = ChimeraRuntime(result.binary)
+        kernel = Kernel()
+        proc = make_process(result.binary)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        cpu.set_reg(Reg.GP, 0x12345678)
+        fault = SegmentationFault(binary.global_pointer, "exec")
+        assert not runtime.handle_fault(kernel, proc, cpu, fault)
+
+    def test_read_segv_not_ours(self):
+        binary, result, _ = rewritten_vector_binary()
+        runtime = ChimeraRuntime(result.binary)
+        kernel = Kernel()
+        proc = make_process(result.binary)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        fault = SegmentationFault(0xDEAD, "read")
+        assert not runtime.handle_fault(kernel, proc, cpu, fault)
+
+
+class TestSigillClassification:
+    def test_table_key_redirects(self):
+        binary, result, _ = rewritten_vector_binary()
+        runtime = ChimeraRuntime(result.binary)
+        kernel = Kernel()
+        proc = make_process(result.binary)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        key, redirect = next(iter(runtime.fault_table))
+        cpu.pc = key
+        fault = IllegalInstructionFault(key, "reserved-compressed")
+        assert runtime.handle_fault(kernel, proc, cpu, fault)
+        assert cpu.pc == redirect
+        assert runtime.stats.smile_sigill_recoveries == 1
+
+    def test_unknown_sigill_without_rewriter_unhandled(self):
+        binary, result, _ = rewritten_vector_binary()
+        runtime = ChimeraRuntime(result.binary)  # no rewriter/original
+        kernel = Kernel()
+        proc = make_process(result.binary)
+        cpu = kernel.make_cpu(proc, Core(0, RV64GC))
+        cpu.pc = binary.entry
+        fault = IllegalInstructionFault(binary.entry, "unsupported-extension")
+        assert not runtime.handle_fault(kernel, proc, cpu, fault)
+
+
+class TestTrapRedirect:
+    def test_trap_table_redirect_charges_trap_cost(self):
+        from repro.baselines.strawman import StrawmanPatcher
+
+        b = ProgramBuilder("p")
+        b.add_words("buf", [1, 2] + [0] * 8)
+        b.set_text("""
+_start:
+    li a0, {buf}
+    li a1, 2
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    vse64.v v1, (a0)
+    li a7, 93
+    li a0, 0
+    ecall
+""")
+        binary = b.build()
+        from repro.sim.cost import DEFAULT_ARCH
+
+        # Shrink jal reach so every strawman site is forced to trap.
+        patcher = StrawmanPatcher(binary, RV64GC, arch=DEFAULT_ARCH.scaled(1 << 17),
+                                  batch_blocks=False, enable_upgrades=False)
+        rewritten = patcher.patch()
+        runtime = ChimeraRuntime(rewritten)
+        kernel = Kernel()
+        runtime.install(kernel)
+        proc = make_process(rewritten)
+        res = kernel.run(proc, Core(0, RV64GC))
+        assert res.ok
+        assert runtime.stats.trap_redirects >= 2
+        assert res.counters.get("traps", 0) >= 2
+
+
+class TestLazyRewriting:
+    def test_unrecognized_instruction_rewritten_at_runtime(self):
+        """A vector instruction reachable only through an indirect call is
+        invisible to the static scan; the first execution on a base core
+        must trigger in-place rewriting and then succeed."""
+        b = ProgramBuilder("lazy")
+        b.add_words("buf", [7, 8] + [0] * 8)
+        b.add_words("slot", [0])
+        b.set_text("""
+_start:
+    la t0, hidden
+    li t1, {slot}
+    sd t0, 0(t1)
+    li a0, {buf}
+    li a1, 2
+    ld t0, 0(t1)
+    jalr t0
+    li a7, 93
+    li a0, 0
+    ecall
+    .word 0xffffffff   # data island: stops the linear fall-through scan
+hidden:
+    vsetvli t0, a1, e64
+    vle64.v v1, (a0)
+    vadd.vv v2, v1, v1
+    vse64.v v2, (a0)
+    ret
+""")
+        binary = b.build()
+        rewriter = ChimeraRewriter()
+        result = rewriter.rewrite(binary, RV64GC)
+        # The static rewrite saw nothing vectorish (hidden is unscanned).
+        assert result.stats.trampolines == 0 and result.stats.trap_fallbacks == 0
+        runtime = ChimeraRuntime(result.binary, rewriter=rewriter, original=binary)
+        kernel = Kernel()
+        runtime.install(kernel)
+        proc = make_process(result.binary)
+        res = kernel.run(proc, Core(0, RV64GC))
+        assert res.ok, res.fault
+        assert runtime.stats.runtime_rewrites >= 1
+        buf = binary.symbol_addr("buf")
+        assert [proc.space.read_u64(buf + 8 * i) for i in range(2)] == [14, 16]

@@ -1,0 +1,171 @@
+"""SMILE trampoline construction and placement tests — the paper's core.
+
+These tests verify, at the bit level, that every partial execution of a
+SMILE trampoline decodes to a deterministic fault (Fig. 7's argument).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.smile import (
+    RESERVED_C_PARCEL,
+    SmilePlacementError,
+    SmileTextAllocator,
+    SmileTrampoline,
+    achievable_targets,
+    build_smile,
+    next_achievable,
+    padding_parcels,
+    vanilla_trampoline,
+)
+from repro.isa.decoding import IllegalEncodingError, decode
+from repro.isa.fields import sign_extend, u16
+from repro.isa.registers import Reg
+
+TRAMP_ADDR = st.integers(min_value=0x1_0000, max_value=0x80_0000).map(lambda x: x & ~1)
+
+
+class TestSmileSemantics:
+    def test_reaches_target_compressed(self):
+        addr = 0x10000
+        target = next_achievable(addr, 0x400000)
+        tramp = build_smile(addr, target, compressed=True)
+        data = tramp.encode()
+        assert len(data) == 8
+        auipc = decode(data, 0, addr=addr)
+        jalr = decode(data, 4, addr=addr + 4)
+        assert auipc.mnemonic == "auipc" and auipc.rd == int(Reg.GP)
+        assert jalr.mnemonic == "jalr" and jalr.rd == int(Reg.GP) and jalr.rs1 == int(Reg.GP)
+        gp = addr + sign_extend(auipc.imm << 12, 32)
+        assert gp + jalr.imm == target
+
+    def test_uncompressed_mode_hits_any_even_target(self):
+        tramp = build_smile(0x10000, 0x123456, compressed=False)
+        data = tramp.encode()
+        auipc = decode(data, 0, addr=0x10000)
+        jalr = decode(data, 4)
+        assert 0x10000 + sign_extend(auipc.imm << 12, 32) + jalr.imm == 0x123456
+
+    @given(TRAMP_ADDR)
+    @settings(max_examples=50)
+    def test_p2_parcel_always_faults(self, addr):
+        """Jumping into byte 2 of the auipc must raise SIGILL."""
+        target = next_achievable(addr, addr + 0x100000)
+        data = build_smile(addr, target, compressed=True).encode()
+        with pytest.raises(IllegalEncodingError) as exc:
+            decode(data, 2)
+        assert exc.value.kind == "long-prefix"
+
+    @given(TRAMP_ADDR)
+    @settings(max_examples=50)
+    def test_p3_parcel_always_faults(self, addr):
+        """Jumping into byte 6 of the jalr must raise SIGILL."""
+        target = next_achievable(addr, addr + 0x100000)
+        data = build_smile(addr, target, compressed=True).encode()
+        with pytest.raises(IllegalEncodingError) as exc:
+            decode(data, 6)
+        assert exc.value.kind == "reserved-compressed"
+
+    def test_p1_entry_is_plain_jalr_via_gp(self):
+        """Jumping to byte 4 executes only the jalr: with the ABI gp value
+        (data segment) this jumps into non-executable memory."""
+        addr = 0x10000
+        target = next_achievable(addr, 0x300000)
+        data = build_smile(addr, target, compressed=True).encode()
+        jalr = decode(data, 4)
+        assert jalr.rs1 == int(Reg.GP)
+        # Return address (what the fault handler recovers the pc from):
+        tramp = build_smile(addr, target, compressed=True)
+        assert tramp.p1 == addr + 4
+        assert tramp.return_address == addr + 8
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(SmilePlacementError):
+            build_smile(0x10000, 0x10400, compressed=True)  # wrong residue
+
+
+class TestAchievability:
+    def test_uncompressed_unconstrained(self):
+        assert achievable_targets(0x1234, compressed=False) == ()
+
+    def test_compressed_residues(self):
+        res = achievable_targets(0x10000, compressed=True)
+        assert len(res) == 16
+        assert (0x10000 + 0x200) % 4096 in res
+        assert (0x10000 + 0x307) % 4096 in res
+
+    @given(TRAMP_ADDR, st.integers(min_value=0x10_0000, max_value=0x4000_0000))
+    @settings(max_examples=50)
+    def test_next_achievable_is_buildable(self, addr, cursor):
+        target = next_achievable(addr, cursor)
+        assert target >= cursor
+        tramp = build_smile(addr, target, compressed=True)
+        assert tramp.target == target
+
+    def test_monotone(self):
+        t1 = next_achievable(0x10000, 0x100000)
+        t2 = next_achievable(0x10000, t1 + 2)
+        assert t2 > t1
+
+
+class TestAllocator:
+    def test_unconstrained_is_dense(self):
+        alloc = SmileTextAllocator(0x1000, compressed=False)
+        a1 = alloc.place(0x10000, 100)
+        a2 = alloc.place(0x20000, 100)
+        assert a2 >= a1 + 100
+        assert alloc.gap_bytes <= 2
+
+    def test_constrained_placements_reachable(self):
+        alloc = SmileTextAllocator(0x100000, compressed=True)
+        for tramp in (0x10000, 0x10100, 0x13342, 0x2000A):
+            addr = alloc.place(tramp, 64)
+            build_smile(tramp, addr, compressed=True)  # must not raise
+
+    def test_gap_reuse(self):
+        alloc = SmileTextAllocator(0x100000, compressed=True)
+        a1 = alloc.place(0x10000, 40)
+        # A later trampoline with a different phase can land in the gap
+        # before a1 or after; either way placements never overlap.
+        a2 = alloc.place(0x10802, 40)
+        assert a2 + 40 <= a1 or a2 >= a1 + 40
+
+    @given(st.lists(st.tuples(TRAMP_ADDR, st.integers(min_value=8, max_value=400)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_no_overlaps_property(self, requests):
+        alloc = SmileTextAllocator(0x200000, compressed=True)
+        placed = []
+        for tramp, size in requests:
+            addr = alloc.place(tramp, size)
+            for other, osize in placed:
+                assert addr + size <= other or addr >= other + osize
+            placed.append((addr, size))
+
+
+class TestVanillaTrampoline:
+    @given(st.integers(min_value=0x1000, max_value=0x7000_0000).map(lambda x: x & ~3),
+           st.integers(min_value=0x1000, max_value=0x7000_0000).map(lambda x: x & ~1))
+    @settings(max_examples=50)
+    def test_reaches_target(self, addr, target):
+        data = vanilla_trampoline(addr, target, reg=6)
+        auipc = decode(data, 0, addr=addr)
+        jalr = decode(data, 4)
+        assert jalr.rd == 0 and jalr.rs1 == 6
+        assert addr + sign_extend(auipc.imm << 12, 32) + jalr.imm == target
+
+
+class TestPadding:
+    def test_nop_padding_when_no_boundary(self):
+        data = padding_parcels(4, boundary_in_padding=False)
+        assert decode(data, 0).mnemonic == "c.nop"
+
+    def test_reserved_padding_when_boundary(self):
+        data = padding_parcels(2, boundary_in_padding=True)
+        assert u16(data) == RESERVED_C_PARCEL
+        with pytest.raises(IllegalEncodingError):
+            decode(data, 0)
+
+    def test_odd_padding_rejected(self):
+        with pytest.raises(ValueError):
+            padding_parcels(3, boundary_in_padding=False)

@@ -1,0 +1,70 @@
+"""Bit-level checks for the general-register SMILE variant (Fig. 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.smile import (
+    SMILE_CAPABLE_REGS,
+    SmilePlacementError,
+    build_smile,
+    next_achievable,
+)
+from repro.isa.decoding import IllegalEncodingError, decode
+from repro.isa.fields import sign_extend
+from repro.isa.registers import Reg
+
+#: Usable anchors (sp/gp excluded by the patcher, included here for the
+#: encoding property: ANY capable register's parcels must fault).
+CAPABLE = sorted(SMILE_CAPABLE_REGS)
+
+
+class TestCapableSet:
+    def test_gp_is_capable(self):
+        assert int(Reg.GP) in SMILE_CAPABLE_REGS
+
+    def test_a0_a1_are_capable(self):
+        # The paper's Fig. 5 example anchors on a0.
+        assert int(Reg.A0) in SMILE_CAPABLE_REGS
+        assert int(Reg.A1) in SMILE_CAPABLE_REGS
+
+    def test_ra_t0_not_capable(self):
+        assert int(Reg.RA) not in SMILE_CAPABLE_REGS
+        assert int(Reg.T0) not in SMILE_CAPABLE_REGS
+
+    def test_incapable_register_rejected(self):
+        with pytest.raises(SmilePlacementError):
+            build_smile(0x10000, next_achievable(0x10000, 0x300000),
+                        compressed=True, reg=int(Reg.T0))
+
+
+class TestParcelFaultsForAllCapableRegs:
+    @pytest.mark.parametrize("reg", CAPABLE)
+    def test_p2_p3_fault_deterministically(self, reg):
+        addr = 0x10000
+        target = next_achievable(addr, 0x800000)
+        data = build_smile(addr, target, compressed=True, reg=reg).encode()
+        with pytest.raises(IllegalEncodingError):
+            decode(data, 2)  # P2: mid-auipc
+        with pytest.raises(IllegalEncodingError):
+            decode(data, 6)  # P3: mid-jalr
+
+    @pytest.mark.parametrize("reg", CAPABLE)
+    def test_trampoline_semantics(self, reg):
+        addr = 0x12340
+        target = next_achievable(addr, 0x600000)
+        data = build_smile(addr, target, compressed=True, reg=reg).encode()
+        auipc = decode(data, 0, addr=addr)
+        jalr = decode(data, 4)
+        assert auipc.rd == reg
+        assert jalr.rd == reg and jalr.rs1 == reg
+        assert addr + sign_extend(auipc.imm << 12, 32) + jalr.imm == target
+
+    @given(st.sampled_from(CAPABLE),
+           st.integers(min_value=0x1_0000, max_value=0x40_0000).map(lambda x: x & ~1))
+    @settings(max_examples=40)
+    def test_property_over_addresses(self, reg, addr):
+        target = next_achievable(addr, addr + 0x200000)
+        data = build_smile(addr, target, compressed=True, reg=reg).encode()
+        for mid in (2, 6):
+            with pytest.raises(IllegalEncodingError):
+                decode(data, mid)

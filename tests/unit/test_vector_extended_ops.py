@@ -1,0 +1,199 @@
+"""Extended RVV subset: shifts, min/max, .vx forms, vmv.x.s —
+encoding roundtrips, CPU semantics, and downgrade-template equivalence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.decoding import decode
+from repro.isa.disassembler import disassemble, format_instruction
+from repro.isa.fields import sign_extend
+
+from tests.unit.test_cpu_semantics import make_cpu, run_to_break
+from tests.unit.test_translate import (
+    fresh_cpu,
+    region_elems,
+    set_region_state,
+    translate_and_run,
+)
+
+NEW_VV = ["vmin.vv", "vminu.vv", "vmax.vv", "vmaxu.vv", "vsll.vv", "vsrl.vv", "vsra.vv"]
+NEW_VX = ["vsub.vx", "vmul.vx", "vsll.vx", "vsrl.vx", "vsra.vx"]
+
+U64 = 2**64 - 1
+
+
+class TestEncodingRoundtrip:
+    @pytest.mark.parametrize("mnem", NEW_VV)
+    def test_vv(self, mnem):
+        code = assemble(f"{mnem} v1, v2, v3\n").code
+        back = decode(code, 0)
+        assert back.mnemonic == mnem
+        assert (back.vd, back.vs2, back.vs1) == (1, 2, 3)
+
+    @pytest.mark.parametrize("mnem", NEW_VX)
+    def test_vx(self, mnem):
+        code = assemble(f"{mnem} v4, v5, a2\n").code
+        back = decode(code, 0)
+        assert back.mnemonic == mnem
+        assert (back.vd, back.vs2, back.rs1) == (4, 5, 12)
+
+    def test_vmv_x_s(self):
+        code = assemble("vmv.x.s a0, v7\n").code
+        back = decode(code, 0)
+        assert back.mnemonic == "vmv.x.s"
+        assert (back.rd, back.vs2) == (10, 7)
+
+    @pytest.mark.parametrize("mnem", NEW_VV + NEW_VX + ["vmv.x.s"])
+    def test_format_roundtrip(self, mnem):
+        asm = {
+            "vmv.x.s": "vmv.x.s t0, v3",
+        }.get(mnem, f"{mnem} v1, v2, {'a3' if mnem.endswith('.vx') else 'v3'}")
+        original = assemble(asm + "\n").code
+        instr = disassemble(original)[0]
+        instr.addr = None
+        assert assemble(format_instruction(instr) + "\n").code == original
+
+
+def _setup_two_vectors(xs, ys):
+    asm = ["li t0, 0x8000"]
+    for i, v in enumerate(xs):
+        asm += [f"li a2, {v}", f"sd a2, {i * 8}(t0)"]
+    for i, v in enumerate(ys):
+        asm += [f"li a2, {v}", f"sd a2, {64 + i * 8}(t0)"]
+    asm += [
+        f"li a0, {len(xs)}",
+        "vsetvli t1, a0, e64",
+        "vle64.v v1, (t0)",
+        "addi t2, t0, 64",
+        "vle64.v v2, (t2)",
+    ]
+    return "\n".join(asm)
+
+
+class TestCpuSemantics:
+    def test_min_max_signed(self):
+        xs = [5, (-3) & U64, 7]
+        ys = [2, 1, (-9) & U64]
+        cpu = make_cpu(_setup_two_vectors(xs, ys) + "\nvmin.vv v3, v1, v2\nvmax.vv v4, v1, v2")
+        run_to_break(cpu)
+        assert [sign_extend(v, 64) for v in cpu.vector.read_elems(3, 3)] == [2, -3, -9]
+        assert [sign_extend(v, 64) for v in cpu.vector.read_elems(4, 3)] == [5, 1, 7]
+
+    def test_min_max_unsigned(self):
+        xs = [5, (-3) & U64]
+        ys = [2, 1]
+        cpu = make_cpu(_setup_two_vectors(xs, ys) + "\nvminu.vv v3, v1, v2\nvmaxu.vv v4, v1, v2")
+        run_to_break(cpu)
+        assert cpu.vector.read_elems(3, 2) == [2, 1]
+        assert cpu.vector.read_elems(4, 2) == [5, (-3) & U64]
+
+    def test_shifts_vv(self):
+        xs = [0b1000, (-8) & U64]
+        ys = [2, 1]
+        cpu = make_cpu(_setup_two_vectors(xs, ys) +
+                       "\nvsll.vv v3, v1, v2\nvsrl.vv v4, v1, v2\nvsra.vv v5, v1, v2")
+        run_to_break(cpu)
+        assert cpu.vector.read_elems(3, 2) == [32, ((-8) << 1) & U64]
+        assert cpu.vector.read_elems(4, 2) == [2, ((-8) & U64) >> 1]
+        assert sign_extend(cpu.vector.read_elems(5, 2)[1], 64) == -4
+
+    def test_shift_amount_masked_to_sew(self):
+        cpu = make_cpu(_setup_two_vectors([1], [65]) + "\nvsll.vv v3, v1, v2")
+        run_to_break(cpu)
+        assert cpu.vector.read_elem(3, 0) == 2  # 65 & 63 == 1
+
+    def test_vx_forms(self):
+        cpu = make_cpu(_setup_two_vectors([10, 20], [0, 0]) + """
+li a3, 3
+vsub.vx v3, v1, a3
+vmul.vx v4, v1, a3
+vsll.vx v5, v1, a3
+""")
+        run_to_break(cpu)
+        assert cpu.vector.read_elems(3, 2) == [7, 17]
+        assert cpu.vector.read_elems(4, 2) == [30, 60]
+        assert cpu.vector.read_elems(5, 2) == [80, 160]
+
+    def test_vmv_x_s(self):
+        cpu = make_cpu(_setup_two_vectors([(-7) & U64, 3], [0, 0]) + "\nvmv.x.s a4, v1")
+        run_to_break(cpu)
+        assert sign_extend(cpu.get_reg(14), 64) == -7
+
+    def test_vmv_x_s_sign_extends_sew32(self):
+        cpu = make_cpu("""
+li a0, 2
+vsetvli t0, a0, e32
+li a1, 0xFFFFFFFF
+vmv.v.x v1, a1
+vmv.x.s a4, v1
+""")
+        run_to_break(cpu)
+        assert cpu.get_reg(14) == U64  # -1 sign-extended from SEW=32
+
+
+class TestDowngradeTemplates:
+    @pytest.mark.parametrize("mnem,fn", [
+        ("vsll.vv", lambda a, b: (a << (b & 63)) & U64),
+        ("vsrl.vv", lambda a, b: a >> (b & 63)),
+        ("vsra.vv", lambda a, b: (sign_extend(a, 64) >> (b & 63)) & U64),
+        ("vmin.vv", lambda a, b: a if sign_extend(a, 64) <= sign_extend(b, 64) else b),
+        ("vmax.vv", lambda a, b: a if sign_extend(a, 64) >= sign_extend(b, 64) else b),
+        ("vminu.vv", min),
+        ("vmaxu.vv", max),
+    ])
+    def test_vv_templates(self, mnem, fn):
+        cpu = fresh_cpu()
+        xs = [9, (-14) & U64, 3]
+        ys = [4, 5, 62]
+        set_region_state(cpu, 3, 64, {1: xs, 2: ys})
+        translate_and_run(cpu, f"{mnem} v3, v1, v2")
+        assert region_elems(cpu, 3, 3) == [fn(a, b) for a, b in zip(xs, ys)]
+
+    @pytest.mark.parametrize("mnem,fn", [
+        ("vsub.vx", lambda a, x: (a - x) & U64),
+        ("vmul.vx", lambda a, x: (a * x) & U64),
+        ("vsll.vx", lambda a, x: (a << (x & 63)) & U64),
+        ("vsra.vx", lambda a, x: (sign_extend(a, 64) >> (x & 63)) & U64),
+    ])
+    def test_vx_templates(self, mnem, fn):
+        cpu = fresh_cpu()
+        xs = [100, (-50) & U64]
+        set_region_state(cpu, 2, 64, {1: xs})
+        cpu.set_reg(11, 3)
+        translate_and_run(cpu, f"{mnem} v2, v1, a1")
+        assert region_elems(cpu, 2, 2) == [fn(a, 3) for a in xs]
+
+    def test_minu_sew32_zero_extends(self):
+        cpu = fresh_cpu()
+        set_region_state(cpu, 2, 32, {1: [0xFFFFFFFF, 1], 2: [2, 0xFFFFFFFF]})
+        translate_and_run(cpu, "vminu.vv v3, v1, v2")
+        assert region_elems(cpu, 3, 2, sew=32) == [2, 1]
+
+    def test_vmv_x_s_template(self):
+        cpu = fresh_cpu()
+        set_region_state(cpu, 1, 64, {5: [(-77) & U64]})
+        translate_and_run(cpu, "vmv.x.s a0, v5")
+        assert sign_extend(cpu.get_reg(10), 64) == -77
+
+    def test_vmv_x_s_template_sew32(self):
+        cpu = fresh_cpu()
+        set_region_state(cpu, 2, 32, {5: [0x80000001]})
+        translate_and_run(cpu, "vmv.x.s a0, v5")
+        assert cpu.get_reg(10) == sign_extend(0x80000001, 32) & U64
+
+    @given(st.lists(st.integers(min_value=0, max_value=U64), min_size=1, max_size=4),
+           st.integers(min_value=0, max_value=U64))
+    @settings(max_examples=15, deadline=None)
+    def test_vx_property_vs_cpu(self, xs, x):
+        """Template output must equal the vector unit's for random inputs."""
+        ref = make_cpu(_setup_two_vectors(xs, [0] * len(xs)) + "\nmv a3, a6\nvmul.vx v3, v1, a3")
+        ref.set_reg(16, x)
+        run_to_break(ref)
+        expected = ref.vector.read_elems(3, len(xs))
+
+        cpu = fresh_cpu()
+        set_region_state(cpu, len(xs), 64, {1: xs})
+        cpu.set_reg(11, x)
+        translate_and_run(cpu, "vmul.vx v3, v1, a1")
+        assert region_elems(cpu, 3, len(xs)) == expected

@@ -1,0 +1,122 @@
+"""Workload program and synthetic-binary generator tests."""
+
+import pytest
+
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.sim.machine import Core, Kernel
+from repro.workloads.programs import ALL_WORKLOADS, MatMulWorkload
+from repro.workloads.spec_profiles import APP_PROFILES, PROFILES, SPEC_PROFILES
+from repro.workloads.synthetic import SyntheticBinary
+
+
+class TestKernelWorkloads:
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    @pytest.mark.parametrize("variant", ["base", "ext"])
+    def test_native_self_check_passes(self, name, variant):
+        binary = ALL_WORKLOADS[name].build(variant)
+        proc = make_process(binary)
+        res = Kernel().run(proc, Core(0, RV64GCV))
+        assert res.ok, f"{name}/{variant}: exit={res.exit_code} fault={res.fault}"
+
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_base_variant_runs_on_base_core(self, name):
+        binary = ALL_WORKLOADS[name].build("base")
+        proc = make_process(binary)
+        res = Kernel().run(proc, Core(0, RV64GC))
+        assert res.ok
+
+    def test_ext_variant_faults_on_base_core(self):
+        binary = ALL_WORKLOADS["matmul"].build("ext")
+        proc = make_process(binary)
+        res = Kernel().run(proc, Core(0, RV64GC))
+        assert res.fault is not None
+
+    def test_vector_variant_faster(self):
+        for name in ("matmul", "gemv", "dot"):
+            w = ALL_WORKLOADS[name]
+            base = Kernel().run(make_process(w.build("base")), Core(0, RV64GCV))
+            ext = Kernel().run(make_process(w.build("ext")), Core(0, RV64GCV))
+            assert ext.cycles < base.cycles, name
+
+    def test_self_check_catches_corruption(self):
+        """Sanity of the self-check itself: corrupt the expectation."""
+        binary = MatMulWorkload(n=4).build("ext")
+        addr = binary.symbol_addr("c_expect")
+        binary.data.write(addr, b"\xFF" * 8)
+        proc = make_process(binary)
+        res = Kernel().run(proc, Core(0, RV64GCV))
+        assert res.exit_code == 1
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            ALL_WORKLOADS["matmul"].build("avx512")
+
+    def test_workloads_deterministic(self):
+        b1 = ALL_WORKLOADS["dot"].build("ext")
+        b2 = ALL_WORKLOADS["dot"].build("ext")
+        assert bytes(b1.text.data) == bytes(b2.text.data)
+        assert bytes(b1.data.data) == bytes(b2.data.data)
+
+
+class TestSpecProfiles:
+    def test_all_transcribed(self):
+        assert len(SPEC_PROFILES) == 18
+        assert len(APP_PROFILES) == 7
+
+    def test_table3_values_present(self):
+        p = PROFILES["wrf_r"]
+        assert p.code_size_mb == pytest.approx(16.79)
+        assert p.paper_trampolines == 41408
+        assert p.paper_deadreg_ours == 103
+        assert p.paper_deadreg_traditional == 11121
+
+    def test_derived_rates_sane(self):
+        for p in PROFILES.values():
+            assert 0 < p.ext_inst_pct < 10
+            assert 0 < p.high_pressure_share < 1
+            assert p.indirect_per_kinst > 0
+
+
+class TestSyntheticBinaries:
+    def test_deterministic_across_processes(self):
+        p = PROFILES["omnetpp_r"]
+        b1 = SyntheticBinary(p, scale=128).build()
+        b2 = SyntheticBinary(p, scale=128).build()
+        assert bytes(b1.text.data) == bytes(b2.text.data)
+
+    def test_code_size_tracks_profile(self):
+        small = SyntheticBinary(PROFILES["omnetpp_r"], scale=128).build()
+        large = SyntheticBinary(PROFILES["wrf_r"], scale=128).build()
+        assert large.text.size > 4 * small.text.size
+
+    def test_runs_cleanly_on_ext_core(self):
+        binary = SyntheticBinary(PROFILES["perlbench_r"], scale=128).build()
+        proc = make_process(binary)
+        res = Kernel().run(proc, Core(0, RV64GCV))
+        assert res.ok
+
+    def test_contains_extension_and_compressed_instructions(self):
+        from repro.analysis.scan import RecursiveScanner
+        from repro.isa.extensions import Extension
+
+        binary = SyntheticBinary(PROFILES["cam4_r"], scale=128).build()
+        scan = RecursiveScanner().scan(binary)
+        exts = {i.extension for i in scan.instructions.values()}
+        assert Extension.V in exts
+        assert Extension.C in exts
+        lengths = {i.length for i in scan.instructions.values()}
+        assert lengths == {2, 4}
+
+    def test_static_ext_share_in_range(self):
+        from repro.analysis.scan import RecursiveScanner
+        from repro.isa.extensions import Extension
+
+        p = PROFILES["cam4_r"]  # 3.37% in the paper
+        binary = SyntheticBinary(p, scale=128).build()
+        scan = RecursiveScanner().scan(binary)
+        n = len(scan.instructions)
+        n_ext = sum(1 for i in scan.instructions.values()
+                    if i.extension in (Extension.V, Extension.ZBA))
+        share = 100.0 * n_ext / n
+        assert 0.3 * p.ext_inst_pct <= share <= 3.0 * p.ext_inst_pct
