@@ -1,0 +1,62 @@
+"""Chaos harness: adversarial fault injection for Chimera's rewriting.
+
+Three layers:
+
+* :mod:`repro.chaos.sweeper` — force an indirect jump to every byte of
+  every patched region and classify the outcome (the paper's §3.2
+  determinism argument, checked exhaustively);
+* :mod:`repro.chaos.injector` — corrupt the runtime's own state (fault
+  tables, gp, signal frames, decode caches, pending migrations) at its
+  most delicate moments;
+* graceful degradation in the runtime/kernel themselves — every
+  injected failure must surface as a structured
+  :class:`~repro.sim.faults.UnrecoverableFault`, bounded by the
+  recovery-depth guard, never as a raw Python traceback.
+"""
+
+from repro.chaos.harness import (
+    ALL_SCENARIOS,
+    SWEEP_MODES,
+    run_chaos,
+    run_injector_scenarios,
+    run_workload_sweeps,
+    sweep_binary,
+)
+from repro.chaos.injector import Injector, PcAssertionInjector
+from repro.chaos.outcomes import (
+    ALL_OUTCOMES,
+    BENIGN_UNDEFINED,
+    DETERMINISTIC_KILL,
+    HARD_FAILURES,
+    PYTHON_CRASH,
+    RECOVERED_REDIRECT,
+    SILENT_DIVERGENCE,
+    AttackResult,
+    ChaosReport,
+    ScenarioResult,
+    SweepReport,
+)
+from repro.chaos.sweeper import TrampolineAttackSweeper
+
+__all__ = [
+    "ALL_OUTCOMES",
+    "ALL_SCENARIOS",
+    "AttackResult",
+    "BENIGN_UNDEFINED",
+    "ChaosReport",
+    "DETERMINISTIC_KILL",
+    "HARD_FAILURES",
+    "Injector",
+    "PYTHON_CRASH",
+    "PcAssertionInjector",
+    "RECOVERED_REDIRECT",
+    "SILENT_DIVERGENCE",
+    "SWEEP_MODES",
+    "ScenarioResult",
+    "SweepReport",
+    "TrampolineAttackSweeper",
+    "run_chaos",
+    "run_injector_scenarios",
+    "run_workload_sweeps",
+    "sweep_binary",
+]

@@ -1,0 +1,137 @@
+"""Outcome taxonomy for the chaos harness.
+
+Every forced entry into a patched region ends in exactly one of:
+
+* ``recovered-redirect`` — a deterministic fault was raised and the
+  runtime redirected execution (or the entry was the trampoline head
+  and flowed into ``.chimera.text`` legally);
+* ``deterministic-kill`` — a deterministic fault was raised promptly
+  and the process was terminated, either by the kernel's default action
+  or by a structured :class:`~repro.sim.faults.UnrecoverableFault`;
+* ``silent-divergence`` — a *modified* original instruction boundary
+  executed past the grace window without faulting: the exact
+  unintended-execution hazard the paper's §3.2 determinism argument
+  rules out.  Always a hard failure;
+* ``python-crash`` — the simulator itself raised a non-``SimFault``
+  exception (``KeyError``, ``AttributeError``...).  Always a hard
+  failure: robustness means structured degradation, not tracebacks;
+* ``benign-undefined`` — an entry the architecture cannot produce or
+  the paper makes no promise about (an odd/mid-instruction offset, or
+  bytes the rewriter left untouched) that ran without crashing.
+
+Only the first four come from the paper's correctness argument; the
+fifth keeps the sweep honest about offsets that are out of scope rather
+than silently folding them into a success bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+RECOVERED_REDIRECT = "recovered-redirect"
+DETERMINISTIC_KILL = "deterministic-kill"
+SILENT_DIVERGENCE = "silent-divergence"
+PYTHON_CRASH = "python-crash"
+BENIGN_UNDEFINED = "benign-undefined"
+
+ALL_OUTCOMES = (
+    RECOVERED_REDIRECT,
+    DETERMINISTIC_KILL,
+    SILENT_DIVERGENCE,
+    PYTHON_CRASH,
+    BENIGN_UNDEFINED,
+)
+
+#: Outcomes that fail a sweep outright.
+HARD_FAILURES = frozenset({SILENT_DIVERGENCE, PYTHON_CRASH})
+
+
+@dataclass
+class AttackResult:
+    """One forced entry point and what became of it."""
+
+    addr: int
+    region_start: int
+    region_end: int
+    region_kind: str  # "smile" | "smile-dp" | "trap"
+    offset: int
+    label: str  # head / P1 / P2 / P3 / padding / misaligned / trap...
+    boundary: bool  # original instruction boundary?
+    modified: bool  # bytes differ from the original binary?
+    outcome: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        flags = f"{'B' if self.boundary else '-'}{'M' if self.modified else '-'}"
+        line = (f"{self.addr:#010x} +{self.offset:<2d} {self.region_kind:9s} "
+                f"{self.label:10s} {flags}  {self.outcome}")
+        return f"{line}  ({self.detail})" if self.detail else line
+
+
+@dataclass
+class SweepReport:
+    """Every attack result for one (binary, patching mode) pair."""
+
+    binary: str
+    mode: str  # "smile" | "trap-fallback"
+    results: list[AttackResult] = field(default_factory=list)
+    #: Regions not attacked because of a sampling cap (never silent).
+    skipped_regions: int = 0
+
+    def counts(self) -> dict[str, int]:
+        out = {outcome: 0 for outcome in ALL_OUTCOMES}
+        for r in self.results:
+            out[r.outcome] += 1
+        return out
+
+    @property
+    def hard_failures(self) -> list[AttackResult]:
+        return [r for r in self.results if r.outcome in HARD_FAILURES]
+
+    @property
+    def ok(self) -> bool:
+        return not self.hard_failures
+
+    def summary(self) -> str:
+        counts = self.counts()
+        parts = [f"{k}={v}" for k, v in counts.items() if v]
+        head = (f"[{self.mode}] {self.binary}: {len(self.results)} attacks "
+                f"({', '.join(parts) or 'no patched regions'})")
+        lines = [head]
+        if self.skipped_regions:
+            lines.append(f"  note: {self.skipped_regions} regions skipped by --max-regions cap")
+        for failure in self.hard_failures:
+            lines.append(f"  FAIL {failure}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ScenarioResult:
+    """One runtime-corruption injector scenario and its verdict."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{'ok  ' if self.passed else 'FAIL'} {self.name}: {self.detail}"
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate verdict: sweeps across patching modes + injector scenarios."""
+
+    sweeps: list[SweepReport] = field(default_factory=list)
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.sweeps) and all(s.passed for s in self.scenarios)
+
+    def summary(self) -> str:
+        lines = [s.summary() for s in self.sweeps]
+        if self.scenarios:
+            lines.append("injector scenarios:")
+            lines.extend(f"  {s}" for s in self.scenarios)
+        lines.append(f"chaos verdict: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)

@@ -9,6 +9,8 @@ Commands:
 * ``run``      — load and execute an image on a simulated core, with the
   matching runtime installed automatically
 * ``profiles`` — list the SPEC/app profiles and workloads available
+* ``chaos``    — adversarial fault-injection harness: sweep every byte
+  of every patched region and run the runtime-corruption scenarios
 """
 
 from __future__ import annotations
@@ -31,19 +33,7 @@ def _isa(name: str):
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    from repro.workloads.programs import ALL_WORKLOADS
-    from repro.workloads.spec_profiles import PROFILES
-    from repro.workloads.synthetic import SyntheticBinary
-
-    if args.workload in ALL_WORKLOADS:
-        binary = ALL_WORKLOADS[args.workload].build(args.variant)
-    elif args.workload in PROFILES:
-        binary = SyntheticBinary(PROFILES[args.workload], scale=args.scale).build()
-    else:
-        from repro.workloads.spec_profiles import PROFILES as P
-
-        choices = sorted(ALL_WORKLOADS) + sorted(P)
-        raise SystemExit(f"unknown workload {args.workload!r}; choose from {choices}")
+    binary = _resolve_workload(args.workload, variant=args.variant, scale=args.scale)
     save_binary(binary, args.output)
     print(f"wrote {args.output}: entry={binary.entry:#x}, "
           f"text={binary.text.size} bytes")
@@ -137,6 +127,39 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _resolve_workload(name: str, *, variant: str = "ext", scale: int = 128):
+    """Build a workload binary by kernel name or synthetic-profile name."""
+    from repro.workloads.programs import ALL_WORKLOADS
+    from repro.workloads.spec_profiles import PROFILES
+    from repro.workloads.synthetic import SyntheticBinary
+
+    if name in ALL_WORKLOADS:
+        return ALL_WORKLOADS[name].build(variant)
+    if name in PROFILES:
+        return SyntheticBinary(PROFILES[name], scale=scale).build()
+    choices = sorted(ALL_WORKLOADS) + sorted(PROFILES)
+    raise SystemExit(f"unknown workload {name!r}; choose from {choices}")
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import run_chaos
+
+    binary = _resolve_workload(args.workload, scale=args.scale)
+    report = run_chaos(
+        binary,
+        target=_isa(args.target),
+        max_regions=args.max_regions,
+        scenarios=not args.no_scenarios,
+    )
+    if args.verbose:
+        for sweep in report.sweeps:
+            print(f"-- {sweep.mode} sweep --")
+            for result in sweep.results:
+                print(f"  {result}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_profiles(args: argparse.Namespace) -> int:
     from repro.workloads.programs import ALL_WORKLOADS
     from repro.workloads.spec_profiles import PROFILES
@@ -187,6 +210,18 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("profiles", help="list workloads and benchmark profiles")
     p.set_defaults(fn=cmd_profiles)
+
+    p = sub.add_parser("chaos", help="adversarial fault-injection sweep + scenarios")
+    p.add_argument("workload", help="kernel workload or synthetic-profile name")
+    p.add_argument("--target", default="rv64gc", help="base core the rewrite targets")
+    p.add_argument("--scale", type=int, default=128, help="synthetic-profile code-size divisor")
+    p.add_argument("--max-regions", type=int, default=0,
+                   help="cap attacked regions per sweep (0 = exhaustive; skips are reported)")
+    p.add_argument("--no-scenarios", action="store_true",
+                   help="sweep only; skip the runtime-corruption injector scenarios")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print every attack result, not just the summary")
+    p.set_defaults(fn=cmd_chaos)
     return parser
 
 

@@ -32,7 +32,7 @@ from repro.isa.encoding import encode
 from repro.isa.extensions import Extension, IsaProfile
 from repro.isa.instructions import Instruction
 from repro.sim.cpu import Cpu
-from repro.sim.faults import BreakpointTrap, SimFault
+from repro.sim.faults import BreakpointTrap, SimFault, UnrecoverableFault
 from repro.sim.machine import Kernel, Process
 from repro.sim.memory import AddressSpace
 
@@ -132,8 +132,20 @@ class MMViewProcess(Process):
         return True
 
     def _switch(self, cpu: Cpu, to_profile: str) -> None:
+        dst_view = self.views.get(to_profile)
+        if dst_view is None:
+            # A corrupted pending migration must not surface as a raw
+            # KeyError out of the scheduler: degrade with diagnostics.
+            raise UnrecoverableFault(
+                f"migration target view {to_profile!r} does not exist",
+                pc=cpu.pc,
+                context={
+                    "known_views": sorted(self.views),
+                    "active_view": self.active_view,
+                    "migrations": self.migrations,
+                },
+            )
         src_view = self.views[self.active_view]
-        dst_view = self.views[to_profile]
         self.sync_vector_state(cpu, src_view, dst_view)
         self.active_view = to_profile
         self.space = dst_view.space
@@ -186,6 +198,10 @@ class MigrationProbeManager:
         #: armed probes: address -> original bytes (per active space)
         self._armed: dict[int, bytes] = {}
         self.fired = 0
+        #: Optional chaos injector; its ``on_probe_fire`` hook runs in
+        #: the window between the probe trap and the view commit — the
+        #: spot a concurrent corruption would land (§4.3 race surface).
+        self.injector = None
 
     def install(self, kernel: Kernel) -> None:
         kernel.register_fault_handler(self.handle_fault, priority=True)
@@ -231,7 +247,20 @@ class MigrationProbeManager:
         if not isinstance(fault, BreakpointTrap) or cpu.pc not in self._armed:
             return False
         addr = cpu.pc
-        cpu.space.patch_code(addr, self._armed.pop(addr))
+        if self.injector is not None:
+            self.injector.on_probe_fire(self, cpu, addr)
+        original = self._armed.pop(addr, None)
+        if not isinstance(original, (bytes, bytearray)) or len(original) != 2:
+            raise UnrecoverableFault(
+                f"migration probe at {addr:#x} fired with corrupt saved bytes",
+                pc=addr,
+                context={
+                    "saved": repr(original),
+                    "armed_probes": sorted(hex(a) for a in self._armed),
+                    "pending_migration": self.process.pending_migration,
+                },
+            )
+        cpu.space.patch_code(addr, bytes(original))
         cpu.flush_decode_cache()
         self.fired += 1
         self.process.try_commit_pending(cpu)

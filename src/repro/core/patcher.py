@@ -144,6 +144,7 @@ class ChbpPatcher:
         scan_entries: Optional[list[int]] = None,
         scan_address_taken: bool = False,
         smile_register: str = "gp",
+        use_smile: bool = True,
     ):
         if smile_register not in ("gp", "data-pointer"):
             raise ValueError("smile_register must be 'gp' or 'data-pointer'")
@@ -161,6 +162,10 @@ class ChbpPatcher:
         #: gp-like register: the trampoline overwrites a lui+load pair
         #: whose register provably holds a data-segment address.
         self.smile_register = smile_register
+        #: False forces every site onto trap-based trampolines — the
+        #: all-fallback configuration the chaos harness sweeps alongside
+        #: the SMILE design (the paper's baselines live here full-time).
+        self.use_smile = use_smile
         #: data-pointer mode: P1 address -> register holding the pointer.
         self.smile_regs: dict[int, int] = {}
         self.compressed = bool(binary.metadata.get("has_rvc", True))
@@ -172,6 +177,10 @@ class ChbpPatcher:
         #: rewritten variants (patched regions); migration must be delayed
         #: while the pc is inside one (paper §4.3).
         self.migration_unsafe: list[tuple[int, int]] = []
+        #: (start, end, kind) for every overwritten byte span; kind is
+        #: "smile", "smile-dp" or "trap".  The chaos sweeper enumerates
+        #: its attack offsets from these.
+        self.patched_regions: list[tuple[int, int, str]] = []
 
     # -- top level --------------------------------------------------------
 
@@ -201,7 +210,9 @@ class ChbpPatcher:
         for site in sites:
             if site.first_addr in self._covered:
                 continue  # already overwritten as an earlier window's neighbor
-            if self.smile_register == "data-pointer":
+            if not self.use_smile:
+                patched = False
+            elif self.smile_register == "data-pointer":
                 patched = self._patch_site_data_pointer(site, text)
             else:
                 patched = self._patch_site(site, text)
@@ -234,6 +245,7 @@ class ChbpPatcher:
             "vregs_base": vregs_base,
             "target_profile": self.target_profile.name,
             "migration_unsafe": sorted(self.migration_unsafe),
+            "patched_regions": sorted(self.patched_regions),
             "smile_regs": dict(self.smile_regs),
         }
         return out
@@ -492,6 +504,7 @@ class ChbpPatcher:
                 self.stats.table_entries += 1
         self._covered.update(i.addr for i in window)
         self.migration_unsafe.append((window_start, max(window_end, site.end())))
+        self.patched_regions.append((window_start, window_end, "smile"))
         return True
 
     # -- Fig. 5: SMILE via a general data-pointer register ------------------
@@ -587,6 +600,7 @@ class ChbpPatcher:
         self._covered.update(i.addr for i in window)
         self._covered.update(i.addr for i in site.sources)
         self.migration_unsafe.append((window_start, max(window_end, site.end())))
+        self.patched_regions.append((window_start, window_end, "smile-dp"))
         return True
 
     def _main_path(
@@ -758,3 +772,4 @@ class ChbpPatcher:
             self.stats.trap_fallbacks += 1
             self._covered.add(instr.addr)
             self.migration_unsafe.append((instr.addr, resume))
+            self.patched_regions.append((instr.addr, instr.addr + instr.length, "trap"))

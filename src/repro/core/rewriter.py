@@ -59,6 +59,7 @@ class ChimeraRewriter:
         enable_upgrades: bool = True,
         scan_address_taken: bool = False,
         smile_register: str = "gp",
+        use_smile: bool = True,
     ):
         self.arch = arch
         self.mode = mode
@@ -67,6 +68,7 @@ class ChimeraRewriter:
         self.enable_upgrades = enable_upgrades
         self.scan_address_taken = scan_address_taken
         self.smile_register = smile_register
+        self.use_smile = use_smile
 
     def rewrite(
         self,
@@ -87,6 +89,7 @@ class ChimeraRewriter:
             scan_entries=scan_entries,
             scan_address_taken=self.scan_address_taken,
             smile_register=self.smile_register,
+            use_smile=self.use_smile,
         )
         rewritten = patcher.patch()
         return RewriteResult(rewritten, target_profile, patcher.stats)

@@ -32,8 +32,13 @@ from repro.sim.faults import (
     IllegalInstructionFault,
     SegmentationFault,
     SimFault,
+    UnrecoverableFault,
 )
 from repro.sim.machine import Kernel, Process
+
+#: Default bound on consecutive zero-progress recoveries before the
+#: runtime declares a fault loop and aborts with diagnostics.
+DEFAULT_MAX_RECOVERY_DEPTH = 8
 
 
 @dataclass
@@ -45,6 +50,13 @@ class RuntimeStats:
     runtime_rewrites: int = 0
     trap_redirects: int = 0
     signals_gp_restored: int = 0
+    #: Faults the runtime owned (patched-region pc) but could not
+    #: recover — corrupted/missing fault-table entries and the like.
+    unrecoverable_faults: int = 0
+    #: Patched-region fault-table lookups that came back empty.
+    fault_table_misses: int = 0
+    #: Recovery chains aborted by the recovery-depth guard.
+    recovery_loop_aborts: int = 0
 
     @property
     def deterministic_faults(self) -> int:
@@ -58,7 +70,14 @@ class RuntimeStats:
 class ChimeraRuntime:
     """Kernel-side runtime for one rewritten binary."""
 
-    def __init__(self, rewritten: Binary, *, rewriter=None, original: Optional[Binary] = None):
+    def __init__(
+        self,
+        rewritten: Binary,
+        *,
+        rewriter=None,
+        original: Optional[Binary] = None,
+        max_recovery_depth: int = DEFAULT_MAX_RECOVERY_DEPTH,
+    ):
         meta = rewritten.metadata.get("chimera")
         if meta is None:
             raise ValueError(f"{rewritten.name} was not produced by ChimeraRewriter")
@@ -69,7 +88,23 @@ class ChimeraRuntime:
         #: Fig. 5 variant: P1 address -> the general register whose
         #: return-address value identifies the fault (gp otherwise).
         self.smile_regs: dict[int, int] = dict(meta.get("smile_regs", {}))
+        #: Original-address ranges the rewriter overwrote; a fault inside
+        #: one of these is ours by construction, so failing to recover it
+        #: is a structured kill, never a silent fallthrough.
+        self.patched_regions: list[tuple[int, int]] = [
+            (lo, hi) for lo, hi in meta.get("migration_unsafe", ())
+        ]
         self.stats = RuntimeStats()
+        #: Recovery-depth guard: a recovered fault that faults again
+        #: before retiring a single instruction is a loop (e.g. a
+        #: corrupted redirect, or a runtime rewrite that re-faults);
+        #: after this many zero-progress recoveries the runtime aborts.
+        self.max_recovery_depth = max_recovery_depth
+        self._recovery_streak = 0
+        self._last_recovery_instret: Optional[int] = None
+        self._last_redirect: Optional[int] = None
+        #: Optional chaos injector (repro.chaos.injector); None normally.
+        self.injector = None
         #: Optional lazy-rewriting support: the rewriter and the original
         #: binary are needed to translate instructions the scan missed.
         self._rewriter = rewriter
@@ -85,14 +120,93 @@ class ChimeraRuntime:
     # -- fault handling -------------------------------------------------------
 
     def handle_fault(self, kernel: Kernel, process: Process, cpu: Cpu, fault: SimFault) -> bool:
-        """The priority handler: return True iff the fault was CHBP's."""
+        """The priority handler: return True iff the fault was CHBP's.
+
+        Graceful degradation (chaos hardening): a fault that lands in a
+        patched region but cannot be recovered, or a recovery chain that
+        makes no progress for :attr:`max_recovery_depth` rounds, raises
+        a structured :class:`UnrecoverableFault` instead of silently
+        declining or looping forever.
+        """
+        if self.injector is not None:
+            self.injector.before_recovery(self, kernel, process, cpu, fault)
+        fault_pc = fault.pc if fault.pc is not None else cpu.pc
+        looping = (
+            self._last_recovery_instret is not None
+            and cpu.instret == self._last_recovery_instret
+        )
+        if looping:
+            self._recovery_streak += 1
+            if self._recovery_streak >= self.max_recovery_depth:
+                self.stats.recovery_loop_aborts += 1
+                self.stats.unrecoverable_faults += 1
+                raise UnrecoverableFault(
+                    f"fault-recovery loop: {self._recovery_streak} consecutive "
+                    "recoveries without retiring an instruction",
+                    pc=fault_pc,
+                    cause=fault,
+                    attempts=self._recovery_streak,
+                    context=self._fault_context(cpu),
+                )
+        else:
+            self._recovery_streak = 0
+
+        handled = False
         if isinstance(fault, SegmentationFault) and fault.access == "exec":
-            return self._handle_segv(kernel, process, cpu, fault)
-        if isinstance(fault, IllegalInstructionFault):
-            return self._handle_sigill(kernel, process, cpu, fault)
-        if isinstance(fault, BreakpointTrap):
-            return self._handle_trap(kernel, cpu, fault)
+            handled = self._handle_segv(kernel, process, cpu, fault)
+        elif isinstance(fault, IllegalInstructionFault):
+            handled = self._handle_sigill(kernel, process, cpu, fault)
+        elif isinstance(fault, BreakpointTrap):
+            handled = self._handle_trap(kernel, cpu, fault)
+        if handled:
+            self._last_recovery_instret = cpu.instret
+            self._last_redirect = cpu.pc
+            return True
+        # Unhandled.  If the fault struck one of our patched regions, or
+        # immediately followed one of our own redirects, it is ours by
+        # construction: the failure to recover means the fault table or
+        # a redirect target is corrupt -> abort with diagnostics.
+        # last_pc covers *exec* faults whose pc is useless (a wild jump
+        # target) but whose *origin* was a patched instruction — e.g. a
+        # SMILE jalr jumping through a clobbered gp.  Only exec faults:
+        # other fault kinds (a migration probe's ebreak) can legally
+        # follow a patched instruction and belong to other handlers.
+        wild_jump = (
+            isinstance(fault, SegmentationFault)
+            and fault.access == "exec"
+            and self._in_patched_region(getattr(cpu, "last_pc", None))
+        )
+        if looping or self._in_patched_region(fault_pc) or wild_jump:
+            if not looping:
+                self.stats.fault_table_misses += 1
+            self.stats.unrecoverable_faults += 1
+            raise UnrecoverableFault(
+                f"{type(fault).__name__} at {fault_pc:#x} inside a patched "
+                "region could not be recovered",
+                pc=fault_pc,
+                cause=fault,
+                attempts=self._recovery_streak,
+                context=self._fault_context(cpu),
+            )
         return False
+
+    def _in_patched_region(self, pc: Optional[int]) -> bool:
+        if pc is None:
+            return False
+        return any(lo <= pc < hi for lo, hi in self.patched_regions)
+
+    def _fault_context(self, cpu: Cpu) -> dict:
+        """Diagnostic snapshot attached to every UnrecoverableFault."""
+        return {
+            "fault_table_entries": len(self.fault_table.entries)
+            if hasattr(self.fault_table, "entries") else "corrupt",
+            "trap_table_entries": len(self.trap_table),
+            "last_redirect": hex(self._last_redirect) if self._last_redirect is not None else None,
+            "gp": hex(cpu.get_reg(Reg.GP)),
+            "cpu_pc": hex(cpu.pc),
+            "instret": cpu.instret,
+            "max_recovery_depth": self.max_recovery_depth,
+        }
 
     def _handle_segv(self, kernel: Kernel, process: Process, cpu: Cpu, fault: SegmentationFault) -> bool:
         # Ours are exec faults into non-executable (or unmapped) memory;
@@ -161,9 +275,22 @@ class ChimeraRuntime:
         """
         if self._rewriter is None or self._original is None:
             return False
+        try:
+            meta = self.binary.metadata["chimera"]
+            profile = _profile_by_name(meta["target_profile"])
+        except KeyError as exc:
+            # Structured degradation: corrupted rewriting metadata must
+            # never escape as a bare KeyError traceback.
+            self.stats.unrecoverable_faults += 1
+            raise UnrecoverableFault(
+                f"runtime rewrite at {cpu.pc:#x}: rewriting metadata is corrupt",
+                pc=cpu.pc,
+                cause=exc,
+                context=self._fault_context(cpu),
+            ) from exc
         result = self._rewriter.rewrite(
             self._original,
-            _profile_by_name(self.binary.metadata["chimera"]["target_profile"]),
+            profile,
             scan_entries=[cpu.pc],
         )
         new = result.binary
@@ -181,7 +308,12 @@ class ChimeraRuntime:
         self._sync_section(process, new, ".chimera.vregs", Perm.RW)
         self.fault_table.entries.update(new_meta["fault_table"].entries)
         self.trap_table.update(new_meta["trap_table"])
+        for lo, hi in new_meta.get("migration_unsafe", ()):
+            if (lo, hi) not in self.patched_regions:
+                self.patched_regions.append((lo, hi))
         cpu.flush_decode_cache()
+        if self.injector is not None:
+            self.injector.after_rewrite(self, process, cpu)
         cpu.cycles += cpu.cost.fault_handling_cost * 4  # rewrite is heavier
         cpu.bump("runtime_rewrites")
         self.stats.runtime_rewrites += 1

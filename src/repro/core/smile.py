@@ -295,6 +295,23 @@ def vanilla_trampoline(addr: int, target: int, reg: int) -> bytes:
     return encode(auipc) + encode(jalr)
 
 
+def smile_offset_label(offset: int) -> str:
+    """Name the attack surface *offset* bytes into a SMILE window.
+
+    The chaos sweeper labels each enumerated entry point with the
+    paper's taxonomy: ``head`` (the auipc — the one legal entry),
+    ``P1`` (the jalr, partial execution through a data pointer),
+    ``P2``/``P3`` (the pinned reserved mid-instruction parcels),
+    ``padding`` (parcels past the 8-byte trampoline), ``misaligned``
+    (odd offsets no RVC jump can target).
+    """
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    if offset % 2:
+        return "misaligned"
+    return {0: "head", 2: "P2", 4: "P1", 6: "P3"}.get(offset, "padding")
+
+
 def padding_parcels(n_bytes: int, *, boundary_in_padding: bool) -> bytes:
     """Padding for trampoline windows longer than 8 bytes.
 

@@ -26,6 +26,7 @@ from repro.sim.faults import (
     BreakpointTrap,
     EcallTrap,
     IllegalInstructionFault,
+    SimFault,
     SimulationLimitExceeded,
 )
 from repro.sim.memory import AddressSpace
@@ -59,8 +60,17 @@ class Cpu:
         self.vector = VectorUnit(vlen=self.cost.params.vlen)
         self.cycles = 0
         self.instret = 0
+        #: pc of the most recently *retired* instruction; lets fault
+        #: handlers attribute a fetch fault to the jump that caused it
+        #: (e.g. a SMILE jalr whose gp was clobbered before recovery).
+        self.last_pc: Optional[int] = None
         #: Optional per-retired-instruction hook (see repro.sim.trace).
         self.tracer = None
+        #: Optional hook called with (cpu, fault) for every SimFault that
+        #: propagates out of :meth:`step`, after the faulting pc has been
+        #: filled in.  The chaos harness installs an assertion here that
+        #: ``fault.pc`` is never None once the CPU knows it.
+        self.fault_hook: Optional[Callable[["Cpu", "SimFault"], None]] = None
         #: Counts of interesting dynamic events, keyed by name.
         self.counters: dict[str, int] = {}
         #: Optional address tags: executing a tagged address bumps the
@@ -117,19 +127,32 @@ class Cpu:
     # -- execution -----------------------------------------------------------
 
     def step(self) -> Instruction:
-        """Execute one instruction; returns it.  Faults propagate."""
+        """Execute one instruction; returns it.  Faults propagate.
+
+        Every :class:`SimFault` leaving this method carries the faulting
+        pc: raise sites that only know an address (memory faults) get it
+        filled in here, where the pc is authoritative.
+        """
         pc = self.pc
-        instr, handler, tag = self._decode_at(pc)
-        self.pc = pc + instr.length
         try:
-            taken = handler(self, instr)
-        except Exception:
-            self.pc = pc  # leave pc at the faulting instruction
+            instr, handler, tag = self._decode_at(pc)
+            self.pc = pc + instr.length
+            try:
+                taken = handler(self, instr)
+            except Exception:
+                self.pc = pc  # leave pc at the faulting instruction
+                raise
+        except SimFault as fault:
+            if fault.pc is None:
+                fault.pc = pc
+            if self.fault_hook is not None:
+                self.fault_hook(self, fault)
             raise
         if tag is not None:
             self.counters[tag] = self.counters.get(tag, 0) + 1
         if self.tracer is not None:
             self.tracer(self, instr)
+        self.last_pc = pc
         self.instret += 1
         self.cycles += self.cost.instruction_cost(instr, taken=bool(taken))
         return instr

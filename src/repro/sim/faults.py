@@ -52,6 +52,53 @@ class IllegalInstructionFault(SimFault):
         self.kind = kind
 
 
+class UnrecoverableFault(SimFault):
+    """A fault the runtime owns but cannot (or must not) recover.
+
+    Graceful-degradation terminal state: instead of an unstructured
+    Python traceback (``KeyError`` from a corrupted fault table, an
+    ``AttributeError`` from a clobbered handler, an unbounded
+    fault-recovery loop), the runtime raises this exception carrying
+    enough context to diagnose the failure:
+
+    * ``cause`` — the underlying :class:`SimFault` or Python exception;
+    * ``attempts`` — how many recovery attempts were made before giving
+      up (the recovery-depth guard caps these);
+    * ``context`` — free-form diagnostics: fault-table size, the last
+      redirect taken, the corrupted key, etc.
+
+    The simulated kernel never dispatches an ``UnrecoverableFault`` to
+    handlers: it terminates the process and reports it in ``RunResult``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pc: Optional[int] = None,
+        *,
+        cause: Optional[BaseException] = None,
+        attempts: int = 0,
+        context: Optional[dict] = None,
+    ):
+        super().__init__(message, pc)
+        self.cause = cause
+        self.attempts = attempts
+        self.context = dict(context or {})
+
+    def describe(self) -> str:
+        """Multi-line diagnostic dump (fault pc, cause, table state)."""
+        lines = [f"unrecoverable fault: {self.args[0]}"]
+        if self.pc is not None:
+            lines.append(f"  fault pc: {self.pc:#x}")
+        if self.cause is not None:
+            lines.append(f"  cause: {type(self.cause).__name__}: {self.cause}")
+        if self.attempts:
+            lines.append(f"  recovery attempts: {self.attempts}")
+        for key in sorted(self.context):
+            lines.append(f"  {key}: {self.context[key]}")
+        return "\n".join(lines)
+
+
 class EcallTrap(SimFault):
     """Environment call; the kernel services it as a syscall."""
 

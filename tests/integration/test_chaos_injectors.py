@@ -1,0 +1,48 @@
+"""Runtime-corruption injector scenarios: graceful degradation, end to end.
+
+Each scenario corrupts the runtime's own state at its most delicate
+moment — fault-table entries dropped or redirected into a loop, gp
+clobbered before recovery, a signal delivered mid-trampoline, the
+decode cache staled behind a lazy rewrite, a migration corrupted
+between probe and commit — and asserts the run ends the way graceful
+degradation demands: a structured UnrecoverableFault with diagnostics
+for the fatal corruptions, a correct finish for the survivable ones.
+"""
+
+import pytest
+
+from repro.chaos import ALL_SCENARIOS
+from repro.chaos.harness import (
+    scenario_clobber_gp,
+    scenario_corrupt_fault_entry,
+    scenario_drop_fault_entries,
+)
+
+SCENARIOS = {fn.__name__: fn for fn in ALL_SCENARIOS}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_passes(name):
+    result = SCENARIOS[name]()
+    assert result.passed, f"{result.name}: {result.detail}"
+
+
+def test_scenario_names_unique_and_stable():
+    results = [fn() for fn in ALL_SCENARIOS]
+    names = [r.name for r in results]
+    assert len(set(names)) == len(names) == 7
+
+
+def test_structured_detail_mentions_degradation():
+    """The fatal scenarios must surface *structured* failures — the
+    detail strings come from UnrecoverableFault, not raw tracebacks."""
+    for fn in (scenario_drop_fault_entries, scenario_clobber_gp):
+        result = fn()
+        assert result.passed
+        assert "structured" in result.detail
+
+
+def test_loop_guard_bounds_attempts():
+    result = scenario_corrupt_fault_entry()
+    assert result.passed
+    assert "8/8" in result.detail  # default max_recovery_depth

@@ -1,0 +1,26 @@
+"""Property-test plumbing: print the fuzz seed on every failure.
+
+The differential fuzz suite seeds Hypothesis from ``REPRO_FUZZ_SEED``
+(default 0).  When a property test fails, the seed is attached to the
+pytest report so the exact generation sequence can be replayed:
+
+    REPRO_FUZZ_SEED=<seed> PYTHONPATH=src python -m pytest tests/property -q
+"""
+
+import os
+
+import pytest
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        fuzz_seed = os.environ.get("REPRO_FUZZ_SEED", "0")
+        report.sections.append((
+            "fuzz seed",
+            f"REPRO_FUZZ_SEED={fuzz_seed} — replay this exact generation "
+            f"sequence with: REPRO_FUZZ_SEED={fuzz_seed} PYTHONPATH=src "
+            "python -m pytest tests/property -q",
+        ))

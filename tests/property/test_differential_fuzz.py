@@ -6,10 +6,19 @@ after rewriting by each system — on a base core.  Exit state (registers
 of interest + the data segment) must match exactly.  This is the §6.3
 correctness claim tested over a program space rather than a benchmark
 list.
+
+Deterministic replay: generation is seeded from the ``REPRO_FUZZ_SEED``
+environment variable (default 0), so two runs with the same seed explore
+the same program sequence.  On failure the seed is printed in the pytest
+report (see ``conftest.py`` here); replay with e.g.::
+
+    REPRO_FUZZ_SEED=1234 PYTHONPATH=src python -m pytest tests/property -q
 """
 
+import os
+
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, given, seed, settings, strategies as st
 
 from repro.core.rewriter import ChimeraRewriter
 from repro.core.runtime import ChimeraRuntime
@@ -128,6 +137,10 @@ def run_native(binary):
     return data_snapshot(binary, proc)
 
 
+#: Deterministic generation: every @given test is seeded with this, so
+#: a failing sequence replays exactly under the same REPRO_FUZZ_SEED.
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+
 FUZZ_SETTINGS = settings(
     max_examples=25,
     deadline=None,
@@ -136,6 +149,7 @@ FUZZ_SETTINGS = settings(
 
 
 class TestChimeraDifferential:
+    @seed(FUZZ_SEED)
     @given(text=program())
     @FUZZ_SETTINGS
     def test_downgrade_preserves_state(self, text):
@@ -150,6 +164,7 @@ class TestChimeraDifferential:
         assert res.ok, f"rewritten run failed: {res.fault}\nprogram:\n{text}"
         assert data_snapshot(binary, proc) == expected, f"state diverged:\n{text}"
 
+    @seed(FUZZ_SEED)
     @given(text=program())
     @FUZZ_SETTINGS
     def test_empty_patch_identity(self, text):
@@ -167,6 +182,7 @@ class TestChimeraDifferential:
 
 
 class TestBaselineDifferential:
+    @seed(FUZZ_SEED)
     @given(text=program())
     @FUZZ_SETTINGS
     def test_safer_preserves_state(self, text):
@@ -182,6 +198,7 @@ class TestBaselineDifferential:
         assert res.ok, f"{res.fault}\nprogram:\n{text}"
         assert data_snapshot(binary, proc) == expected
 
+    @seed(FUZZ_SEED)
     @given(text=program())
     @FUZZ_SETTINGS
     def test_strawman_preserves_state(self, text):
@@ -197,6 +214,7 @@ class TestBaselineDifferential:
         assert res.ok, f"{res.fault}\nprogram:\n{text}"
         assert data_snapshot(binary, proc) == expected
 
+    @seed(FUZZ_SEED)
     @given(text=program())
     @settings(max_examples=12, deadline=None,
               suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
@@ -216,6 +234,7 @@ class TestBaselineDifferential:
         assert res.ok, f"{res.fault}\nprogram:\n{text}"
         assert data_snapshot(binary, proc) == expected
 
+    @seed(FUZZ_SEED)
     @given(text=program())
     @settings(max_examples=12, deadline=None,
               suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
