@@ -414,12 +414,16 @@ def run_chaos(
     target: IsaProfile = RV64GC,
     max_regions: int = 0,
     scenarios: bool = True,
+    seed: Optional[int] = None,
 ) -> ChaosReport:
     """Full chaos verdict for one workload binary.
 
     Sweeps run with a :class:`PcAssertionInjector` observing every CPU:
     a fault leaving the CPU without a pc trips an assertion, which the
-    sweeper reports as ``python-crash`` — a hard failure.
+    sweeper reports as ``python-crash`` — a hard failure.  The scenario
+    half also runs the core-failure resilience scenarios
+    (:mod:`repro.resilience.scenarios`); *seed* (default:
+    ``REPRO_FUZZ_SEED``) drives their injectors.
     """
     report = ChaosReport()
     report.sweeps = run_workload_sweeps(
@@ -428,4 +432,9 @@ def run_chaos(
     )
     if scenarios:
         report.scenarios = run_injector_scenarios()
+        # Imported here: scenarios pull in the measured scheduler, which
+        # this module must not depend on at import time.
+        from repro.resilience.scenarios import run_all as run_resilience_scenarios
+
+        report.scenarios.extend(run_resilience_scenarios(seed))
     return report

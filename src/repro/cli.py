@@ -11,6 +11,9 @@ Commands:
 * ``profiles`` — list the SPEC/app profiles and workloads available
 * ``chaos``    — adversarial fault-injection harness: sweep every byte
   of every patched region and run the runtime-corruption scenarios
+* ``resilience`` — core-failure scenarios: kill/flake cores mid-task,
+  drop migrations, corrupt checkpoints, lose the whole extension pool —
+  and assert forward progress with structured faults
 """
 
 from __future__ import annotations
@@ -143,13 +146,16 @@ def _resolve_workload(name: str, *, variant: str = "ext", scale: int = 128):
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import run_chaos
+    from repro.resilience.seeds import replay_hint, resolve_seed
 
+    seed = resolve_seed(args.seed)
     binary = _resolve_workload(args.workload, scale=args.scale)
     report = run_chaos(
         binary,
         target=_isa(args.target),
         max_regions=args.max_regions,
         scenarios=not args.no_scenarios,
+        seed=seed,
     )
     if args.verbose:
         for sweep in report.sweeps:
@@ -157,7 +163,33 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             for result in sweep.results:
                 print(f"  {result}")
     print(report.summary())
-    return 0 if report.ok else 1
+    if not report.ok:
+        print(f"seed: {seed} — {replay_hint(seed)}")
+        return 1
+    return 0
+
+
+def cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.resilience.scenarios import run_all, run_scenario
+    from repro.resilience.seeds import replay_hint, resolve_seed
+
+    seed = resolve_seed(args.seed)
+    if args.scenario == "all":
+        results = run_all(seed)
+    else:
+        try:
+            results = [run_scenario(args.scenario, seed=seed)]
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    for result in results:
+        print(result)
+    failed = [r for r in results if not r.passed]
+    print(f"resilience verdict: {'PASS' if not failed else 'FAIL'} "
+          f"({len(results) - len(failed)}/{len(results)} scenarios)")
+    if failed:
+        print(f"seed: {seed} — {replay_hint(seed)}")
+        return 1
+    return 0
 
 
 def cmd_profiles(args: argparse.Namespace) -> int:
@@ -219,9 +251,21 @@ def make_parser() -> argparse.ArgumentParser:
                    help="cap attacked regions per sweep (0 = exhaustive; skips are reported)")
     p.add_argument("--no-scenarios", action="store_true",
                    help="sweep only; skip the runtime-corruption injector scenarios")
+    p.add_argument("--seed", type=int, default=None,
+                   help="failure-injection seed (default: $REPRO_FUZZ_SEED, else 0)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print every attack result, not just the summary")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "resilience",
+        help="core-failure scenarios: kills, flakes, lost migrations, "
+             "corrupt checkpoints, full extension-pool loss")
+    p.add_argument("scenario",
+                   help="scenario name (see repro.resilience.scenarios) or 'all'")
+    p.add_argument("--seed", type=int, default=None,
+                   help="failure-injection seed (default: $REPRO_FUZZ_SEED, else 0)")
+    p.set_defaults(fn=cmd_resilience)
     return parser
 
 

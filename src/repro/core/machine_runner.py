@@ -8,6 +8,16 @@ stack — CHBP-rewritten images, Chimera runtime fault handling, FAM
 migration with architectural context transfer — under the same
 work-stealing policy.  Benchmarks compare the two engines' makespans to
 validate the DES abstraction (EXPERIMENTS.md deviation #6).
+
+Fault tolerance: the scheduler survives cores dying or flaking mid-task.
+A failed core is quarantined (immediately when dead, after a threshold
+of flakes), its orphaned task is re-queued with exponential backoff —
+resuming from a checksummed checkpoint when one survived on the same
+pool flavor, restarting from entry otherwise — and when every extension
+core is gone, extension tasks keep full forward progress on base cores
+through the downgraded binary.  A task that exhausts its retry budget
+ends in a structured :class:`~repro.sim.faults.UnrecoverableFault`
+accounting entry, never a hang or a silent drop.
 """
 
 from __future__ import annotations
@@ -16,15 +26,21 @@ import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Optional
+
 from repro.baselines.safer import SaferRewriter, SaferRuntime
 from repro.core.rewriter import ChimeraRewriter
 from repro.core.runtime import ChimeraRuntime
 from repro.elf.binary import Binary
-from repro.elf.loader import make_process
 from repro.isa.extensions import RV64GC, RV64GCV
+from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.executor import TaskExecution, run_task_on_core
+from repro.resilience.failures import CoreFailureInjector
+from repro.resilience.policy import DEFAULT_RETRY_POLICY, ResilienceStats, RetryPolicy
+from repro.resilience.seeds import resolve_seed
 from repro.sim.cost import ArchParams, DEFAULT_ARCH
-from repro.sim.faults import IllegalInstructionFault
-from repro.sim.machine import Core, Kernel
+from repro.sim.faults import IllegalInstructionFault, UnrecoverableFault
+from repro.sim.machine import Core
 
 #: Systems the measured runner implements.
 SYSTEMS = ("fam", "melf", "chimera", "safer")
@@ -50,6 +66,28 @@ class MeasuredRunResult:
     steals: int
     failures: int
     per_task_cycles: dict[int, int] = field(default_factory=dict)
+    #: Extension tasks in the input, and how many of them completed on
+    #: an extension core (the accelerated path).
+    ext_tasks: int = 0
+    accelerated_ext_tasks: int = 0
+    #: Tasks that ended in a structured UnrecoverableFault.
+    unrecoverable: int = 0
+    #: task_id -> the UnrecoverableFault that ended it.
+    task_faults: dict[int, UnrecoverableFault] = field(default_factory=dict)
+    quarantined_cores: tuple[int, ...] = ()
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
+
+    @property
+    def completed(self) -> int:
+        return len(self.per_task_cycles)
+
+    @property
+    def accelerated_share(self) -> float:
+        """Fraction of extension tasks that ran accelerated (0 when the
+        degradation ladder pushed them all to base cores)."""
+        if self.ext_tasks == 0:
+            return 0.0
+        return self.accelerated_ext_tasks / self.ext_tasks
 
 
 def _build_task_binary(kind: str, size: int, variant: str) -> Binary:
@@ -81,46 +119,77 @@ def _prepared_binary(system: str, kind: str, size: int, on_ext: bool) -> tuple:
     raise ValueError(f"unknown system {system!r}")
 
 
-def _run_one(system: str, task: HeteroTask, on_ext: bool,
-             arch: ArchParams, max_instructions: int) -> tuple[int, bool, bool]:
-    """Execute one task; returns (cycles, ok, needs_migration)."""
-    binary, runtime_kind = _prepared_binary(system, task.kind, task.size, on_ext)
-    kernel = Kernel(arch)
-    if runtime_kind == "chimera":
-        ChimeraRuntime(binary).install(kernel)
-    elif runtime_kind == "safer":
-        SaferRuntime(binary).install(kernel)
-    core = Core(0, RV64GCV if on_ext else RV64GC, arch)
-    proc = make_process(binary)
-    result = kernel.run(proc, core, max_instructions=max_instructions)
-    if (
-        system == "fam"
-        and not on_ext
-        and isinstance(result.fault, IllegalInstructionFault)
-        and result.fault.kind == "unsupported-extension"
-    ):
-        return result.cycles, True, True
-    return result.cycles, result.ok, False
+@dataclass
+class _Pending:
+    """A queued task plus its retry/checkpoint state."""
+
+    task: HeteroTask
+    migrated: bool = False      # FAM fault-and-migrate: extension pool only
+    attempt: int = 1
+    checkpoint: Optional[Checkpoint] = None
+    not_before: int = 0         # earliest dispatch time (backoff)
+    first_start: Optional[int] = None
+
+    @property
+    def pinned(self) -> bool:
+        """May not be stolen across pools: FAM-migrated tasks (no
+        downgraded image exists) and checkpointed resumes (the image
+        matches exactly one core flavor)."""
+        return self.migrated or self.checkpoint is not None
 
 
 class MeasuredScheduler:
     """Work-stealing over real task executions (same policy as the DES)."""
 
     def __init__(self, n_base: int, n_ext: int, params: ArchParams = DEFAULT_ARCH,
-                 *, max_instructions: int = 5_000_000):
+                 *, max_instructions: int = 5_000_000,
+                 max_steps: Optional[int] = None):
         self.n_base = n_base
         self.n_ext = n_ext
         self.params = params
         self.max_instructions = max_instructions
+        #: Kernel-entry watchdog budget per execution (None = default).
+        self.max_steps = max_steps
 
-    def run(self, tasks: list[HeteroTask], system: str) -> MeasuredRunResult:
+    def _execute(self, system: str, task: HeteroTask, core: Core, *,
+                 checkpoint: Optional[Checkpoint] = None,
+                 fail_event=None,
+                 injector: Optional[CoreFailureInjector] = None) -> TaskExecution:
+        on_ext = core.is_extension_core
+        binary, runtime_kind = _prepared_binary(system, task.kind, task.size, on_ext)
+        if runtime_kind == "chimera":
+            def factory(kernel, _b=binary):
+                runtime = ChimeraRuntime(_b)
+                runtime.install(kernel)
+                return runtime
+        elif runtime_kind == "safer":
+            def factory(kernel, _b=binary):
+                runtime = SaferRuntime(_b)
+                runtime.install(kernel)
+                return runtime
+        else:
+            factory = None
+        return run_task_on_core(
+            binary, factory, core,
+            task_id=task.task_id, arch=self.params,
+            max_instructions=self.max_instructions, max_steps=self.max_steps,
+            checkpoint=checkpoint, fail_event=fail_event, injector=injector,
+        )
+
+    def run(self, tasks: list[HeteroTask], system: str, *,
+            injector: Optional[CoreFailureInjector] = None,
+            retry_policy: Optional[RetryPolicy] = None,
+            quarantine_after: int = 2) -> MeasuredRunResult:
         if system not in SYSTEMS:
             raise ValueError(f"unknown system {system!r}")
+        policy = retry_policy or DEFAULT_RETRY_POLICY
         n = self.n_base + self.n_ext
-        is_ext = [i >= self.n_base for i in range(n)]
-        queues: dict[bool, deque[tuple[HeteroTask, bool]]] = {False: deque(), True: deque()}
+        cores = [Core(i, RV64GCV if i >= self.n_base else RV64GC, self.params)
+                 for i in range(n)]
+        is_ext = [c.is_extension_core for c in cores]
+        queues: dict[bool, deque[_Pending]] = {False: deque(), True: deque()}
         for task in tasks:
-            queues[task.kind == "ext"].append((task, False))
+            queues[task.kind == "ext"].append(_Pending(task))
 
         clock = [0] * n
         busy = [0] * n
@@ -130,70 +199,274 @@ class MeasuredScheduler:
         outstanding = len(tasks)
         migrations = steals = failures = 0
         per_task: dict[int, int] = {}
+        makespan = 0
+        ext_tasks = sum(1 for t in tasks if t.kind == "ext")
+        accelerated = 0
+        stats = ResilienceStats()
+        quarantined: set[int] = set()
+        flake_counts = [0] * n
+        task_faults: dict[int, UnrecoverableFault] = {}
 
-        def take(my_pool: bool):
-            if queues[my_pool]:
-                return queues[my_pool].popleft()[0], False
-            for idx, (task, pinned) in enumerate(queues[not my_pool]):
-                if not pinned:
+        def pool_live(pool: bool) -> bool:
+            return any(is_ext[i] == pool and i not in quarantined for i in range(n))
+
+        def take(my_pool: bool, now: int):
+            """Next runnable _Pending for a *my_pool* worker at *now*."""
+            for idx, pending in enumerate(queues[my_pool]):
+                if pending.not_before <= now:
+                    del queues[my_pool][idx]
+                    return pending, False
+            for idx, pending in enumerate(queues[not my_pool]):
+                if not pending.pinned and pending.not_before <= now:
                     del queues[not my_pool][idx]
-                    return task, True
+                    return pending, True
             return None
 
-        def wake(pool: bool, now: int):
-            for w in sorted(idle, key=lambda w: clock[w]):
-                if is_ext[w] == pool:
+        def next_ready(my_pool: bool, now: int) -> Optional[int]:
+            """Earliest not_before of work this worker could run later."""
+            times = [p.not_before for p in queues[my_pool] if p.not_before > now]
+            times += [p.not_before for p in queues[not my_pool]
+                      if not p.pinned and p.not_before > now]
+            return min(times) if times else None
+
+        def wake(pool: bool, when: int) -> None:
+            """Wake an idle live worker — preferring *pool*, falling back to
+            the other flavor (which can steal the work)."""
+            for prefer in (True, False):
+                ready = sorted(
+                    (w for w in idle
+                     if w not in quarantined and (is_ext[w] == pool) == prefer),
+                    key=lambda w: clock[w],
+                )
+                if ready:
+                    w = ready[0]
                     idle.discard(w)
-                    heapq.heappush(heap, (max(now, clock[w]), w))
+                    heapq.heappush(heap, (max(when, clock[w]), w))
                     return
+
+        def quarantine(w: int, now: int) -> None:
+            if w in quarantined:
+                return
+            quarantined.add(w)
+            stats.quarantines += 1
+            pool = is_ext[w]
+            if pool_live(pool):
+                return
+            # The pool just lost its last live core.  Checkpointed
+            # resumes pinned here must restart from entry on the other
+            # flavor; unpinned work gets stolen naturally; FAM-migrated
+            # tasks have nowhere to go and hit the drain accounting.
+            survivors: deque[_Pending] = deque()
+            while queues[pool]:
+                pending = queues[pool].popleft()
+                if pending.checkpoint is not None and not pending.migrated \
+                        and pool_live(not pool):
+                    stats.restarts += 1
+                    pending.checkpoint = None
+                    queues[not pool].append(pending)
+                    wake(not pool, max(now, pending.not_before))
+                else:
+                    survivors.append(pending)
+            queues[pool].extend(survivors)
+
+        def declare_unrecoverable(pending: _Pending, reason: str) -> None:
+            nonlocal outstanding
+            stats.unrecoverable_tasks += 1
+            task_faults[pending.task.task_id] = UnrecoverableFault(
+                reason, attempts=pending.attempt)
+            outstanding -= 1
+
+        def requeue(pending: _Pending, now: int, *,
+                    checkpoint: Optional[Checkpoint], reason: str) -> None:
+            """Schedule a retry after a failed attempt, or give up."""
+            task = pending.task
+            attempt = pending.attempt + 1
+            if policy.exhausted(attempt):
+                declare_unrecoverable(
+                    pending, f"task {task.task_id}: {reason}; retry budget "
+                             f"exhausted after {pending.attempt} attempts")
+                return
+            if pending.first_start is not None and policy.past_deadline(
+                    pending.first_start, now):
+                declare_unrecoverable(
+                    pending, f"task {task.task_id}: {reason}; past the "
+                             f"{policy.deadline}-cycle deadline")
+                return
+            # Resume on the checkpoint's flavor when it is still alive;
+            # otherwise steer to the surviving flavor and restart from
+            # entry (the rewritten image differs per flavor).
+            pool = checkpoint.pool_ext if checkpoint is not None \
+                else (task.kind == "ext")
+            if not pool_live(pool):
+                if pending.migrated or not pool_live(not pool):
+                    # FAM-migrated tasks have no downgraded image to
+                    # fall back to; otherwise there is no core at all.
+                    declare_unrecoverable(
+                        pending, f"task {task.task_id}: {reason}; no live "
+                                 "core can run it")
+                    return
+                pool = not pool
+                checkpoint = None
+            backoff = policy.backoff(attempt - 1)
+            stats.retries += 1
+            stats.backoff_cycles += backoff
+            stats.migrations += 1
+            if checkpoint is None:
+                stats.restarts += 1
+            queues[pool].append(_Pending(
+                task, migrated=pending.migrated, attempt=attempt,
+                checkpoint=checkpoint, not_before=now + backoff,
+                first_start=pending.first_start,
+            ))
+            wake(pool, now + backoff)
 
         while heap:
             now, w = heapq.heappop(heap)
-            got = take(is_ext[w])
+            if w in quarantined:
+                continue
+            my_pool = is_ext[w]
+            got = take(my_pool, now)
             if got is None:
-                if outstanding > 0:
+                later = next_ready(my_pool, now)
+                if later is not None:
+                    # Work exists but is backing off; come back for it.
+                    heapq.heappush(heap, (later, w))
+                elif outstanding > 0:
                     idle.add(w)
                     clock[w] = now
                 continue
-            task, stolen = got
+            pending, stolen = got
+            task = pending.task
             start = now + (self.params.steal_cost if stolen else 0)
             steals += int(stolen)
-            cycles, ok, migrate = _run_one(
-                system, task, is_ext[w], self.params, self.max_instructions
-            )
-            if migrate:
-                end = start + cycles + self.params.migration_cost
-                busy[w] += (start - now) + cycles
-                clock[w] = end
-                migrations += 1
-                queues[True].append((task, True))
-                wake(True, end)
-                heapq.heappush(heap, (end, w))
+            if pending.first_start is None:
+                pending.first_start = start
+
+            checkpoint = pending.checkpoint
+            if checkpoint is not None:
+                if injector is not None and injector.migration_dropped(task.task_id):
+                    # MigrationLostFault territory: the in-flight image is
+                    # gone; structured accounting, restart from entry.
+                    stats.migrations_lost += 1
+                    stats.restarts += 1
+                    checkpoint = None
+                elif checkpoint.pool_ext != my_pool:
+                    # Foreign-flavor image; restart from entry here.
+                    stats.restarts += 1
+                    checkpoint = None
+
+            fail_event = None
+            if injector is not None:
+                fail_event = injector.plan_execution(w, task.task_id, task.kind)
+
+            execution = self._execute(system, task, cores[w],
+                                      checkpoint=checkpoint,
+                                      fail_event=fail_event, injector=injector)
+
+            if execution.checkpoint_corrupt:
+                # Detected at restore: the core did no work; retry from
+                # entry after backoff.
+                stats.checkpoint_failures += 1
+                clock[w] = now
+                pending.checkpoint = None
+                requeue(pending, now, checkpoint=None,
+                        reason="checkpoint failed validation")
+                heapq.heappush(heap, (now, w))
                 continue
-            if not ok:
+
+            if execution.core_failure is not None:
+                stats.core_faults += 1
+                end = start + execution.cycles
+                busy[w] += end - now
+                clock[w] = end
+                makespan = max(makespan, end)
+                if execution.core_failure == "dead":
+                    quarantine(w, end)
+                else:
+                    flake_counts[w] += 1
+                    if flake_counts[w] >= quarantine_after:
+                        quarantine(w, end)
+                    else:
+                        heapq.heappush(heap, (end, w))
+                requeue(pending, end, checkpoint=execution.checkpoint,
+                        reason=f"core {w} went {execution.core_failure} mid-task")
+                continue
+
+            fam_migrate = (
+                system == "fam"
+                and not my_pool
+                and isinstance(execution.fault, IllegalInstructionFault)
+                and execution.fault.kind == "unsupported-extension"
+            )
+            if fam_migrate:
+                end = start + execution.cycles + self.params.migration_cost
+                busy[w] += (start - now) + execution.cycles
+                clock[w] = end
+                makespan = max(makespan, end)
+                heapq.heappush(heap, (end, w))
+                if not pool_live(True):
+                    # FAM has no downgraded binary to fall back to.
+                    declare_unrecoverable(
+                        pending, f"task {task.task_id}: needs an extension "
+                                 "core but every extension core is quarantined")
+                    continue
+                migrations += 1
+                queues[True].append(_Pending(
+                    task, migrated=True, attempt=pending.attempt,
+                    first_start=pending.first_start))
+                wake(True, end)
+                continue
+
+            if not execution.ok:
                 failures += 1
-            end = start + cycles
+            end = start + execution.cycles
             busy[w] += end - now
             clock[w] = end
-            per_task[task.task_id] = cycles
+            makespan = max(makespan, end)
+            per_task[task.task_id] = execution.cycles
             outstanding -= 1
+            if task.kind == "ext" and my_pool and execution.ok:
+                accelerated += 1
+            if execution.resumed and checkpoint is not None \
+                    and checkpoint.core_id != w:
+                stats.checkpointed_migrations += 1
             heapq.heappush(heap, (end, w))
+
+        # Drain: anything still queued has no live worker to run it.
+        for pool in (False, True):
+            while queues[pool]:
+                pending = queues[pool].popleft()
+                declare_unrecoverable(
+                    pending, f"task {pending.task.task_id}: stranded — no "
+                             "live core can run it")
 
         return MeasuredRunResult(
             system=system,
-            makespan=max(clock),
+            makespan=makespan,
             cpu_time=sum(busy),
             migrations=migrations,
             steals=steals,
             failures=failures,
             per_task_cycles=per_task,
+            ext_tasks=ext_tasks,
+            accelerated_ext_tasks=accelerated,
+            unrecoverable=stats.unrecoverable_tasks,
+            task_faults=task_faults,
+            quarantined_cores=tuple(sorted(quarantined)),
+            resilience=stats,
         )
 
 
-def varied_taskset(n_tasks: int, ext_share: float, *, seed: int = 11) -> list[HeteroTask]:
-    """A §6.1-style mix with per-task size variation."""
+def varied_taskset(n_tasks: int, ext_share: float, *,
+                   seed: Optional[int] = None) -> list[HeteroTask]:
+    """A §6.1-style mix with per-task size variation.
+
+    *seed* defaults to ``REPRO_FUZZ_SEED`` when set, else 11 (the
+    historical default), for parity with the differential fuzz suite.
+    """
     import random
 
+    seed = resolve_seed(seed, default=11)
     rng = random.Random(seed)
     from repro.core.scheduler import mixed_taskset
 

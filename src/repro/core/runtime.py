@@ -332,6 +332,32 @@ class ChimeraRuntime:
             process.space.segments.remove(seg)
         process.space.map(name, section.addr, bytearray(section.data), perm)
 
+    # -- checkpointing --------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Mutable runtime state for a checkpoint.
+
+        Lazy rewriting extends the fault/trap tables and patched regions
+        while the task runs; a task restored from a checkpoint must see
+        the extended view or re-fault on already-rewritten sites.
+        """
+        return {
+            "fault_table": sorted(self.fault_table.entries.items()),
+            "trap_table": sorted(self.trap_table.items()),
+            "smile_regs": sorted(self.smile_regs.items()),
+            "patched_regions": sorted(tuple(r) for r in self.patched_regions),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Merge checkpointed runtime state back in (see export_state)."""
+        self.fault_table.entries.update(dict(state.get("fault_table", ())))
+        self.trap_table.update(dict(state.get("trap_table", ())))
+        self.smile_regs.update(dict(state.get("smile_regs", ())))
+        for region in state.get("patched_regions", ()):
+            region = tuple(region)
+            if region not in self.patched_regions:
+                self.patched_regions.append(region)
+
     # -- signals -------------------------------------------------------------
 
     def _signal_gp_restore(self, kernel: Kernel, process: Process, cpu: Cpu, signum: int) -> None:

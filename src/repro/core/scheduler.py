@@ -20,16 +20,30 @@ System behavior is abstracted by :class:`SystemModel`:
 * ``migrate_on_unsupported`` — FAM's fault-and-migrate behavior: the
   task faults on the base core after ``detect_cycles`` and is re-queued
   to the extension pool, paying the migration cost.
+
+Fault tolerance: a :class:`~repro.resilience.failures.DesFailurePlan`
+kills or flakes workers mid-task.  Failed workers are quarantined (dead
+at once, flaky past a threshold), orphaned tasks are re-queued with
+exponential backoff, extension tasks fall back to base cores when the
+extension pool is gone (for systems whose model can run them there), and
+a task with nowhere left to run ends in a structured
+:class:`~repro.sim.faults.UnrecoverableFault` entry on the result —
+never a silent drop, never a livelock.
 """
 
 from __future__ import annotations
 
 import heapq
+import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
+from repro.resilience.failures import DesFailurePlan
+from repro.resilience.policy import DEFAULT_RETRY_POLICY, ResilienceStats, RetryPolicy
+from repro.resilience.seeds import resolve_seed
 from repro.sim.cost import ArchParams, DEFAULT_ARCH
+from repro.sim.faults import UnrecoverableFault
 
 
 @dataclass(frozen=True)
@@ -74,6 +88,16 @@ class ScheduleResult:
     migrations: int
     steals: int
     per_core_busy: list[int]
+    #: Tasks that ended in a structured UnrecoverableFault.
+    unrecoverable: int = 0
+    #: task_id -> the UnrecoverableFault that ended it.
+    task_faults: dict[int, UnrecoverableFault] = field(default_factory=dict)
+    quarantined_cores: tuple[int, ...] = ()
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
+
+    @property
+    def completed(self) -> int:
+        return self.tasks_total - self.unrecoverable
 
     @property
     def accelerated_share(self) -> float:
@@ -81,6 +105,17 @@ class ScheduleResult:
         if self.ext_tasks == 0:
             return 0.0
         return self.accelerated_ext_tasks / self.ext_tasks
+
+
+@dataclass
+class _Pending:
+    """A queued task plus its retry state."""
+
+    task: Task
+    pinned: bool = False   # may not be stolen across pools
+    attempt: int = 1
+    not_before: int = 0    # earliest dispatch time (backoff)
+    first_start: Optional[int] = None
 
 
 class WorkStealingScheduler:
@@ -91,18 +126,20 @@ class WorkStealingScheduler:
         self.n_ext = n_ext
         self.params = params
 
-    def run(self, tasks: list[Task], model: SystemModel) -> ScheduleResult:
+    def run(self, tasks: list[Task], model: SystemModel, *,
+            failures: Optional[DesFailurePlan] = None,
+            retry_policy: Optional[RetryPolicy] = None,
+            quarantine_after: int = 2) -> ScheduleResult:
         """Schedule *tasks* to completion under *model*."""
+        policy = retry_policy or DEFAULT_RETRY_POLICY
         n = self.n_base + self.n_ext
         is_ext = [i >= self.n_base for i in range(n)]
-        # Queue entries are (task, pinned); a pinned task may not be
-        # stolen across pools (FAM pins tasks after migrating them back).
-        queues: dict[bool, deque[tuple[Task, bool]]] = {False: deque(), True: deque()}
+        queues: dict[bool, deque[_Pending]] = {False: deque(), True: deque()}
         for task in tasks:
             pool = task.kind == "ext" and model.cost("ext", True) is not None
             # Extension tasks go to the extension pool when it can help;
             # everything else starts in the base pool.
-            queues[bool(pool)].append((task, False))
+            queues[bool(pool)].append(_Pending(task))
 
         free_at = [0] * n
         busy = [0] * n
@@ -115,11 +152,20 @@ class WorkStealingScheduler:
         steals = 0
         accelerated = 0
         ext_tasks = sum(1 for t in tasks if t.kind == "ext")
+        stats = ResilienceStats()
+        quarantined: set[int] = set()
+        flake_counts = [0] * n
+        task_faults: dict[int, UnrecoverableFault] = {}
+
+        def pool_live(pool: bool) -> bool:
+            return any(is_ext[i] == pool and i not in quarantined
+                       for i in range(n))
 
         def wake(pool_ext: bool, now: int) -> None:
-            """Wake an idle worker of *pool_ext*'s pool (stealing happens
-            naturally when busy workers free up)."""
-            matching = sorted((w for w in idle if is_ext[w] == pool_ext),
+            """Wake an idle live worker of *pool_ext*'s pool (stealing
+            happens naturally when busy workers free up)."""
+            live_idle = [w for w in idle if w not in quarantined]
+            matching = sorted((w for w in live_idle if is_ext[w] == pool_ext),
                               key=lambda w: free_at[w])
             if matching:
                 w = matching[0]
@@ -127,34 +173,102 @@ class WorkStealingScheduler:
                 heapq.heappush(heap, (max(now, free_at[w]), w))
                 return
             # Otherwise wake any idle worker; it may steal the new task.
-            others = sorted(idle, key=lambda w: free_at[w])
+            others = sorted(live_idle, key=lambda w: free_at[w])
             if others:
                 w = others[0]
                 idle.discard(w)
                 heapq.heappush(heap, (max(now, free_at[w]), w))
 
-        def take(w: int, my_pool: bool) -> Optional[tuple[Task, bool]]:
-            if queues[my_pool]:
-                task, _ = queues[my_pool].popleft()
-                return task, False
+        def take(w: int, my_pool: bool, now: int) -> Optional[tuple[_Pending, bool]]:
+            for idx, pending in enumerate(queues[my_pool]):
+                if pending.not_before <= now:
+                    del queues[my_pool][idx]
+                    return pending, False
             other = queues[not my_pool]
-            for idx, (task, pinned) in enumerate(other):
-                if not pinned:
+            for idx, pending in enumerate(other):
+                if not pending.pinned and pending.not_before <= now:
                     del other[idx]
-                    return task, True
+                    return pending, True
             return None
+
+        def next_ready(my_pool: bool, now: int) -> Optional[int]:
+            """Earliest not_before of work this worker could run later."""
+            times = [p.not_before for p in queues[my_pool] if p.not_before > now]
+            times += [p.not_before for p in queues[not my_pool]
+                      if not p.pinned and p.not_before > now]
+            return min(times) if times else None
+
+        def quarantine(w: int) -> None:
+            if w not in quarantined:
+                quarantined.add(w)
+                stats.quarantines += 1
+
+        def declare_unrecoverable(pending: _Pending, reason: str) -> None:
+            nonlocal outstanding
+            stats.unrecoverable_tasks += 1
+            task_faults[pending.task.task_id] = UnrecoverableFault(
+                reason, attempts=pending.attempt)
+            outstanding -= 1
+
+        def requeue(pending: _Pending, now: int, *, reason: str) -> None:
+            """Schedule a retry after a core failure, or give up."""
+            task = pending.task
+            attempt = pending.attempt + 1
+            if policy.exhausted(attempt):
+                declare_unrecoverable(
+                    pending, f"task {task.task_id}: {reason}; retry budget "
+                             f"exhausted after {pending.attempt} attempts")
+                return
+            if pending.first_start is not None and policy.past_deadline(
+                    pending.first_start, now):
+                declare_unrecoverable(
+                    pending, f"task {task.task_id}: {reason}; past the "
+                             f"{policy.deadline}-cycle deadline")
+                return
+            pool = task.kind == "ext" and model.cost("ext", True) is not None
+            pinned = pending.pinned
+            if not pool_live(bool(pool)):
+                # Degradation ladder: steer to the surviving flavor if the
+                # model can run the task there (downgraded binary).
+                other = not pool
+                if (model.cost(task.kind, other) is None
+                        and not model.migrate_on_unsupported) \
+                        or not pool_live(other):
+                    declare_unrecoverable(
+                        pending, f"task {task.task_id}: {reason}; no live "
+                                 "core can run it")
+                    return
+                pool = other
+                pinned = False
+            backoff = policy.backoff(attempt - 1)
+            stats.retries += 1
+            stats.backoff_cycles += backoff
+            stats.migrations += 1
+            queues[bool(pool)].append(_Pending(
+                task, pinned=pinned, attempt=attempt,
+                not_before=now + backoff, first_start=pending.first_start))
+            wake(bool(pool), now + backoff)
 
         while heap:
             now, w = heapq.heappop(heap)
+            if w in quarantined:
+                continue
             my_pool = is_ext[w]
-            taken = take(w, my_pool)
+            taken = take(w, my_pool, now)
             if taken is None:
-                if outstanding > 0:
+                later = next_ready(my_pool, now)
+                if later is not None:
+                    # Work exists but is backing off; come back for it.
+                    heapq.heappush(heap, (later, w))
+                elif outstanding > 0:
                     idle.add(w)
                     free_at[w] = now
                 continue
-            task, stolen = taken
+            pending, stolen = taken
+            task = pending.task
             start = now + (self.params.steal_cost if stolen else 0)
+            if pending.first_start is None:
+                pending.first_start = start
             cost = model.cost(task.kind, my_pool)
             if cost is None:
                 if model.migrate_on_unsupported and not my_pool:
@@ -166,18 +280,61 @@ class WorkStealingScheduler:
                     end = start + model.detect_cycles + self.params.migration_cost
                     busy[w] += (start - now) + model.detect_cycles
                     free_at[w] = end
-                    migrations += 1
-                    queues[True].append((task, True))
-                    wake(True, end)
-                    heapq.heappush(heap, (end, w))
                     makespan = max(makespan, end)
+                    heapq.heappush(heap, (end, w))
+                    if not pool_live(True):
+                        # No live extension core and no downgraded binary:
+                        # structured failure, not a silent drop.
+                        declare_unrecoverable(
+                            pending, f"task {task.task_id}: needs an "
+                                     "extension core but none is live")
+                        continue
+                    migrations += 1
+                    queues[True].append(_Pending(
+                        task, pinned=True, attempt=pending.attempt,
+                        first_start=pending.first_start))
+                    wake(True, end)
                     continue
-                # Cannot run here at all: pin it to its own pool.
-                queues[task.kind == "ext"].append((task, True))
+                # Cannot run here at all: pin it to its own pool — unless
+                # that pool has no live worker, in which case the task is
+                # unrunnable and must be accounted, not parked forever.
+                home = task.kind == "ext"
+                if not pool_live(home):
+                    declare_unrecoverable(
+                        pending, f"task {task.task_id}: cannot run on this "
+                                 "core flavor and its own pool has no live "
+                                 "worker")
+                    idle.add(w)
+                    free_at[w] = now
+                    continue
+                pending.pinned = True
+                queues[home].append(pending)
                 idle.add(w)
                 free_at[w] = now
-                wake(task.kind == "ext", now)
+                wake(home, now)
                 continue
+
+            # The worker may fail mid-task (resilience failure plan).
+            struck = failures.check(w, start) if failures is not None else None
+            if struck is not None:
+                stats.core_faults += 1
+                burn = int(cost * failures.fail_fraction)
+                end = start + burn
+                busy[w] += end - now
+                free_at[w] = end
+                makespan = max(makespan, end)
+                if struck == "kill":
+                    quarantine(w)
+                else:
+                    flake_counts[w] += 1
+                    if flake_counts[w] >= quarantine_after:
+                        quarantine(w)
+                    else:
+                        heapq.heappush(heap, (end, w))
+                requeue(pending, end,
+                        reason=f"core {w} went {struck} mid-task")
+                continue
+
             end = start + cost
             busy[w] += end - now
             free_at[w] = end
@@ -187,6 +344,14 @@ class WorkStealingScheduler:
                 accelerated += 1
             makespan = max(makespan, end)
             heapq.heappush(heap, (end, w))
+
+        # Drain: anything still queued has no live worker to run it.
+        for pool in (False, True):
+            while queues[pool]:
+                pending = queues[pool].popleft()
+                declare_unrecoverable(
+                    pending, f"task {pending.task.task_id}: stranded — no "
+                             "live core can run it")
 
         return ScheduleResult(
             system=model.name,
@@ -198,17 +363,25 @@ class WorkStealingScheduler:
             migrations=migrations,
             steals=steals,
             per_core_busy=busy,
+            unrecoverable=stats.unrecoverable_tasks,
+            task_faults=task_faults,
+            quarantined_cores=tuple(sorted(quarantined)),
+            resilience=stats,
         )
 
 
-def mixed_taskset(n_tasks: int, ext_share: float, *, seed: int = 7) -> list[Task]:
+def mixed_taskset(n_tasks: int, ext_share: float, *,
+                  seed: Optional[int] = None) -> list[Task]:
     """The §6.1 workload: *n_tasks* tasks, ``ext_share`` of them extension.
 
     Deterministic interleaving (round-robin by share) so runs are
-    reproducible without RNG-order artifacts.
+    reproducible without RNG-order artifacts.  *seed* (default:
+    ``REPRO_FUZZ_SEED``, else 7) only affects the rare rounding-drift
+    repair — the common shares are seed-independent by construction.
     """
     if not 0.0 <= ext_share <= 1.0:
         raise ValueError("ext_share must be within [0, 1]")
+    seed = resolve_seed(seed, default=7)
     n_ext = round(n_tasks * ext_share)
     # Spread extension tasks evenly through the arrival order.
     tasks: list[Task] = []
@@ -222,11 +395,10 @@ def mixed_taskset(n_tasks: int, ext_share: float, *, seed: int = 7) -> list[Task
             acc -= 1.0
         else:
             tasks.append(Task(i, "base"))
-    # Fix rounding drift.
-    i = len(tasks) - 1
-    while made_ext < n_ext and i >= 0:
-        if tasks[i].kind == "base":
+    # Fix rounding drift: promote seed-chosen base tasks to extension.
+    if made_ext < n_ext:
+        rng = random.Random(seed)
+        base_positions = [i for i, t in enumerate(tasks) if t.kind == "base"]
+        for i in rng.sample(base_positions, n_ext - made_ext):
             tasks[i] = Task(tasks[i].task_id, "ext")
-            made_ext += 1
-        i -= 1
     return tasks

@@ -1,0 +1,171 @@
+"""Checkpointed task state: CPU context + address-space image, checksummed.
+
+A :class:`Checkpoint` is taken at a fault/preemption boundary — the
+resilience layer's :class:`~repro.sim.faults.CoreFault` fires *between*
+instructions, so nothing is partially executed — and restored into a
+fresh process/CPU on a surviving core of the same flavor.  Restoring a
+checkpoint across pools is refused by the scheduler (each core flavor
+runs its own rewritten image), so cross-pool recovery restarts from
+entry and pays the downgrade cost instead.
+
+Integrity: every checkpoint carries a CRC32 over its full serialized
+content.  A corrupted checkpoint (chaos-injected or otherwise) is
+*detected* at restore time and surfaces as a structured
+:class:`~repro.sim.faults.CheckpointCorruptFault`; the task restarts
+from entry rather than silently diverging.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.elf.binary import Perm
+from repro.sim.cpu import Cpu
+from repro.sim.faults import CheckpointCorruptFault
+from repro.sim.machine import Process, SignalFrame
+
+
+@dataclass
+class _SegmentImage:
+    """Snapshot of one mapped segment."""
+
+    name: str
+    base: int
+    data: bytes
+    perm: int  # Perm flag value
+
+
+@dataclass
+class Checkpoint:
+    """Restorable image of one task mid-execution."""
+
+    task_id: int
+    core_id: int            # core the checkpoint was taken on
+    pool_ext: bool          # core flavor the running image was built for
+    pc: int = 0
+    regs: list[int] = field(default_factory=lambda: [0] * 32)
+    vl: int = 0
+    sew: int = 64
+    vregs: list[bytes] = field(default_factory=list)
+    instret: int = 0
+    cycles: int = 0
+    output: bytes = b""
+    signal_frames: list[tuple[int, list[int]]] = field(default_factory=list)
+    segments: list[_SegmentImage] = field(default_factory=list)
+    #: Mutable runtime state (fault/trap tables extended by lazy
+    #: rewrites) exported via ``ChimeraRuntime.export_state``; None for
+    #: runtimes without checkpointable state.
+    runtime_state: Optional[dict] = None
+    checksum: int = 0
+
+    # -- capture ------------------------------------------------------------
+
+    @classmethod
+    def take(
+        cls,
+        cpu: Cpu,
+        process: Process,
+        *,
+        task_id: int,
+        core_id: int,
+        pool_ext: bool,
+        runtime=None,
+    ) -> "Checkpoint":
+        """Snapshot *cpu* + *process* (full segment images) and seal it."""
+        export = getattr(runtime, "export_state", None)
+        ck = cls(
+            task_id=task_id,
+            core_id=core_id,
+            pool_ext=pool_ext,
+            pc=cpu.pc,
+            regs=cpu.snapshot_regs(),
+            vl=cpu.vector.vl,
+            sew=cpu.vector.sew,
+            vregs=[bytes(r) for r in cpu.vector.regs],
+            instret=cpu.instret,
+            cycles=cpu.cycles,
+            output=bytes(process.output),
+            signal_frames=[(f.pc, list(f.regs)) for f in process.signal_stack],
+            segments=[
+                _SegmentImage(s.name, s.base, bytes(s.data), s.perm.value)
+                for s in process.space.segments
+            ],
+            runtime_state=export() if export is not None else None,
+        )
+        ck.checksum = ck._digest()
+        return ck
+
+    # -- integrity ----------------------------------------------------------
+
+    def _digest(self) -> int:
+        crc = 0
+        head = (
+            f"{self.task_id}|{self.pool_ext}|{self.pc}|{self.vl}|{self.sew}|"
+            f"{self.instret}|{self.regs}|{self.signal_frames}|"
+            f"{sorted(self.runtime_state.items()) if self.runtime_state else None}"
+        )
+        crc = zlib.crc32(head.encode(), crc)
+        for vreg in self.vregs:
+            crc = zlib.crc32(vreg, crc)
+        crc = zlib.crc32(self.output, crc)
+        for seg in self.segments:
+            crc = zlib.crc32(f"{seg.name}|{seg.base}|{seg.perm}".encode(), crc)
+            crc = zlib.crc32(seg.data, crc)
+        return crc
+
+    @property
+    def valid(self) -> bool:
+        return self._digest() == self.checksum
+
+    def corrupt(self, rng: Optional[random.Random] = None) -> None:
+        """Chaos hook: flip bytes in a data segment *without* resealing."""
+        rng = rng or random.Random(0)
+        targets = [s for s in self.segments if s.data] or None
+        if targets is None:
+            self.pc ^= 0x4  # no data to damage; skew the context instead
+            return
+        seg = rng.choice(targets)
+        data = bytearray(seg.data)
+        for _ in range(max(1, len(data) // 64)):
+            data[rng.randrange(len(data))] ^= 0xFF
+        seg.data = bytes(data)
+
+    # -- restore ------------------------------------------------------------
+
+    def restore(self, cpu: Cpu, process: Process, *, runtime=None) -> None:
+        """Rebuild the checkpointed context into *cpu*/*process*.
+
+        Raises :class:`CheckpointCorruptFault` when the checksum does not
+        match — the caller restarts the task from entry.
+        """
+        if not self.valid:
+            raise CheckpointCorruptFault(self.task_id, self.checksum, self._digest())
+        by_name = {s.name: s for s in process.space.segments}
+        for image in self.segments:
+            seg = by_name.get(image.name)
+            if seg is not None and seg.base == image.base and seg.size == len(image.data):
+                seg.data[:] = image.data
+                seg.version += 1
+            else:
+                if seg is not None:
+                    process.space.segments.remove(seg)
+                process.space.map(image.name, image.base, bytearray(image.data),
+                                  Perm(image.perm))
+        cpu.regs[:] = list(self.regs)
+        cpu.pc = self.pc
+        cpu.instret = self.instret
+        cpu.cycles = self.cycles
+        cpu.vector.sew = self.sew
+        cpu.vector.vl = self.vl
+        for reg, image_bytes in zip(cpu.vector.regs, self.vregs):
+            reg[:] = image_bytes
+        process.output = bytearray(self.output)
+        process.signal_stack = [SignalFrame(pc, list(regs)) for pc, regs in self.signal_frames]
+        if runtime is not None and self.runtime_state is not None:
+            importer = getattr(runtime, "import_state", None)
+            if importer is not None:
+                importer(self.runtime_state)
+        cpu.flush_decode_cache()

@@ -1,0 +1,92 @@
+"""Retry/backoff policy and the resilience counters.
+
+The degradation ladder both schedulers implement:
+
+1. a failed execution is retried with exponential backoff, up to a
+   per-task attempt budget and optional cycle deadline;
+2. a core that dies — or flakes repeatedly — is *quarantined*: it takes
+   no further work and its orphaned task is re-queued to the survivors;
+3. when every extension core is quarantined, extension tasks keep full
+   forward progress on base cores via the downgraded binary (that is the
+   point of rewriting one binary per core flavor);
+4. a task that exhausts its budget ends in a structured
+   :class:`~repro.sim.faults.UnrecoverableFault` accounting entry —
+   never a hang, never a silent drop.
+
+:class:`ResilienceStats` is the ledger for all of it, reported through
+``MeasuredRunResult`` / ``ScheduleResult``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-task retry budget and exponential-backoff schedule (cycles)."""
+
+    max_attempts: int = 4
+    base_backoff: int = 2_000
+    multiplier: int = 2
+    max_backoff: int = 64_000
+    #: Optional wall-clock (cycle) budget from a task's first dispatch;
+    #: a retry past the deadline is refused and the task is declared
+    #: unrecoverable.  None = no deadline.
+    deadline: int | None = None
+
+    def backoff(self, retry: int) -> int:
+        """Backoff before retry number *retry* (1-based), capped."""
+        if retry < 1:
+            return 0
+        raw = self.base_backoff * (self.multiplier ** (retry - 1))
+        return min(raw, self.max_backoff)
+
+    def exhausted(self, attempt: int) -> bool:
+        """True once *attempt* (1-based) exceeds the attempt budget."""
+        return attempt > self.max_attempts
+
+    def past_deadline(self, first_start: int, now: int) -> bool:
+        return self.deadline is not None and now - first_start > self.deadline
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass
+class ResilienceStats:
+    """Counters for the fault-tolerant execution layer."""
+
+    #: Core failures observed (kills + flakes), i.e. CoreFault events.
+    core_faults: int = 0
+    #: Tasks moved off a failed core onto a survivor.
+    migrations: int = 0
+    #: Migrations that resumed from a validated checkpoint on a
+    #: *different* core (the §6.1 fault-and-migrate path, checkpointed).
+    checkpointed_migrations: int = 0
+    #: Executions that restarted from entry (corrupt/lost/foreign-pool
+    #: checkpoint, or no checkpoint at all).
+    restarts: int = 0
+    #: Re-executions scheduled after a failure.
+    retries: int = 0
+    #: Total cycles spent waiting out exponential backoff.
+    backoff_cycles: int = 0
+    #: Cores removed from service (dead, or flaky past the threshold).
+    quarantines: int = 0
+    #: Checkpoints that failed checksum validation at restore.
+    checkpoint_failures: int = 0
+    #: Checkpointed migrations dropped in flight.
+    migrations_lost: int = 0
+    #: Tasks that ended in a structured UnrecoverableFault.
+    unrecoverable_tasks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+    def merge(self, other: "ResilienceStats") -> None:
+        for key, value in vars(other).items():
+            setattr(self, key, getattr(self, key) + value)
+
+    def summary(self) -> str:
+        parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]
+        return ", ".join(parts) or "clean run"

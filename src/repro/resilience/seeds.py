@@ -1,0 +1,29 @@
+"""Seed resolution shared by every randomized harness.
+
+One rule everywhere: an explicit seed wins, then the ``REPRO_FUZZ_SEED``
+environment variable (the differential fuzz suite's replay knob), then
+the caller's historical default.  Harnesses print the *effective* seed on
+failure so any run can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+ENV_SEED = "REPRO_FUZZ_SEED"
+
+
+def resolve_seed(seed: Optional[int] = None, default: int = 0) -> int:
+    """The effective seed: explicit > ``REPRO_FUZZ_SEED`` > *default*."""
+    if seed is not None:
+        return int(seed)
+    env = os.environ.get(ENV_SEED)
+    if env is not None and env.strip():
+        return int(env)
+    return default
+
+
+def replay_hint(seed: int) -> str:
+    """One-line replay instruction printed next to failures."""
+    return f"replay with --seed {seed} (or {ENV_SEED}={seed})"

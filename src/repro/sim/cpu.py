@@ -66,6 +66,11 @@ class Cpu:
         self.last_pc: Optional[int] = None
         #: Optional per-retired-instruction hook (see repro.sim.trace).
         self.tracer = None
+        #: Optional pre-fetch hook called with this cpu before every
+        #: instruction; may raise a structured :class:`SimFault`.  The
+        #: resilience layer arms it to kill/flake a core mid-task at a
+        #: precise instruction boundary (nothing partially executed).
+        self.step_hook: Optional[Callable[["Cpu"], None]] = None
         #: Optional hook called with (cpu, fault) for every SimFault that
         #: propagates out of :meth:`step`, after the faulting pc has been
         #: filled in.  The chaos harness installs an assertion here that
@@ -135,6 +140,8 @@ class Cpu:
         """
         pc = self.pc
         try:
+            if self.step_hook is not None:
+                self.step_hook(self)
             instr, handler, tag = self._decode_at(pc)
             self.pc = pc + instr.length
             try:

@@ -128,3 +128,68 @@ class SimulationLimitExceeded(SimFault):
     def __init__(self, limit: int):
         super().__init__(f"instruction limit {limit} exceeded")
         self.limit = limit
+
+
+class WatchdogTimeout(SimFault):
+    """The kernel's step-budget watchdog fired (``kind == "TIMEOUT"``).
+
+    :meth:`~repro.sim.machine.Kernel.run` counts kernel entries (syscalls
+    plus dispatched faults); a guest that faults or traps forever without
+    the per-resume instruction budget ever shrinking — e.g. a corrupted
+    redirect whose recovery retires nothing — would otherwise spin the
+    kernel loop unboundedly.  Surfaces in ``RunResult.fault`` like every
+    other structured termination.
+    """
+
+    kind = "TIMEOUT"
+
+    def __init__(self, events: int, limit: int, pc: Optional[int] = None):
+        super().__init__(f"watchdog: {events} kernel entries exceeded max_steps={limit}", pc)
+        self.events = events
+        self.limit = limit
+
+
+class CoreFault(SimFault):
+    """The executing *core* failed mid-task (died or glitched).
+
+    Not a guest fault: the kernel never dispatches it to fault handlers.
+    The resilience layer (:mod:`repro.resilience`) raises it from a
+    chaos-armed step hook, checkpoints the interrupted context, and
+    migrates the task to a surviving core.  ``mode`` is ``"dead"``
+    (permanent loss) or ``"flaky"`` (transient glitch; the core may be
+    quarantined after repeated offenses).
+    """
+
+    def __init__(self, core_id: int, mode: str, pc: Optional[int] = None):
+        super().__init__(f"core {core_id} failed ({mode})", pc)
+        self.core_id = core_id
+        self.mode = mode
+
+
+class MigrationLostFault(SimFault):
+    """A checkpointed migration was dropped in flight.
+
+    The scheduler detects the loss when the destination tries to pick the
+    task up; the checkpoint is gone and the task restarts from entry.
+    """
+
+    def __init__(self, task_id: int, detail: str = ""):
+        super().__init__(f"migration of task {task_id} lost in flight {detail}".rstrip())
+        self.task_id = task_id
+
+
+class CheckpointCorruptFault(SimFault):
+    """A checkpoint failed checksum validation at restore time.
+
+    Restoring it would silently diverge; the task restarts from entry
+    instead.  Carries the expected/actual digests for diagnostics.
+    """
+
+    def __init__(self, task_id: int, expected: int, actual: int):
+        super().__init__(
+            f"checkpoint for task {task_id} corrupt: "
+            f"checksum {actual:#010x} != recorded {expected:#010x}"
+        )
+        self.task_id = task_id
+        self.expected = expected
+        self.actual = actual

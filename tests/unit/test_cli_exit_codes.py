@@ -1,0 +1,86 @@
+"""CLI exit codes: failures must be visible to shells and CI, not just
+printed — ``run``/``chaos``/``resilience`` return nonzero on failure."""
+
+import pytest
+
+import repro.chaos
+import repro.resilience.scenarios
+from repro.chaos.outcomes import ChaosReport, ScenarioResult, SweepReport
+from repro.cli import main
+from repro.elf.builder import ProgramBuilder
+from repro.elf.fileformat import save_binary
+from repro.workloads.programs import FibonacciWorkload
+
+
+def exit_image(tmp_path, code: int):
+    b = ProgramBuilder(f"exit{code}")
+    b.set_text(f"""
+_start:
+    li a0, {code}
+    li a7, 93
+    ecall
+""")
+    path = tmp_path / f"exit{code}.self"
+    save_binary(b.build(), path)
+    return str(path)
+
+
+class TestRunExitCodes:
+    def test_success_returns_zero(self, tmp_path):
+        path = tmp_path / "ok.self"
+        save_binary(FibonacciWorkload(iterations=20).build("base"), path)
+        assert main(["run", str(path), "--core", "rv64gc"]) == 0
+
+    def test_guest_failure_returns_nonzero(self, tmp_path):
+        assert main(["run", exit_image(tmp_path, 1), "--core", "rv64gc"]) == 1
+
+    def test_guest_success_exit_code_zero(self, tmp_path):
+        assert main(["run", exit_image(tmp_path, 0), "--core", "rv64gc"]) == 0
+
+
+class TestChaosExitCodes:
+    def _report(self, ok: bool) -> ChaosReport:
+        report = ChaosReport()
+        report.sweeps = [SweepReport(binary="b", mode="smile")]
+        report.scenarios = [ScenarioResult("stub", ok, "stub detail")]
+        return report
+
+    def test_failure_is_nonzero_and_prints_seed(self, monkeypatch, capsys):
+        monkeypatch.setattr(repro.chaos, "run_chaos",
+                            lambda *a, **k: self._report(False))
+        code = main(["chaos", "matmul", "--seed", "77"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "77" in out and "REPRO_FUZZ_SEED" in out
+
+    def test_success_is_zero(self, monkeypatch, capsys):
+        monkeypatch.setattr(repro.chaos, "run_chaos",
+                            lambda *a, **k: self._report(True))
+        assert main(["chaos", "matmul"]) == 0
+        assert "seed:" not in capsys.readouterr().out
+
+
+class TestResilienceExitCodes:
+    def test_failure_is_nonzero_and_prints_seed(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            repro.resilience.scenarios, "run_scenario",
+            lambda name, seed=None: ScenarioResult(name, False, "boom"))
+        code = main(["resilience", "ext-core-loss", "--seed", "13"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out and "13" in out
+
+    def test_all_success_is_zero(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            repro.resilience.scenarios, "run_all",
+            lambda seed=None: [ScenarioResult("stub", True, "fine")])
+        assert main(["resilience", "all"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["resilience", "not-a-scenario"])
+
+    def test_real_single_scenario_round_trip(self):
+        # No monkeypatching: the cheapest real scenario end-to-end.
+        assert main(["resilience", "ext-core-loss", "--seed", "0"]) == 0

@@ -1,0 +1,188 @@
+"""Resilience building blocks: policy, seeds, checkpoints, injector."""
+
+import random
+
+import pytest
+
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC, RV64GCV
+from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.executor import run_task_on_core
+from repro.resilience.failures import (
+    CORRUPT_CHECKPOINT,
+    DROP_MIGRATION,
+    KILL_CORE,
+    CoreFailureInjector,
+    DesFailurePlan,
+    FailureEvent,
+)
+from repro.resilience.policy import ResilienceStats, RetryPolicy
+from repro.resilience.seeds import ENV_SEED, replay_hint, resolve_seed
+from repro.sim.faults import CheckpointCorruptFault
+from repro.sim.machine import Core, CoreHealth, Kernel
+from repro.workloads.programs import MatMulWorkload
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        p = RetryPolicy(base_backoff=1000, multiplier=2, max_backoff=3500)
+        assert [p.backoff(i) for i in range(1, 5)] == [1000, 2000, 3500, 3500]
+
+    def test_attempt_budget(self):
+        p = RetryPolicy(max_attempts=3)
+        assert not p.exhausted(3)
+        assert p.exhausted(4)
+
+    def test_deadline(self):
+        p = RetryPolicy(deadline=10_000)
+        assert not p.past_deadline(0, 10_000)
+        assert p.past_deadline(0, 10_001)
+        assert not RetryPolicy().past_deadline(0, 10**12)  # no deadline
+
+    def test_stats_merge_and_summary(self):
+        a = ResilienceStats(core_faults=1, retries=2)
+        b = ResilienceStats(core_faults=3, quarantines=1)
+        a.merge(b)
+        assert a.core_faults == 4 and a.retries == 2 and a.quarantines == 1
+        assert "core_faults=4" in a.summary()
+        assert ResilienceStats().summary() == "clean run"
+
+
+class TestSeeds:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_SEED, "99")
+        assert resolve_seed(5) == 5
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_SEED, "99")
+        assert resolve_seed(None, default=7) == 99
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(ENV_SEED, raising=False)
+        assert resolve_seed(None, default=7) == 7
+
+    def test_replay_hint_names_the_seed(self):
+        assert "42" in replay_hint(42)
+
+
+class TestCoreHealth:
+    def test_flaky_does_not_demote_dead(self):
+        core = Core(0, RV64GC)
+        core.mark_dead()
+        core.mark_flaky()
+        assert core.health is CoreHealth.DEAD
+        assert not core.alive
+
+
+def _checkpoint_via_kill(core_id=0):
+    """Run matmul on an ext core, kill it mid-task, return the pieces."""
+    binary = MatMulWorkload(n=6).build("ext")
+    core = Core(core_id, RV64GCV)
+    execution = run_task_on_core(
+        binary, None, core, task_id=1,
+        fail_event=FailureEvent(KILL_CORE, after_instructions=150),
+    )
+    return binary, execution
+
+
+class TestCheckpoint:
+    def test_kill_produces_valid_checkpoint(self):
+        _, execution = _checkpoint_via_kill()
+        assert execution.core_failure == "dead"
+        assert not execution.ok
+        ck = execution.checkpoint
+        assert ck is not None and ck.valid
+        assert ck.instret >= 150 and ck.pool_ext
+
+    def test_resume_on_another_core_completes_correctly(self):
+        binary, execution = _checkpoint_via_kill(core_id=0)
+        other = Core(1, RV64GCV)
+        resumed = run_task_on_core(
+            binary, None, other, task_id=1, checkpoint=execution.checkpoint)
+        # The workload self-verifies: ok means the matmul result was right
+        # even though execution was split across two cores.
+        assert resumed.ok and resumed.resumed
+        assert resumed.exit_code == 0
+
+    def test_corruption_is_detected_not_trusted(self):
+        binary, execution = _checkpoint_via_kill()
+        ck = execution.checkpoint
+        ck.corrupt(random.Random(0))
+        assert not ck.valid
+        resumed = run_task_on_core(
+            binary, None, Core(1, RV64GCV), task_id=1, checkpoint=ck)
+        assert resumed.checkpoint_corrupt
+        assert isinstance(resumed.fault, CheckpointCorruptFault)
+        assert not resumed.ok
+
+    def test_restore_raises_structured_fault(self):
+        binary, execution = _checkpoint_via_kill()
+        ck = execution.checkpoint
+        ck.corrupt(random.Random(1))
+        kernel = Kernel()
+        process = make_process(binary)
+        cpu = kernel.make_cpu(process, Core(1, RV64GCV))
+        with pytest.raises(CheckpointCorruptFault):
+            ck.restore(cpu, process)
+
+    def test_digest_covers_registers_and_memory(self):
+        _, execution = _checkpoint_via_kill()
+        ck = execution.checkpoint
+        ck.regs[10] ^= 1
+        assert not ck.valid
+        ck.regs[10] ^= 1
+        assert ck.valid
+
+
+class TestInjector:
+    def test_events_fire_once_by_default(self):
+        injector = CoreFailureInjector(
+            [FailureEvent(KILL_CORE, core_id=2)], seed=0)
+        assert injector.plan_execution(2, 1, "ext") is not None
+        assert injector.plan_execution(2, 2, "ext") is None
+
+    def test_flake_count_allows_repeats(self):
+        injector = CoreFailureInjector.flake(1, count=2, seed=0)
+        assert injector.plan_execution(1, 1) is not None
+        assert injector.plan_execution(1, 2) is not None
+        assert injector.plan_execution(1, 3) is None
+
+    def test_filters_respect_task_kind(self):
+        injector = CoreFailureInjector(
+            [FailureEvent(KILL_CORE, core_id=0, task_kind="ext")], seed=0)
+        assert injector.plan_execution(0, 1, "base") is None
+        assert injector.plan_execution(0, 2, "ext") is not None
+
+    def test_random_depth_is_seeded(self):
+        events = [FailureEvent(KILL_CORE, after_instructions=None)]
+        a = CoreFailureInjector([FailureEvent(KILL_CORE, after_instructions=None)],
+                                seed=3).plan_execution(0, 1)
+        b = CoreFailureInjector(events, seed=3).plan_execution(0, 1)
+        assert a.after_instructions == b.after_instructions
+
+    def test_drop_and_corrupt_hooks(self):
+        _, execution = _checkpoint_via_kill()
+        injector = CoreFailureInjector(
+            [FailureEvent(DROP_MIGRATION, task_id=7),
+             FailureEvent(CORRUPT_CHECKPOINT)], seed=0)
+        assert not injector.migration_dropped(1)
+        assert injector.migration_dropped(7)
+        ck = execution.checkpoint
+        assert ck.valid
+        injector.filter_checkpoint(ck)
+        assert not ck.valid
+        assert len(injector.log) == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent("segfault-everything")
+
+    def test_des_plan_consumes_failures(self):
+        plan = DesFailurePlan.kill_cores([2], at_time=100, seed=0)
+        assert plan.check(2, 50) is None     # too early
+        assert plan.check(2, 100) == "kill"
+        assert plan.check(2, 200) is None    # consumed
+
+    def test_des_fail_fraction_validated(self):
+        with pytest.raises(ValueError):
+            DesFailurePlan([], fail_fraction=1.5)

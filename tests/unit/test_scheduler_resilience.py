@@ -1,0 +1,183 @@
+"""Discrete-event scheduler under core failures + edge-case coverage."""
+
+import pytest
+
+from repro.core.scheduler import (
+    SystemModel,
+    Task,
+    WorkStealingScheduler,
+    mixed_taskset,
+)
+from repro.resilience.failures import DesFailure, DesFailurePlan
+from repro.resilience.policy import RetryPolicy
+from repro.sim.cost import ArchParams
+from repro.sim.faults import UnrecoverableFault
+
+ARCH = ArchParams()
+
+
+def simple_model(base_cost=100, ext_cost=50, ext_on_base=200, name="m") -> SystemModel:
+    return SystemModel(
+        name,
+        costs={("base", False): base_cost, ("base", True): base_cost,
+               ("ext", True): ext_cost, ("ext", False): ext_on_base},
+        accelerated_placements=frozenset({("ext", True)}),
+    )
+
+
+def fam_model() -> SystemModel:
+    return SystemModel(
+        "fam",
+        costs={("base", False): 100, ("base", True): 100,
+               ("ext", True): 50, ("ext", False): None},
+        accelerated_placements=frozenset({("ext", True)}),
+        migrate_on_unsupported=True,
+        detect_cycles=10,
+    )
+
+
+class TestDesFailures:
+    def test_killed_core_is_quarantined_and_work_survives(self):
+        tasks = mixed_taskset(40, 0.5)
+        plan = DesFailurePlan.kill_cores([3], seed=0)
+        result = WorkStealingScheduler(2, 2, ARCH).run(
+            tasks, simple_model(), failures=plan)
+        assert result.quarantined_cores == (3,)
+        assert result.resilience.quarantines == 1
+        assert result.resilience.core_faults == 1
+        assert result.unrecoverable == 0
+        assert result.completed == 40
+        assert result.resilience.retries >= 1
+
+    def test_flaky_core_quarantined_after_threshold(self):
+        tasks = mixed_taskset(40, 0.5)
+        plan = DesFailurePlan([DesFailure(3, "flake", count=3)], seed=0)
+        result = WorkStealingScheduler(2, 2, ARCH).run(
+            tasks, simple_model(), failures=plan, quarantine_after=2)
+        assert 3 in result.quarantined_cores
+        assert result.resilience.core_faults == 2  # third flake never fires
+        assert result.completed == 40
+
+    def test_all_ext_dead_degrades_to_base_with_zero_accel(self):
+        tasks = [Task(i, "ext") for i in range(20)]
+        plan = DesFailurePlan.kill_cores([2, 3], seed=0)
+        result = WorkStealingScheduler(2, 2, ARCH).run(
+            tasks, simple_model(), failures=plan)
+        assert result.quarantined_cores == (2, 3)
+        assert result.unrecoverable == 0
+        assert result.completed == 20
+        # Forward progress continued on base cores, unaccelerated.
+        assert result.accelerated_share < 0.2
+        assert sum(result.per_core_busy[:2]) > 0
+
+    def test_fam_all_ext_dead_is_structured_not_silent(self):
+        """FAM has no downgraded binary: with every extension core dead
+        its extension tasks must end as UnrecoverableFault entries."""
+        tasks = [Task(0, "base"), Task(1, "ext"), Task(2, "ext")]
+        plan = DesFailurePlan.kill_cores([2, 3], seed=0)
+        result = WorkStealingScheduler(2, 2, ARCH).run(
+            tasks, fam_model(), failures=plan)
+        assert result.completed + result.unrecoverable == 3
+        assert result.unrecoverable == 2
+        for task_id in (1, 2):
+            assert isinstance(result.task_faults[task_id], UnrecoverableFault)
+
+    def test_retry_budget_exhaustion_is_structured(self):
+        tasks = [Task(0, "base")]
+        plan = DesFailurePlan(
+            [DesFailure(0, "flake", count=10)], seed=0)
+        result = WorkStealingScheduler(1, 0, ARCH).run(
+            tasks, simple_model(), failures=plan,
+            retry_policy=RetryPolicy(max_attempts=2),
+            quarantine_after=99)
+        assert result.unrecoverable == 1
+        assert "retry budget exhausted" in str(result.task_faults[0])
+        assert result.resilience.backoff_cycles > 0
+
+    def test_deadline_is_enforced(self):
+        tasks = [Task(0, "base")]
+        plan = DesFailurePlan([DesFailure(0, "flake", count=10)], seed=0)
+        result = WorkStealingScheduler(1, 0, ARCH).run(
+            tasks, simple_model(), failures=plan,
+            retry_policy=RetryPolicy(max_attempts=100, deadline=5_000),
+            quarantine_after=99)
+        assert result.unrecoverable == 1
+        assert "deadline" in str(result.task_faults[0])
+
+    def test_no_failures_means_clean_stats(self):
+        result = WorkStealingScheduler(2, 2, ARCH).run(
+            mixed_taskset(30, 0.5), simple_model())
+        assert result.resilience.summary() == "clean run"
+        assert result.quarantined_cores == ()
+        assert result.unrecoverable == 0
+
+
+class TestDesEdgeCases:
+    def test_empty_taskset(self):
+        result = WorkStealingScheduler(2, 2, ARCH).run([], simple_model())
+        assert result.makespan == 0 and result.cpu_time == 0
+        assert result.completed == 0 and result.unrecoverable == 0
+
+    def test_empty_taskset_with_failure_plan(self):
+        result = WorkStealingScheduler(2, 2, ARCH).run(
+            [], simple_model(), failures=DesFailurePlan.kill_cores([0]))
+        assert result.makespan == 0
+        assert result.resilience.core_faults == 0  # nothing ran, nothing died
+
+    def test_fam_zero_ext_cores_does_not_livelock(self):
+        """migrate_on_unsupported with no extension pool at all: tasks
+        bounce once into the empty pool and must surface as structured
+        unrecoverable entries, not spin or vanish."""
+        tasks = [Task(i, "ext") for i in range(5)] + [Task(9, "base")]
+        result = WorkStealingScheduler(2, 0, ARCH).run(tasks, fam_model())
+        assert result.completed + result.unrecoverable == 6
+        assert result.unrecoverable == 5
+        assert result.completed == 1  # the base task still ran
+        for i in range(5):
+            assert isinstance(result.task_faults[i], UnrecoverableFault)
+
+    def test_nonmigrating_unrunnable_tasks_are_accounted(self):
+        """cost None without fault-and-migrate, zero ext cores: the pin
+        path has no live home pool and must account the task."""
+        model = SystemModel(
+            "m", costs={("base", False): 100, ("base", True): 100,
+                        ("ext", True): 50, ("ext", False): None})
+        tasks = [Task(0, "ext"), Task(1, "base")]
+        result = WorkStealingScheduler(2, 0, ARCH).run(tasks, model)
+        assert result.unrecoverable == 1
+        assert result.completed == 1
+        assert isinstance(result.task_faults[0], UnrecoverableFault)
+
+    def test_all_steal_path_one_pool_empty_from_start(self):
+        """Only base tasks: ext workers contribute purely by stealing."""
+        tasks = [Task(i, "base") for i in range(40)]
+        result = WorkStealingScheduler(2, 2, ARCH).run(tasks, simple_model())
+        assert result.completed == 40
+        assert result.steals > 0
+        busy_ext = sum(result.per_core_busy[2:])
+        assert busy_ext > 0
+
+    def test_all_steal_other_direction(self):
+        tasks = [Task(i, "ext") for i in range(40)]
+        result = WorkStealingScheduler(2, 2, ARCH).run(tasks, simple_model())
+        assert result.completed == 40
+        assert result.steals > 0
+        assert sum(result.per_core_busy[:2]) > 0
+
+
+class TestSeededTasksets:
+    def test_mixed_taskset_env_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUZZ_SEED", "123")
+        a = mixed_taskset(100, 0.3)
+        monkeypatch.delenv("REPRO_FUZZ_SEED")
+        b = mixed_taskset(100, 0.3, seed=123)
+        assert a == b
+
+    def test_mixed_taskset_counts_invariant_across_seeds(self):
+        for seed in (0, 1, 99):
+            tasks = mixed_taskset(97, 0.37, seed=seed)
+            assert sum(t.kind == "ext" for t in tasks) == round(97 * 0.37)
+
+    def test_share_bounds_still_validated(self):
+        with pytest.raises(ValueError):
+            mixed_taskset(10, -0.1)

@@ -1,0 +1,79 @@
+"""Step-budget watchdog: structured TIMEOUT faults instead of hangs."""
+
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GC
+from repro.sim.faults import CoreFault, WatchdogTimeout
+from repro.sim.machine import Core, Kernel
+from repro.workloads.programs import FibonacciWorkload
+
+
+def build_syscall_spinner():
+    """Loops on sched_yield forever: every iteration enters the kernel,
+    so only the kernel-entry watchdog (not max_instructions) sees it
+    as the pathological case it is."""
+    b = ProgramBuilder("spinner")
+    b.set_text("""
+_start:
+    li a7, 124
+    ecall
+    j _start
+""")
+    return b.build()
+
+
+class TestWatchdog:
+    def test_kernel_entry_loop_times_out_structurally(self):
+        binary = build_syscall_spinner()
+        kernel = Kernel()
+        result = kernel.run(make_process(binary), Core(0, RV64GC), max_steps=50)
+        assert isinstance(result.fault, WatchdogTimeout)
+        assert result.fault.kind == "TIMEOUT"
+        assert not result.ok
+        assert result.exit_code == -1
+        assert "max_steps=50" in str(result.fault)
+
+    def test_budget_counts_kernel_entries_not_instructions(self):
+        binary = build_syscall_spinner()
+        kernel = Kernel()
+        # A generous instruction budget still cannot save a kernel-entry
+        # loop; the watchdog is what bounds it.
+        result = kernel.run(make_process(binary), Core(0, RV64GC),
+                            max_instructions=10_000_000, max_steps=100)
+        assert isinstance(result.fault, WatchdogTimeout)
+        assert result.instret < 10_000_000
+
+    def test_default_budget_leaves_real_workloads_alone(self):
+        binary = FibonacciWorkload(iterations=50).build("base")
+        kernel = Kernel()
+        result = kernel.run(make_process(binary), Core(0, RV64GC))
+        assert result.ok
+        assert result.fault is None
+
+
+class TestCoreFaultDispatch:
+    def test_core_fault_is_never_dispatched_to_guest_handlers(self):
+        """A CoreFault models the hardware dying, not a guest fault: it
+        must terminate the run without consulting fault handlers."""
+        binary = FibonacciWorkload(iterations=200).build("base")
+        kernel = Kernel()
+        seen = []
+
+        def spy_handler(kernel, process, cpu, fault):
+            seen.append(fault)
+            return False
+
+        kernel.register_fault_handler(spy_handler, priority=True)
+        process = make_process(binary)
+        core = Core(0, RV64GC)
+        cpu = kernel.make_cpu(process, core)
+
+        def die_at(c, _at=100):
+            if c.instret >= _at:
+                raise CoreFault(0, "dead")
+
+        cpu.step_hook = die_at
+        result = kernel.run(process, core, cpu=cpu)
+        assert isinstance(result.fault, CoreFault)
+        assert not any(isinstance(f, CoreFault) for f in seen)
+        assert result.fault.pc is not None  # attributed to an instruction
