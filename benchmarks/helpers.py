@@ -101,6 +101,43 @@ def _trigger_count(system: str, run) -> int:
     return counters.get("traps", 0)  # strawman
 
 
+#: Where emit_bench writes; override with $REPRO_BENCH_OUT.
+BENCH_OUT_ENV = "REPRO_BENCH_OUT"
+DEFAULT_BENCH_OUT = "bench-results"
+
+
+def emit_bench(name: str, registry=None, **gauges) -> str:
+    """Write ``BENCH_<name>.json`` through the shared metrics schema.
+
+    Every benchmark module calls this once with its headline numbers —
+    either a pre-populated :class:`~repro.telemetry.MetricsRegistry`, or
+    keyword gauges ``metric_name={"labels": {...}, "value": v}`` /
+    plain ``metric_name=value`` pairs.  The payload is the same
+    ``repro.telemetry/metrics/v1`` document ``metrics.json`` uses, so
+    one consumer reads both.  Returns the written path.
+    """
+    import json
+    import os
+
+    from repro.telemetry import MetricsRegistry
+    from repro.telemetry.export import metrics_payload
+
+    if registry is None:
+        registry = MetricsRegistry()
+    for metric, spec in gauges.items():
+        if isinstance(spec, dict):
+            registry.gauge(metric, spec["value"], **spec.get("labels", {}))
+        else:
+            registry.gauge(metric, spec)
+    outdir = os.environ.get(BENCH_OUT_ENV, DEFAULT_BENCH_OUT)
+    os.makedirs(outdir, exist_ok=True)
+    path = os.path.join(outdir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics_payload(registry), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
 def print_table(title: str, header: list[str], rows: list[list], widths=None) -> None:
     """Render an aligned ASCII table to stdout."""
     cols = len(header)

@@ -8,7 +8,8 @@
 
 import pytest
 
-from benchmarks.helpers import SCALE, print_table, scaled_arch
+from benchmarks.helpers import SCALE, emit_bench, print_table, scaled_arch
+from repro.telemetry import MetricsRegistry
 from repro.core.patcher import ChbpPatcher
 from repro.harness import run_chimera, run_native, run_strawman
 from repro.isa.extensions import RV64GC, RV64GCV
@@ -42,6 +43,12 @@ def test_ablation_smile_vs_trap(benchmark, binaries):
         print_table("ablation — SMILE vs trap trampolines",
                     ["benchmark", "native", "chbp", "strawman", "chbp gain"],
                     rows)
+        registry = MetricsRegistry()
+        for name, native_c, chbp_c, straw_c, _gain in rows:
+            registry.gauge("bench.cycles", native_c, benchmark=name, config="native")
+            registry.gauge("bench.cycles", chbp_c, benchmark=name, config="chbp")
+            registry.gauge("bench.cycles", straw_c, benchmark=name, config="strawman")
+        emit_bench("ablation_smile_vs_trap", registry)
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

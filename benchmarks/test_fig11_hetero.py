@@ -8,8 +8,9 @@ from real rewritten-binary simulation (workloads.hetero).
 
 import pytest
 
-from benchmarks.helpers import print_table
+from benchmarks.helpers import emit_bench, print_table
 from repro.workloads.hetero import SYSTEMS, measure_hetero_costs, run_fig11
+from repro.telemetry import MetricsRegistry
 
 SHARES = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
 
@@ -42,6 +43,14 @@ def test_fig11_regenerate(benchmark, data):
                 ["ext-share"] + [f"lat:{s}" for s in SYSTEMS] + [f"cpu:{s}" for s in SYSTEMS],
                 rows,
             )
+        registry = MetricsRegistry()
+        for version in ("ext", "base"):
+            for r in data[version]:
+                labels = dict(version=version, system=r.system,
+                              ext_share=f"{r.ext_share:.1f}")
+                registry.gauge("bench.latency_cycles", r.latency, **labels)
+                registry.gauge("bench.cpu_time_cycles", r.cpu_time, **labels)
+        emit_bench("fig11_hetero", registry)
         return data
 
     benchmark.pedantic(report, rounds=1, iterations=1)

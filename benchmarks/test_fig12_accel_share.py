@@ -3,8 +3,9 @@ extension, per system and input version."""
 
 import pytest
 
-from benchmarks.helpers import print_table
+from benchmarks.helpers import emit_bench, print_table
 from repro.workloads.hetero import SYSTEMS, run_fig11
+from repro.telemetry import MetricsRegistry
 
 SHARES = (0.2, 0.4, 0.6, 0.8, 1.0)
 
@@ -28,6 +29,13 @@ def test_fig12_regenerate(benchmark, data):
                 ])
             print_table(f"Fig. 12 — accelerated extension tasks, {label}",
                         ["ext-share"] + list(SYSTEMS), rows)
+        registry = MetricsRegistry()
+        for version in ("ext", "base"):
+            for r in data[version]:
+                registry.gauge("bench.accelerated_share", r.accelerated_share,
+                               version=version, system=r.system,
+                               ext_share=f"{r.ext_share:.1f}")
+        emit_bench("fig12_accel_share", registry)
         return data
 
     benchmark.pedantic(report, rounds=1, iterations=1)

@@ -9,8 +9,9 @@ import statistics
 
 import pytest
 
-from benchmarks.helpers import SYSTEMS, print_table, run_profile
+from benchmarks.helpers import SYSTEMS, emit_bench, print_table, run_profile
 from repro.workloads.spec_profiles import PAPER_HEADLINES, SPEC_PROFILES
+from repro.telemetry import MetricsRegistry
 
 
 def _sweep():
@@ -39,6 +40,13 @@ def test_fig13_regenerate(benchmark, sweep):
             ["benchmark", "strawman", "multiverse", "safer", "armore", "chbp"],
             rows,
         )
+        registry = MetricsRegistry()
+        for name, run in sweep.items():
+            for system in SYSTEMS:
+                registry.gauge("bench.degradation_pct",
+                               run.degradation_pct[system],
+                               benchmark=name, system=system)
+        emit_bench("fig13_spec_overhead", registry)
         return rows
 
     rows = benchmark.pedantic(report, rounds=1, iterations=1)

@@ -7,8 +7,9 @@ on the 64-core SG2042-like machine.
 
 import pytest
 
-from benchmarks.helpers import print_table
+from benchmarks.helpers import emit_bench, print_table
 from repro.workloads.openblas import SYSTEMS, measure_kernel, run_fig14, run_fig14_scalability
+from repro.telemetry import MetricsRegistry
 
 KERNELS = ("dgemm", "sgemm", "dgemv", "sgemv")
 THREADS = (2, 4, 6, 8)
@@ -42,6 +43,17 @@ def test_fig14_regenerate(benchmark, data, scalability):
         ]
         print_table("Fig. 14e — sgemm scalability on 32+32 cores",
                     ["threads"] + list(SYSTEMS), rows)
+        registry = MetricsRegistry()
+        for kernel in KERNELS:
+            for r in data[kernel]:
+                registry.gauge("bench.makespan_cycles", r.makespan,
+                               kernel=kernel, system=r.system,
+                               threads=str(r.threads))
+        for r in scalability:
+            registry.gauge("bench.makespan_cycles", r.makespan,
+                           kernel="sgemm-scalability", system=r.system,
+                           threads=str(r.threads))
+        emit_bench("fig14_openblas", registry)
         return data
 
     benchmark.pedantic(report, rounds=1, iterations=1)

@@ -11,7 +11,8 @@ Two cross-checks that are not paper figures but anchor the methodology:
 
 import pytest
 
-from benchmarks.helpers import print_table, scaled_arch
+from benchmarks.helpers import emit_bench, print_table, scaled_arch
+from repro.telemetry import MetricsRegistry
 from repro.core.machine_runner import MeasuredScheduler, varied_taskset
 from repro.core.scheduler import WorkStealingScheduler, mixed_taskset
 from repro.harness import run_multiverse, run_native, run_safer
@@ -33,6 +34,13 @@ def test_des_vs_measured_execution(benchmark):
                          f"{measured.makespan / des.makespan:.2f}"])
         print_table("DES engine vs full measured execution (chimera, makespan)",
                     ["ext-share", "measured", "DES", "ratio"], rows)
+        registry = MetricsRegistry()
+        for share_label, measured_ms, des_ms, _ratio in rows:
+            registry.gauge("bench.makespan_cycles", measured_ms,
+                           engine="measured", ext_share=share_label)
+            registry.gauge("bench.makespan_cycles", des_ms,
+                           engine="des", ext_share=share_label)
+        emit_bench("scheduler_validation", registry)
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

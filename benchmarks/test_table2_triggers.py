@@ -9,8 +9,9 @@ average) because it is passive.
 
 import pytest
 
-from benchmarks.helpers import print_table, run_profile
+from benchmarks.helpers import emit_bench, print_table, run_profile
 from repro.workloads.spec_profiles import APP_PROFILES, PROFILES, SPEC_PROFILES
+from repro.telemetry import MetricsRegistry
 
 #: Real-app profiles included alongside SPEC, as in the paper's table.
 ALL_ROWS = sorted(APP_PROFILES) + sorted(SPEC_PROFILES)
@@ -42,6 +43,12 @@ def test_table2_regenerate(benchmark, sweep):
             ["benchmark", "chbp", "safer", "armore", "strawman", "safer/kinst"],
             rows,
         )
+        registry = MetricsRegistry()
+        for name, run in sweep.items():
+            for system in ("chimera", "safer", "armore", "strawman"):
+                registry.gauge("bench.triggers", run.triggers[system],
+                               benchmark=name, system=system)
+        emit_bench("table2_triggers", registry)
         return rows
 
     rows = benchmark.pedantic(report, rounds=1, iterations=1)

@@ -10,7 +10,8 @@ from functools import lru_cache
 
 import pytest
 
-from benchmarks.helpers import SCALE, print_table, scaled_arch
+from benchmarks.helpers import SCALE, emit_bench, print_table, scaled_arch
+from repro.telemetry import MetricsRegistry
 from repro.analysis.scan import RecursiveScanner
 from repro.core.patcher import ChbpPatcher
 from repro.isa.extensions import Extension, RV64GC
@@ -80,6 +81,14 @@ def test_table3_regenerate(benchmark, rows):
              "deadreg ours/trad", "", "paper-code", "paper-ext%", "paper-tramp"],
             table,
         )
+        registry = MetricsRegistry()
+        for r in rows:
+            registry.gauge("bench.trampolines", r.trampolines, benchmark=r.name)
+            registry.gauge("bench.ext_pct", r.ext_pct, benchmark=r.name)
+            registry.gauge("bench.deadreg_not_found", r.not_found, benchmark=r.name)
+            registry.gauge("bench.deadreg_trad_failures", r.trad_failures,
+                           benchmark=r.name)
+        emit_bench("table3_static", registry)
         return table
 
     table = benchmark.pedantic(report, rounds=1, iterations=1)

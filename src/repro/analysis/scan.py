@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from repro.elf.binary import Binary, Perm
 from repro.isa.decoding import IllegalEncodingError, decode
 from repro.isa.instructions import Instruction
+from repro.telemetry import current as telemetry_current
+from repro.telemetry.exec_trace import instruction_class
 
 
 @dataclass
@@ -71,6 +73,19 @@ class RecursiveScanner:
 
     def scan(self, binary: Binary, extra_entries: list[int] | None = None) -> ScanResult:
         """Recover instructions of every executable section of *binary*."""
+        telemetry = telemetry_current()
+        with telemetry.span("analysis.scan", binary=binary.name):
+            result = self._scan(binary, extra_entries)
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            for instr in result.instructions.values():
+                metrics.inc("scan.instructions", **{"class": instruction_class(instr)})
+            metrics.inc("scan.entry_points", len(result.entry_points))
+            metrics.inc("scan.unresolved_indirect", len(result.unresolved_indirect))
+            metrics.inc("scan.unrecognized_gaps", len(result.unrecognized_ranges))
+        return result
+
+    def _scan(self, binary: Binary, extra_entries: list[int] | None = None) -> ScanResult:
         text_sections = [s for s in binary.sections if Perm.X in s.perm]
         bounds = [(s.addr, s.end) for s in text_sections]
 

@@ -54,6 +54,7 @@ from repro.sim.faults import (
 )
 from repro.sim.machine import Core, Kernel
 from repro.sim.syscalls import handle_syscall
+from repro.telemetry import current as telemetry_current
 
 
 class TrampolineAttackSweeper:
@@ -105,12 +106,18 @@ class TrampolineAttackSweeper:
         if self.max_regions > 0 and len(regions) > self.max_regions:
             report.skipped_regions = len(regions) - self.max_regions
             regions = regions[: self.max_regions]
+        telemetry = telemetry_current()
         for start, end, kind in regions:
             boundaries = self._original_boundaries(start, end)
             for addr in range(start, end):
-                report.results.append(
-                    self._attack(addr, start, end, kind, boundaries)
-                )
+                result = self._attack(addr, start, end, kind, boundaries)
+                report.results.append(result)
+                if telemetry.enabled:
+                    telemetry.metrics.inc(
+                        "chaos.outcomes", mode=mode, outcome=result.outcome)
+        if telemetry.enabled and report.skipped_regions:
+            telemetry.metrics.inc(
+                "chaos.skipped_regions", report.skipped_regions, mode=mode)
         return report
 
     def _original_boundaries(self, start: int, end: int) -> dict[int, int]:

@@ -7,7 +7,12 @@ Commands:
 * ``rewrite``  — rewrite an image for a target ISA profile (chimera /
   safer / armore / strawman)
 * ``run``      — load and execute an image on a simulated core, with the
-  matching runtime installed automatically
+  matching runtime installed automatically; given a workload name
+  instead of a file it drives the full traced pipeline
+* ``trace``    — run one workload through the instrumented
+  build→rewrite→execute→schedule pipeline and dump Chrome-trace +
+  metrics JSON (``--telemetry-out`` on run/chaos/resilience does the
+  same for those commands)
 * ``profiles`` — list the SPEC/app profiles and workloads available
 * ``chaos``    — adversarial fault-injection harness: sweep every byte
   of every patched region and run the runtime-corruption scenarios
@@ -19,7 +24,10 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from contextlib import nullcontext
 
 from repro.elf.fileformat import load_binary_file, save_binary
 from repro.elf.loader import make_process
@@ -33,6 +41,23 @@ def _isa(name: str):
         return ISA_PROFILES[name]
     except KeyError:
         raise SystemExit(f"unknown ISA profile {name!r}; choose from {sorted(ISA_PROFILES)}")
+
+
+def _telemetry_scope(args: argparse.Namespace):
+    """(context manager, Telemetry | None) for a command's --telemetry-out."""
+    outdir = getattr(args, "telemetry_out", None)
+    if not outdir:
+        return nullcontext(), None
+    from repro.telemetry import Telemetry, use
+
+    telemetry = Telemetry()
+    return use(telemetry), telemetry
+
+
+def _write_telemetry(telemetry, outdir) -> None:
+    paths = telemetry.write(outdir)
+    print(f"telemetry: wrote {paths['trace']} and {paths['metrics']}",
+          file=sys.stderr)
 
 
 def cmd_build(args: argparse.Namespace) -> int:
@@ -97,51 +122,124 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_run(args: argparse.Namespace, *, exit_code: int, cycles: int,
+                instret: int, counters: dict, fault, output: bytes,
+                workload: str | None = None) -> int:
+    """Shared run-result reporting: human text or --json; exit code
+    semantics are identical in both modes (0 iff the guest succeeded)."""
+    ok = exit_code == 0 and fault is None
+    if getattr(args, "json", False):
+        payload = {
+            "exit_code": exit_code,
+            "ok": ok,
+            "cycles": cycles,
+            "instret": instret,
+            "counters": {k: v for k, v in counters.items() if v},
+            "fault": str(fault) if fault is not None else None,
+            "output": output.decode("utf-8", errors="replace"),
+        }
+        if workload is not None:
+            payload["workload"] = workload
+        json.dump(payload, sys.stdout, indent=1)
+        sys.stdout.write("\n")
+    else:
+        if output:
+            sys.stdout.write(output.decode("utf-8", errors="replace"))
+        print(f"exit={exit_code} cycles={cycles} "
+              f"instret={instret}" + (f" fault={fault}" if fault else ""))
+        interesting = {k: v for k, v in counters.items() if v}
+        if interesting:
+            print(f"counters: {interesting}")
+    return 0 if ok else 1
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.image):
+        # Not an image file: treat it as a workload name and drive the
+        # full traced pipeline (build -> rewrite -> execute -> probe).
+        return _run_workload(args, args.image)
     binary = load_binary_file(args.image)
     profile = _isa(args.core)
-    kernel = Kernel()
-    # Install whichever runtime the image's rewriting metadata calls for.
-    if "chimera" in binary.metadata:
-        from repro.core.runtime import ChimeraRuntime
+    scope, telemetry = _telemetry_scope(args)
+    with scope:
+        kernel = Kernel()
+        # Install whichever runtime the image's rewriting metadata calls for.
+        if "chimera" in binary.metadata:
+            from repro.core.runtime import ChimeraRuntime
 
-        ChimeraRuntime(binary).install(kernel)
-    if "safer" in binary.metadata:
-        from repro.baselines.safer import SaferRuntime
+            ChimeraRuntime(binary).install(kernel)
+        if "safer" in binary.metadata:
+            from repro.baselines.safer import SaferRuntime
 
-        SaferRuntime(binary).install(kernel)
-    if "multiverse" in binary.metadata:
-        from repro.baselines.multiverse import MultiverseRuntime
+            SaferRuntime(binary).install(kernel)
+        if "multiverse" in binary.metadata:
+            from repro.baselines.multiverse import MultiverseRuntime
 
-        MultiverseRuntime(binary).install(kernel)
-    if "armore" in binary.metadata:
-        from repro.baselines.armore import ArmoreRuntime
+            MultiverseRuntime(binary).install(kernel)
+        if "armore" in binary.metadata:
+            from repro.baselines.armore import ArmoreRuntime
 
-        ArmoreRuntime(binary).install(kernel)
-    proc = make_process(binary)
-    result = kernel.run(proc, Core(0, profile), max_instructions=args.max_instructions)
-    if result.output:
-        sys.stdout.write(result.output.decode("utf-8", errors="replace"))
-    print(f"exit={result.exit_code} cycles={result.cycles} "
-          f"instret={result.instret}" + (f" fault={result.fault}" if result.fault else ""))
-    interesting = {k: v for k, v in result.counters.items() if v}
-    if interesting:
-        print(f"counters: {interesting}")
-    return 0 if result.ok else 1
+            ArmoreRuntime(binary).install(kernel)
+        proc = make_process(binary)
+        result = kernel.run(proc, Core(0, profile),
+                            max_instructions=args.max_instructions)
+    if telemetry is not None:
+        _write_telemetry(telemetry, args.telemetry_out)
+    return _report_run(
+        args, exit_code=result.exit_code, cycles=result.cycles,
+        instret=result.instret, counters=result.counters,
+        fault=result.fault, output=result.output)
+
+
+def _run_workload(args: argparse.Namespace, name: str) -> int:
+    from repro.telemetry.pipeline import run_traced_workload
+
+    try:
+        run = run_traced_workload(
+            name,
+            target=args.core if args.core in ("rv64gc", "rv64gcv") else "rv64gc",
+            max_instructions=args.max_instructions,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    outdir = getattr(args, "telemetry_out", None)
+    if outdir:
+        _write_telemetry(run.telemetry, outdir)
+    return _report_run(
+        args, exit_code=run.exit_code, cycles=run.cycles,
+        instret=run.instret, counters=run.counters,
+        fault=run.fault, output=run.output, workload=name)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.pipeline import run_traced_workload, verify_four_layers
+
+    try:
+        run = run_traced_workload(
+            name=args.workload, variant=args.variant, scale=args.scale,
+            target=args.target, max_instructions=args.max_instructions)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    _write_telemetry(run.telemetry, args.output)
+    metrics = run.telemetry.metrics
+    spans = run.telemetry.tracer.completed
+    print(f"workload={args.workload} exit={run.exit_code} "
+          f"cycles={run.cycles} instret={run.instret}")
+    print(f"telemetry: {len(spans)} spans, {len(metrics)} metric series")
+    missing = verify_four_layers(metrics)
+    if missing:
+        print(f"WARNING: layers without data: {', '.join(missing)}")
+    return 0 if run.ok else 1
 
 
 def _resolve_workload(name: str, *, variant: str = "ext", scale: int = 128):
     """Build a workload binary by kernel name or synthetic-profile name."""
-    from repro.workloads.programs import ALL_WORKLOADS
-    from repro.workloads.spec_profiles import PROFILES
-    from repro.workloads.synthetic import SyntheticBinary
+    from repro.telemetry.pipeline import resolve_workload
 
-    if name in ALL_WORKLOADS:
-        return ALL_WORKLOADS[name].build(variant)
-    if name in PROFILES:
-        return SyntheticBinary(PROFILES[name], scale=scale).build()
-    choices = sorted(ALL_WORKLOADS) + sorted(PROFILES)
-    raise SystemExit(f"unknown workload {name!r}; choose from {choices}")
+    try:
+        return resolve_workload(name, variant=variant, scale=scale)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -150,13 +248,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     seed = resolve_seed(args.seed)
     binary = _resolve_workload(args.workload, scale=args.scale)
-    report = run_chaos(
-        binary,
-        target=_isa(args.target),
-        max_regions=args.max_regions,
-        scenarios=not args.no_scenarios,
-        seed=seed,
-    )
+    scope, telemetry = _telemetry_scope(args)
+    with scope:
+        report = run_chaos(
+            binary,
+            target=_isa(args.target),
+            max_regions=args.max_regions,
+            scenarios=not args.no_scenarios,
+            seed=seed,
+        )
+    if telemetry is not None:
+        _write_telemetry(telemetry, args.telemetry_out)
     if args.verbose:
         for sweep in report.sweeps:
             print(f"-- {sweep.mode} sweep --")
@@ -174,13 +276,17 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     from repro.resilience.seeds import replay_hint, resolve_seed
 
     seed = resolve_seed(args.seed)
-    if args.scenario == "all":
-        results = run_all(seed)
-    else:
-        try:
-            results = [run_scenario(args.scenario, seed=seed)]
-        except ValueError as exc:
-            raise SystemExit(str(exc))
+    scope, telemetry = _telemetry_scope(args)
+    with scope:
+        if args.scenario == "all":
+            results = run_all(seed)
+        else:
+            try:
+                results = [run_scenario(args.scenario, seed=seed)]
+            except ValueError as exc:
+                raise SystemExit(str(exc))
+    if telemetry is not None:
+        _write_telemetry(telemetry, args.telemetry_out)
     for result in results:
         print(result)
     failed = [r for r in results if not r.passed]
@@ -234,11 +340,32 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(fn=cmd_rewrite)
 
-    p = sub.add_parser("run", help="execute an image on a simulated core")
-    p.add_argument("image")
+    p = sub.add_parser("run", help="execute an image (or workload name) on a simulated core")
+    p.add_argument("image",
+                   help=".self image path, or a workload/profile name to "
+                        "drive through the full traced pipeline")
     p.add_argument("--core", default="rv64gcv")
     p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.add_argument("--json", action="store_true",
+                   help="emit the run result as JSON (same exit-code semantics)")
+    p.add_argument("--telemetry-out", metavar="DIR", default=None,
+                   help="write trace.json + metrics.json into DIR")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one workload through the instrumented build->rewrite->"
+             "execute->schedule pipeline and dump trace.json + metrics.json")
+    p.add_argument("workload", help="kernel workload or synthetic-profile name")
+    p.add_argument("--variant", choices=("base", "ext"), default="ext")
+    p.add_argument("--scale", type=int, default=128,
+                   help="synthetic-profile code-size divisor")
+    p.add_argument("--target", default="rv64gc",
+                   help="base-core profile the rewrite targets")
+    p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.add_argument("-o", "--output", metavar="DIR", default="telemetry-out",
+                   help="directory for trace.json + metrics.json")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("profiles", help="list workloads and benchmark profiles")
     p.set_defaults(fn=cmd_profiles)
@@ -255,6 +382,8 @@ def make_parser() -> argparse.ArgumentParser:
                    help="failure-injection seed (default: $REPRO_FUZZ_SEED, else 0)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print every attack result, not just the summary")
+    p.add_argument("--telemetry-out", metavar="DIR", default=None,
+                   help="write trace.json + metrics.json into DIR")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
@@ -265,6 +394,8 @@ def make_parser() -> argparse.ArgumentParser:
                    help="scenario name (see repro.resilience.scenarios) or 'all'")
     p.add_argument("--seed", type=int, default=None,
                    help="failure-injection seed (default: $REPRO_FUZZ_SEED, else 0)")
+    p.add_argument("--telemetry-out", metavar="DIR", default=None,
+                   help="write trace.json + metrics.json into DIR")
     p.set_defaults(fn=cmd_resilience)
     return parser
 

@@ -41,6 +41,7 @@ from repro.resilience.seeds import resolve_seed
 from repro.sim.cost import ArchParams, DEFAULT_ARCH
 from repro.sim.faults import IllegalInstructionFault, UnrecoverableFault
 from repro.sim.machine import Core
+from repro.telemetry import MetricsRegistry, current as telemetry_current
 
 #: Systems the measured runner implements.
 SYSTEMS = ("fam", "melf", "chimera", "safer")
@@ -197,12 +198,13 @@ class MeasuredScheduler:
         heapq.heapify(heap)
         idle: set[int] = set()
         outstanding = len(tasks)
-        migrations = steals = failures = 0
         per_task: dict[int, int] = {}
         makespan = 0
         ext_tasks = sum(1 for t in tasks if t.kind == "ext")
-        accelerated = 0
-        stats = ResilienceStats()
+        #: Single source of truth for every event counter of this run;
+        #: the result ledger and ResilienceStats are *derived* from it,
+        #: so the two can no longer drift apart.
+        m = MetricsRegistry()
         quarantined: set[int] = set()
         flake_counts = [0] * n
         task_faults: dict[int, UnrecoverableFault] = {}
@@ -248,7 +250,7 @@ class MeasuredScheduler:
             if w in quarantined:
                 return
             quarantined.add(w)
-            stats.quarantines += 1
+            m.inc("resilience.quarantines")
             pool = is_ext[w]
             if pool_live(pool):
                 return
@@ -261,7 +263,7 @@ class MeasuredScheduler:
                 pending = queues[pool].popleft()
                 if pending.checkpoint is not None and not pending.migrated \
                         and pool_live(not pool):
-                    stats.restarts += 1
+                    m.inc("resilience.restarts", reason="pool-lost")
                     pending.checkpoint = None
                     queues[not pool].append(pending)
                     wake(not pool, max(now, pending.not_before))
@@ -271,7 +273,7 @@ class MeasuredScheduler:
 
         def declare_unrecoverable(pending: _Pending, reason: str) -> None:
             nonlocal outstanding
-            stats.unrecoverable_tasks += 1
+            m.inc("resilience.unrecoverable_tasks")
             task_faults[pending.task.task_id] = UnrecoverableFault(
                 reason, attempts=pending.attempt)
             outstanding -= 1
@@ -308,11 +310,11 @@ class MeasuredScheduler:
                 pool = not pool
                 checkpoint = None
             backoff = policy.backoff(attempt - 1)
-            stats.retries += 1
-            stats.backoff_cycles += backoff
-            stats.migrations += 1
+            m.inc("resilience.retries")
+            m.inc("resilience.backoff_cycles", backoff)
+            m.inc("resilience.migrations")
             if checkpoint is None:
-                stats.restarts += 1
+                m.inc("resilience.restarts", reason="no-checkpoint")
             queues[pool].append(_Pending(
                 task, migrated=pending.migrated, attempt=attempt,
                 checkpoint=checkpoint, not_before=now + backoff,
@@ -325,6 +327,8 @@ class MeasuredScheduler:
             if w in quarantined:
                 continue
             my_pool = is_ext[w]
+            m.observe("sched.queue_depth", len(queues[my_pool]),
+                      pool="ext" if my_pool else "base")
             got = take(my_pool, now)
             if got is None:
                 later = next_ready(my_pool, now)
@@ -338,7 +342,8 @@ class MeasuredScheduler:
             pending, stolen = got
             task = pending.task
             start = now + (self.params.steal_cost if stolen else 0)
-            steals += int(stolen)
+            if stolen:
+                m.inc("sched.steals", core=w)
             if pending.first_start is None:
                 pending.first_start = start
 
@@ -347,12 +352,12 @@ class MeasuredScheduler:
                 if injector is not None and injector.migration_dropped(task.task_id):
                     # MigrationLostFault territory: the in-flight image is
                     # gone; structured accounting, restart from entry.
-                    stats.migrations_lost += 1
-                    stats.restarts += 1
+                    m.inc("resilience.migrations_lost")
+                    m.inc("resilience.restarts", reason="migration-lost")
                     checkpoint = None
                 elif checkpoint.pool_ext != my_pool:
                     # Foreign-flavor image; restart from entry here.
-                    stats.restarts += 1
+                    m.inc("resilience.restarts", reason="foreign-flavor")
                     checkpoint = None
 
             fail_event = None
@@ -366,7 +371,7 @@ class MeasuredScheduler:
             if execution.checkpoint_corrupt:
                 # Detected at restore: the core did no work; retry from
                 # entry after backoff.
-                stats.checkpoint_failures += 1
+                m.inc("resilience.checkpoint_failures")
                 clock[w] = now
                 pending.checkpoint = None
                 requeue(pending, now, checkpoint=None,
@@ -375,7 +380,7 @@ class MeasuredScheduler:
                 continue
 
             if execution.core_failure is not None:
-                stats.core_faults += 1
+                m.inc("resilience.core_faults", core=w)
                 end = start + execution.cycles
                 busy[w] += end - now
                 clock[w] = end
@@ -410,7 +415,7 @@ class MeasuredScheduler:
                         pending, f"task {task.task_id}: needs an extension "
                                  "core but every extension core is quarantined")
                     continue
-                migrations += 1
+                m.inc("sched.migrations", reason="fam-unsupported")
                 queues[True].append(_Pending(
                     task, migrated=True, attempt=pending.attempt,
                     first_start=pending.first_start))
@@ -418,7 +423,7 @@ class MeasuredScheduler:
                 continue
 
             if not execution.ok:
-                failures += 1
+                m.inc("sched.task_failures")
             end = start + execution.cycles
             busy[w] += end - now
             clock[w] = end
@@ -426,10 +431,10 @@ class MeasuredScheduler:
             per_task[task.task_id] = execution.cycles
             outstanding -= 1
             if task.kind == "ext" and my_pool and execution.ok:
-                accelerated += 1
+                m.inc("sched.accelerated_ext_tasks")
             if execution.resumed and checkpoint is not None \
                     and checkpoint.core_id != w:
-                stats.checkpointed_migrations += 1
+                m.inc("resilience.checkpointed_migrations")
             heapq.heappush(heap, (end, w))
 
         # Drain: anything still queued has no live worker to run it.
@@ -440,16 +445,20 @@ class MeasuredScheduler:
                     pending, f"task {pending.task.task_id}: stranded — no "
                              "live core can run it")
 
+        stats = ResilienceStats.from_metrics(m)
+        telemetry = telemetry_current()
+        if telemetry.enabled:
+            telemetry.metrics.merge(m, engine="measured", system=system)
         return MeasuredRunResult(
             system=system,
             makespan=makespan,
             cpu_time=sum(busy),
-            migrations=migrations,
-            steals=steals,
-            failures=failures,
+            migrations=m.total("sched.migrations"),
+            steals=m.total("sched.steals"),
+            failures=m.total("sched.task_failures"),
             per_task_cycles=per_task,
             ext_tasks=ext_tasks,
-            accelerated_ext_tasks=accelerated,
+            accelerated_ext_tasks=m.total("sched.accelerated_ext_tasks"),
             unrecoverable=stats.unrecoverable_tasks,
             task_faults=task_faults,
             quarantined_cores=tuple(sorted(quarantined)),

@@ -25,6 +25,7 @@ trap-based trampolines, mirroring the paper's ~1% residue.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Optional
 
@@ -53,6 +54,7 @@ from repro.isa.extensions import Extension, IsaProfile
 from repro.isa.instructions import Instruction
 from repro.isa.registers import Reg
 from repro.sim.cost import ArchParams, DEFAULT_ARCH
+from repro.telemetry import current as telemetry_current
 
 #: Registers never usable as exit registers (ABI-pinned or special).
 _EXIT_FORBIDDEN = frozenset({int(Reg.ZERO), int(Reg.SP), int(Reg.GP), int(Reg.TP), int(Reg.RA)})
@@ -186,40 +188,47 @@ class ChbpPatcher:
 
     def patch(self) -> Binary:
         """Produce the rewritten binary for the target profile."""
-        out = self.binary.clone(f"{self.binary.name}@{self.target_profile.name}")
-        self.scan = RecursiveScanner(
-            seed_address_taken=self.scan_address_taken
-        ).scan(self.binary, extra_entries=self.scan_entries)
-        self.cfg = build_cfg(self.scan)
-        self.liveness = LivenessAnalysis(self.cfg).run()
+        telemetry = telemetry_current()
+        with telemetry.span("patch", binary=self.binary.name,
+                            target=self.target_profile.name):
+            out = self.binary.clone(f"{self.binary.name}@{self.target_profile.name}")
+            with telemetry.span("patch.analyze"):
+                self.scan = RecursiveScanner(
+                    seed_address_taken=self.scan_address_taken
+                ).scan(self.binary, extra_entries=self.scan_entries)
+                self.cfg = build_cfg(self.scan)
+                self.liveness = LivenessAnalysis(self.cfg).run()
 
-        vregs_base = self._add_vregs_section(out)
-        self.translator = Translator(
-            TranslationContext(vregs_base, self.binary.global_pointer), mode=self.mode
-        )
+            vregs_base = self._add_vregs_section(out)
+            self.translator = Translator(
+                TranslationContext(vregs_base, self.binary.global_pointer), mode=self.mode
+            )
 
-        sites = self._collect_sites()
-        ct_base = self._chimera_text_base(out)
-        self._alloc = SmileTextAllocator(ct_base, compressed=self.compressed)
-        self._blocks: dict[int, bytearray] = {}
-        #: (block addr, trampoline offset, exit addr, exit reg) to resolve
-        #: once every window is known.
-        self._exit_fixups: list[tuple[int, int, int, int]] = []
-        text = out.text
+            with telemetry.span("patch.collect_sites"):
+                sites = self._collect_sites()
+            ct_base = self._chimera_text_base(out)
+            self._alloc = SmileTextAllocator(ct_base, compressed=self.compressed)
+            self._blocks: dict[int, bytearray] = {}
+            #: (block addr, trampoline offset, exit addr, exit reg) to resolve
+            #: once every window is known.
+            self._exit_fixups: list[tuple[int, int, int, int]] = []
+            text = out.text
 
-        for site in sites:
-            if site.first_addr in self._covered:
-                continue  # already overwritten as an earlier window's neighbor
-            if not self.use_smile:
-                patched = False
-            elif self.smile_register == "data-pointer":
-                patched = self._patch_site_data_pointer(site, text)
-            else:
-                patched = self._patch_site(site, text)
-            if not patched:
-                self._trap_fallback(site, text)
+            with telemetry.span("patch.rewrite_sites", sites=len(sites)):
+                for site in sites:
+                    if site.first_addr in self._covered:
+                        continue  # already overwritten as an earlier window's neighbor
+                    if not self.use_smile:
+                        patched = False
+                    elif self.smile_register == "data-pointer":
+                        patched = self._patch_site_data_pointer(site, text)
+                    else:
+                        patched = self._patch_site(site, text)
+                    if not patched:
+                        self._trap_fallback(site, text)
 
-        self._resolve_exits()
+            with telemetry.span("patch.resolve_exits"):
+                self._resolve_exits()
 
         if self._blocks:
             section_base = min(self._blocks) & ~0xF
@@ -248,7 +257,22 @@ class ChbpPatcher:
             "patched_regions": sorted(self.patched_regions),
             "smile_regs": dict(self.smile_regs),
         }
+        if telemetry.enabled:
+            self._record_metrics(telemetry.metrics)
         return out
+
+    def _record_metrics(self, metrics) -> None:
+        """Publish the patch ledger as ``patch.*`` metric series."""
+        kinds = Counter(kind for _, _, kind in self.patched_regions)
+        for kind, count in kinds.items():
+            metrics.inc("patch.trampolines", count, kind=kind,
+                        target=self.target_profile.name)
+        for lo, hi, _ in self.patched_regions:
+            metrics.observe("patch.region_bytes", hi - lo)
+        for name, value in self.stats.as_dict().items():
+            if name == "trampolines":
+                continue  # covered by the kind-labeled series above
+            metrics.inc(f"patch.{name}", value, target=self.target_profile.name)
 
     # -- setup helpers ---------------------------------------------------
 

@@ -17,6 +17,7 @@ from repro.core.patcher import ChbpPatcher, PatchStats
 from repro.elf.binary import Binary
 from repro.isa.extensions import IsaProfile
 from repro.sim.cost import ArchParams, DEFAULT_ARCH
+from repro.telemetry import current as telemetry_current
 
 
 @dataclass
@@ -91,7 +92,9 @@ class ChimeraRewriter:
             smile_register=self.smile_register,
             use_smile=self.use_smile,
         )
-        rewritten = patcher.patch()
+        with telemetry_current().span("rewrite", binary=binary.name,
+                                      target=target_profile.name):
+            rewritten = patcher.patch()
         return RewriteResult(rewritten, target_profile, patcher.stats)
 
     def rewrite_all(

@@ -35,6 +35,7 @@ from repro.sim.faults import (
     UnrecoverableFault,
 )
 from repro.sim.machine import Kernel, Process
+from repro.telemetry import current as telemetry_current
 
 #: Default bound on consecutive zero-progress recoveries before the
 #: runtime declares a fault loop and aborts with diagnostics.
@@ -117,6 +118,13 @@ class ChimeraRuntime:
         kernel.register_fault_handler(self.handle_fault, priority=True)
         kernel.pre_signal_hooks.append(self._signal_gp_restore)
 
+    @staticmethod
+    def _record(event: str) -> None:
+        """Mirror a runtime event into the active telemetry (if any)."""
+        telemetry = telemetry_current()
+        if telemetry.enabled:
+            telemetry.metrics.inc("runtime.events", kind=event)
+
     # -- fault handling -------------------------------------------------------
 
     def handle_fault(self, kernel: Kernel, process: Process, cpu: Cpu, fault: SimFault) -> bool:
@@ -139,7 +147,9 @@ class ChimeraRuntime:
             self._recovery_streak += 1
             if self._recovery_streak >= self.max_recovery_depth:
                 self.stats.recovery_loop_aborts += 1
+                self._record("recovery_loop_abort")
                 self.stats.unrecoverable_faults += 1
+                self._record("unrecoverable_fault")
                 raise UnrecoverableFault(
                     f"fault-recovery loop: {self._recovery_streak} consecutive "
                     "recoveries without retiring an instruction",
@@ -179,7 +189,9 @@ class ChimeraRuntime:
         if looping or self._in_patched_region(fault_pc) or wild_jump:
             if not looping:
                 self.stats.fault_table_misses += 1
+                self._record("fault_table_miss")
             self.stats.unrecoverable_faults += 1
+            self._record("unrecoverable_fault")
             raise UnrecoverableFault(
                 f"{type(fault).__name__} at {fault_pc:#x} inside a patched "
                 "region could not be recovered",
@@ -223,6 +235,7 @@ class ChimeraRuntime:
             cpu.cycles += cpu.cost.fault_handling_cost
             cpu.bump("chimera_faults")
             self.stats.smile_segv_recoveries += 1
+            self._record("smile_segv_recovery")
             return True
         # Fig. 5 variant: the return address sits in a general register;
         # probe the armed trampolines' registers (rare path, tiny table).
@@ -237,6 +250,7 @@ class ChimeraRuntime:
                 cpu.cycles += cpu.cost.fault_handling_cost
                 cpu.bump("chimera_faults")
                 self.stats.smile_segv_recoveries += 1
+                self._record("smile_segv_recovery")
                 return True
         return False
 
@@ -248,6 +262,7 @@ class ChimeraRuntime:
             cpu.cycles += cpu.cost.fault_handling_cost
             cpu.bump("chimera_faults")
             self.stats.smile_sigill_recoveries += 1
+            self._record("smile_sigill_recovery")
             return True
         if fault.kind == "unsupported-extension":
             return self._rewrite_at_runtime(process, cpu)
@@ -261,6 +276,7 @@ class ChimeraRuntime:
         cpu.cycles += cpu.cost.trap_cost
         cpu.bump("traps")
         self.stats.trap_redirects += 1
+        self._record("trap_redirect")
         return True
 
     # -- lazy rewriting -------------------------------------------------------
@@ -282,6 +298,7 @@ class ChimeraRuntime:
             # Structured degradation: corrupted rewriting metadata must
             # never escape as a bare KeyError traceback.
             self.stats.unrecoverable_faults += 1
+            self._record("unrecoverable_fault")
             raise UnrecoverableFault(
                 f"runtime rewrite at {cpu.pc:#x}: rewriting metadata is corrupt",
                 pc=cpu.pc,
@@ -317,6 +334,7 @@ class ChimeraRuntime:
         cpu.cycles += cpu.cost.fault_handling_cost * 4  # rewrite is heavier
         cpu.bump("runtime_rewrites")
         self.stats.runtime_rewrites += 1
+        self._record("runtime_rewrite")
         return True
 
     def _sync_section(self, process: Process, new: Binary, name: str, perm: Perm) -> None:
@@ -367,6 +385,7 @@ class ChimeraRuntime:
         if cpu.get_reg(Reg.GP) != self.gp_value:
             cpu.set_reg(Reg.GP, self.gp_value)
             self.stats.signals_gp_restored += 1
+            self._record("signal_gp_restored")
 
 
 def _profile_by_name(name: str):

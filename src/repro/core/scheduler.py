@@ -44,6 +44,7 @@ from repro.resilience.policy import DEFAULT_RETRY_POLICY, ResilienceStats, Retry
 from repro.resilience.seeds import resolve_seed
 from repro.sim.cost import ArchParams, DEFAULT_ARCH
 from repro.sim.faults import UnrecoverableFault
+from repro.telemetry import MetricsRegistry, current as telemetry_current
 
 
 @dataclass(frozen=True)
@@ -148,11 +149,11 @@ class WorkStealingScheduler:
         idle: set[int] = set()
         outstanding = len(tasks)
         makespan = 0
-        migrations = 0
-        steals = 0
-        accelerated = 0
         ext_tasks = sum(1 for t in tasks if t.kind == "ext")
-        stats = ResilienceStats()
+        #: Single source of truth for every event counter of this run;
+        #: the result ledger and ResilienceStats are *derived* from it,
+        #: so the two can no longer drift apart.
+        m = MetricsRegistry()
         quarantined: set[int] = set()
         flake_counts = [0] * n
         task_faults: dict[int, UnrecoverableFault] = {}
@@ -201,11 +202,11 @@ class WorkStealingScheduler:
         def quarantine(w: int) -> None:
             if w not in quarantined:
                 quarantined.add(w)
-                stats.quarantines += 1
+                m.inc("resilience.quarantines")
 
         def declare_unrecoverable(pending: _Pending, reason: str) -> None:
             nonlocal outstanding
-            stats.unrecoverable_tasks += 1
+            m.inc("resilience.unrecoverable_tasks")
             task_faults[pending.task.task_id] = UnrecoverableFault(
                 reason, attempts=pending.attempt)
             outstanding -= 1
@@ -241,9 +242,9 @@ class WorkStealingScheduler:
                 pool = other
                 pinned = False
             backoff = policy.backoff(attempt - 1)
-            stats.retries += 1
-            stats.backoff_cycles += backoff
-            stats.migrations += 1
+            m.inc("resilience.retries")
+            m.inc("resilience.backoff_cycles", backoff)
+            m.inc("resilience.migrations")
             queues[bool(pool)].append(_Pending(
                 task, pinned=pinned, attempt=attempt,
                 not_before=now + backoff, first_start=pending.first_start))
@@ -254,6 +255,8 @@ class WorkStealingScheduler:
             if w in quarantined:
                 continue
             my_pool = is_ext[w]
+            m.observe("sched.queue_depth", len(queues[my_pool]),
+                      pool="ext" if my_pool else "base")
             taken = take(w, my_pool, now)
             if taken is None:
                 later = next_ready(my_pool, now)
@@ -289,7 +292,7 @@ class WorkStealingScheduler:
                             pending, f"task {task.task_id}: needs an "
                                      "extension core but none is live")
                         continue
-                    migrations += 1
+                    m.inc("sched.migrations", reason="fam-unsupported")
                     queues[True].append(_Pending(
                         task, pinned=True, attempt=pending.attempt,
                         first_start=pending.first_start))
@@ -317,7 +320,7 @@ class WorkStealingScheduler:
             # The worker may fail mid-task (resilience failure plan).
             struck = failures.check(w, start) if failures is not None else None
             if struck is not None:
-                stats.core_faults += 1
+                m.inc("resilience.core_faults", core=w)
                 burn = int(cost * failures.fail_fraction)
                 end = start + burn
                 busy[w] += end - now
@@ -339,9 +342,10 @@ class WorkStealingScheduler:
             busy[w] += end - now
             free_at[w] = end
             outstanding -= 1
-            steals += int(stolen)
+            if stolen:
+                m.inc("sched.steals", core=w)
             if task.kind == "ext" and model.accelerated(task.kind, my_pool):
-                accelerated += 1
+                m.inc("sched.accelerated_ext_tasks")
             makespan = max(makespan, end)
             heapq.heappush(heap, (end, w))
 
@@ -353,15 +357,19 @@ class WorkStealingScheduler:
                     pending, f"task {pending.task.task_id}: stranded — no "
                              "live core can run it")
 
+        stats = ResilienceStats.from_metrics(m)
+        telemetry = telemetry_current()
+        if telemetry.enabled:
+            telemetry.metrics.merge(m, engine="des", system=model.name)
         return ScheduleResult(
             system=model.name,
             makespan=makespan,
             cpu_time=sum(busy),
             tasks_total=len(tasks),
             ext_tasks=ext_tasks,
-            accelerated_ext_tasks=accelerated,
-            migrations=migrations,
-            steals=steals,
+            accelerated_ext_tasks=m.total("sched.accelerated_ext_tasks"),
+            migrations=m.total("sched.migrations"),
+            steals=m.total("sched.steals"),
             per_core_busy=busy,
             unrecoverable=stats.unrecoverable_tasks,
             task_faults=task_faults,

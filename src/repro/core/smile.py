@@ -37,6 +37,7 @@ from repro.isa.encoding import encode
 from repro.isa.fields import p16, sign_extend
 from repro.isa.instructions import Instruction
 from repro.isa.registers import Reg
+from repro.telemetry import current as telemetry_current
 
 #: With the P3 constraint, sext(J) ranges over these two windows.
 _J_BASES = (0x200, 0x300)  # J[9]=1 required; J[8] free
@@ -109,6 +110,17 @@ def achievable_targets(tramp_addr: int, *, compressed: bool) -> tuple[int, ...]:
     return tuple(residues)
 
 
+def _record_trampoline(tramp: "SmileTrampoline") -> None:
+    """Count a successfully encoded SMILE trampoline in the telemetry."""
+    telemetry = telemetry_current()
+    if telemetry.enabled:
+        telemetry.metrics.inc(
+            "smile.trampolines",
+            variant="compressed" if tramp.compressed_safe else "unconstrained",
+            reg=f"x{tramp.reg}",
+        )
+
+
 def build_smile(tramp_addr: int, target: int, *, compressed: bool,
                 reg: int = int(Reg.GP)) -> SmileTrampoline:
     """Construct the SMILE trampoline at *tramp_addr* reaching *target*.
@@ -131,6 +143,7 @@ def build_smile(tramp_addr: int, target: int, *, compressed: bool,
         tramp = SmileTrampoline(tramp_addr, target, hi, lo & 0xFFF,
                                 compressed_safe=False, reg=reg)
         _verify(tramp, compressed=False)
+        _record_trampoline(tramp)
         return tramp
     for base in _J_BASES:
         for low in range(_J_LOW_SPAN):
@@ -146,6 +159,7 @@ def build_smile(tramp_addr: int, target: int, *, compressed: bool,
             tramp = SmileTrampoline(tramp_addr, target, u, j,
                                     compressed_safe=True, reg=reg)
             _verify(tramp, compressed=True)
+            _record_trampoline(tramp)
             return tramp
     raise SmilePlacementError(
         f"no SMILE encoding from {tramp_addr:#x} to {target:#x} under compressed constraints"

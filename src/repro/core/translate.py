@@ -28,6 +28,8 @@ from typing import Iterator
 from repro.isa.encoding import decode_vtype
 from repro.isa.instructions import Instruction
 from repro.isa.registers import Reg, reg_name
+from repro.telemetry import current as telemetry_current
+from repro.telemetry.exec_trace import instruction_class
 
 #: Byte offsets inside the .chimera.vregs region.
 VREG_SIZE = 32          # one 256-bit register image
@@ -93,6 +95,7 @@ class Translator:
         self.ctx = ctx
         self.mode = mode
         self._block_counter = 0
+        self._probing = False
 
     # -- public ---------------------------------------------------------
 
@@ -102,6 +105,13 @@ class Translator:
         The text includes the FILO stack save/restore of the scratch
         registers; the caller wraps it with gp-restore and trampolines.
         """
+        telemetry = telemetry_current()
+        if telemetry.enabled and not self._probing:
+            telemetry.metrics.inc(
+                "translate.instructions",
+                mode=self.mode,
+                **{"class": instruction_class(instr)},
+            )
         self._block_counter += 1
         labels = _LabelFactory(f"t{self._block_counter}")
         if self.mode == "empty":
@@ -134,11 +144,14 @@ class Translator:
 
     def can_translate(self, instr: Instruction) -> bool:
         """True if a downgrade template exists for *instr*."""
+        self._probing = True  # capability probe, not a real translation
         try:
             self.translate(instr)
             return True
         except TranslationError:
             return False
+        finally:
+            self._probing = False
 
     # -- helpers -------------------------------------------------------
 

@@ -26,6 +26,7 @@ from repro.elf.binary import Perm
 from repro.sim.cpu import Cpu
 from repro.sim.faults import CheckpointCorruptFault
 from repro.sim.machine import Process, SignalFrame
+from repro.telemetry import current as telemetry_current
 
 
 @dataclass
@@ -96,6 +97,13 @@ class Checkpoint:
             runtime_state=export() if export is not None else None,
         )
         ck.checksum = ck._digest()
+        telemetry = telemetry_current()
+        if telemetry.enabled:
+            telemetry.metrics.inc("resilience.checkpoints")
+            telemetry.metrics.observe(
+                "resilience.checkpoint_bytes",
+                sum(len(seg.data) for seg in ck.segments),
+            )
         return ck
 
     # -- integrity ----------------------------------------------------------

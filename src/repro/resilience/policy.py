@@ -83,6 +83,18 @@ class ResilienceStats:
     def as_dict(self) -> dict[str, int]:
         return dict(vars(self))
 
+    @classmethod
+    def from_metrics(cls, registry) -> "ResilienceStats":
+        """Derive the ledger from a run-local metrics registry.
+
+        Each field is the sum of the ``resilience.<field>`` counter
+        across its label sets, making the registry the single source of
+        truth — the schedulers no longer maintain parallel tallies that
+        can drift from the metrics they report.
+        """
+        fields = cls.__dataclass_fields__
+        return cls(**{name: registry.total(f"resilience.{name}") for name in fields})
+
     def merge(self, other: "ResilienceStats") -> None:
         for key, value in vars(other).items():
             setattr(self, key, getattr(self, key) + value)

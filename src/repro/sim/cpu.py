@@ -81,6 +81,10 @@ class Cpu:
         #: Optional address tags: executing a tagged address bumps the
         #: named counter (used to count e.g. ARMore trampoline bounces).
         self.tag_addrs: dict[int, str] = {}
+        #: When True, decode-cache misses bump the ``decode_misses``
+        #: counter.  Off by default — telemetry flips it on so existing
+        #: tests asserting exact counter contents are unaffected.
+        self.count_decode = False
         # decode cache: addr -> (instr, handler, tag, seg, seg_version)
         self._dcache: dict[int, tuple[Instruction, Callable, Optional[str], object, int]] = {}
 
@@ -116,6 +120,8 @@ class Cpu:
             if seg.version == version:
                 return instr, handler, tag
         seg = self.space.fetch_segment(pc)  # raises SegmentationFault(exec)
+        if self.count_decode:
+            self.bump("decode_misses")
         try:
             instr = decode(seg.data, pc - seg.base, addr=pc)
         except IllegalEncodingError as exc:

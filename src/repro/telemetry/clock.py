@@ -1,0 +1,70 @@
+"""The two clocks telemetry spans run on.
+
+* :class:`WallClock` — microseconds of real time since the clock's
+  epoch (``time.perf_counter_ns``-backed, monotonic).
+* :class:`SimCycleClock` — the *simulated* cycle counter of whatever CPU
+  is currently executing.  The kernel binds it to ``cpu.cycles`` for the
+  duration of a run (:meth:`bind`), so spans opened inside simulation
+  carry cycle timestamps alongside wall time; outside a run it holds the
+  last value it saw, keeping the series monotonic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class WallClock:
+    """Monotonic wall time in integer microseconds since construction."""
+
+    def __init__(self):
+        self._epoch_ns = time.perf_counter_ns()
+
+    def now_us(self) -> int:
+        return (time.perf_counter_ns() - self._epoch_ns) // 1000
+
+
+class SimCycleClock:
+    """Simulated-cycle time, fed by a bindable cycle source.
+
+    ``now()`` never goes backwards: when no source is bound (or a new
+    run rebinds to a CPU whose counter starts at 0) the clock returns
+    ``offset + source()`` where *offset* is advanced at each rebind to
+    the high-water mark, so spans across several sequential simulations
+    still nest monotonically.
+    """
+
+    def __init__(self):
+        self._source: Optional[Callable[[], int]] = None
+        self._offset = 0
+        self._last = 0
+
+    def now(self) -> int:
+        if self._source is not None:
+            value = self._offset + self._source()
+            if value > self._last:
+                self._last = value
+        return self._last
+
+    def bind(self, source: Callable[[], int]) -> "_CycleBinding":
+        """Bind *source* (e.g. ``lambda: cpu.cycles``); returns a context
+        manager restoring the previous binding on exit."""
+        previous = self._source
+        self._offset = self._last
+        self._source = source
+        return _CycleBinding(self, previous)
+
+
+class _CycleBinding:
+    def __init__(self, clock: SimCycleClock, previous):
+        self._clock = clock
+        self._previous = previous
+
+    def __enter__(self) -> SimCycleClock:
+        return self._clock
+
+    def __exit__(self, *exc) -> None:
+        self._clock.now()  # latch the high-water mark before unbinding
+        self._clock._offset = self._clock._last
+        self._clock._source = self._previous

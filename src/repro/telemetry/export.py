@@ -1,0 +1,101 @@
+"""Serialisation of a telemetry session to ``trace.json`` + ``metrics.json``.
+
+``trace.json`` is Chrome ``trace_event`` JSON (object format) — drag it
+into chrome://tracing or https://ui.perfetto.dev.  ``metrics.json``
+follows the ``repro.telemetry/metrics/v1`` schema documented in
+DESIGN.md; :func:`validate_metrics` checks a payload against it (used by
+the CI smoke step and the integration tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+METRICS_SCHEMA = "repro.telemetry/metrics/v1"
+
+TRACE_FILENAME = "trace.json"
+METRICS_FILENAME = "metrics.json"
+
+_HISTOGRAM_STATS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+
+
+def metrics_payload(registry) -> dict:
+    """The ``metrics.json`` payload for *registry* (schema v1)."""
+    payload = registry.as_dict()
+    payload["schema"] = METRICS_SCHEMA
+    return payload
+
+
+def write_telemetry(telemetry, outdir) -> dict:
+    """Dump *telemetry* into *outdir*; returns ``{"trace": path, "metrics": path}``."""
+    outdir = os.fspath(outdir)
+    os.makedirs(outdir, exist_ok=True)
+    trace_path = os.path.join(outdir, TRACE_FILENAME)
+    metrics_path = os.path.join(outdir, METRICS_FILENAME)
+    with open(trace_path, "w", encoding="utf-8") as fh:
+        json.dump(telemetry.tracer.to_chrome(), fh, indent=1)
+        fh.write("\n")
+    with open(metrics_path, "w", encoding="utf-8") as fh:
+        json.dump(metrics_payload(telemetry.metrics), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return {"trace": trace_path, "metrics": metrics_path}
+
+
+def validate_metrics(payload) -> list[str]:
+    """Schema-check a ``metrics.json`` payload; returns problem strings
+    (empty list == valid)."""
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != METRICS_SCHEMA:
+        errors.append(f"schema must be {METRICS_SCHEMA!r}, got {payload.get('schema')!r}")
+
+    def check_entries(kind: str, value_check) -> None:
+        entries = payload.get(kind)
+        if not isinstance(entries, list):
+            errors.append(f"{kind} must be a list")
+            return
+        for i, entry in enumerate(entries):
+            where = f"{kind}[{i}]"
+            if not isinstance(entry, dict):
+                errors.append(f"{where} must be an object")
+                continue
+            if not isinstance(entry.get("name"), str) or not entry.get("name"):
+                errors.append(f"{where}.name must be a non-empty string")
+            labels = entry.get("labels")
+            if not isinstance(labels, dict) or not all(
+                isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+            ):
+                errors.append(f"{where}.labels must map strings to strings")
+            value_check(where, entry)
+
+    def check_number(where: str, entry: dict) -> None:
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}.value must be a number")
+
+    def check_stats(where: str, entry: dict) -> None:
+        stats = entry.get("stats")
+        if not isinstance(stats, dict):
+            errors.append(f"{where}.stats must be an object")
+            return
+        for key in _HISTOGRAM_STATS:
+            value = stats.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{where}.stats.{key} must be a number")
+
+    check_entries("counters", check_number)
+    check_entries("gauges", check_number)
+    check_entries("histograms", check_stats)
+    return errors
+
+
+def validate_metrics_file(path) -> list[str]:
+    """:func:`validate_metrics` on a JSON file; parse failures are errors."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    return validate_metrics(payload)

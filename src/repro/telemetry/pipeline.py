@@ -1,0 +1,156 @@
+"""End-to-end traced pipeline: build → rewrite → execute → schedule.
+
+``python -m repro trace <workload>`` (and ``run <workload>
+--telemetry-out DIR``) drive one workload through every instrumented
+layer and dump the combined telemetry:
+
+1. **build** — construct the workload binary (extension variant);
+2. **rewrite** — CHBP-patch it for the base-core profile
+   (``patch.trampolines{kind=...}``, ``translate.instructions{...}``);
+3. **execute** — run the rewritten binary on a base core with the
+   Chimera runtime installed, so SMILE trampolines actually fire
+   (``cpu.instret{class=...}``, ``sim.faults{type=...}``,
+   ``runtime.events{kind=...}``);
+4. **schedule** — a small measured work-stealing probe over an
+   asymmetric two-core taskset with a flaky core, exercising steals,
+   checkpointing, and retries (``sched.steals{core=...}``,
+   ``resilience.retries``, ``resilience.checkpoint_bytes``).
+
+The result is one trace/metrics pair whose series span all four layers
+— :func:`verify_four_layers` checks exactly that (the repo's acceptance
+gate and the CI smoke test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry import Telemetry, use
+
+
+def resolve_workload(name: str, *, variant: str = "ext", scale: int = 128):
+    """Build a workload binary by kernel name or synthetic-profile name."""
+    from repro.workloads.programs import ALL_WORKLOADS
+    from repro.workloads.spec_profiles import PROFILES
+    from repro.workloads.synthetic import SyntheticBinary
+
+    if name in ALL_WORKLOADS:
+        return ALL_WORKLOADS[name].build(variant)
+    if name in PROFILES:
+        return SyntheticBinary(PROFILES[name], scale=scale).build()
+    choices = sorted(ALL_WORKLOADS) + sorted(PROFILES)
+    raise ValueError(f"unknown workload {name!r}; choose from {choices}")
+
+
+@dataclass
+class TracedRun:
+    """Outcome of one traced pipeline run."""
+
+    workload: str
+    exit_code: int
+    cycles: int
+    instret: int
+    counters: dict = field(default_factory=dict)
+    fault: object = None
+    output: bytes = b""
+    telemetry: Telemetry = None
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0 and self.fault is None
+
+
+def run_traced_workload(
+    name: str,
+    *,
+    variant: str = "ext",
+    scale: int = 128,
+    target: str = "rv64gc",
+    max_instructions: int = 50_000_000,
+    telemetry: Telemetry | None = None,
+    probe: bool = True,
+) -> TracedRun:
+    """Drive *name* through the full instrumented pipeline."""
+    from repro.core.rewriter import ChimeraRewriter
+    from repro.core.runtime import ChimeraRuntime
+    from repro.elf.loader import make_process
+    from repro.isa.extensions import PROFILES as ISA_PROFILES
+    from repro.sim.machine import Core, Kernel
+
+    profile = ISA_PROFILES[target]
+    telemetry = telemetry or Telemetry()
+    with use(telemetry):
+        with telemetry.span("trace.pipeline", workload=name):
+            with telemetry.span("trace.build", workload=name, variant=variant):
+                binary = resolve_workload(name, variant=variant, scale=scale)
+
+            rewriter = ChimeraRewriter()
+            rewrite = rewriter.rewrite(binary, profile)
+
+            with telemetry.span("trace.execute", core=target):
+                kernel = Kernel()
+                ChimeraRuntime(
+                    rewrite.binary, rewriter=rewriter, original=binary
+                ).install(kernel)
+                process = make_process(rewrite.binary)
+                result = kernel.run(process, Core(0, profile),
+                                    max_instructions=max_instructions)
+
+            if probe:
+                with telemetry.span("trace.schedule_probe"):
+                    _scheduling_probe()
+
+    return TracedRun(
+        workload=name,
+        exit_code=result.exit_code,
+        cycles=result.cycles,
+        instret=result.instret,
+        counters=dict(result.counters),
+        fault=result.fault,
+        output=result.output,
+        telemetry=telemetry,
+    )
+
+
+def _scheduling_probe(seed: int = 1) -> None:
+    """A small measured work-stealing run with one flaky core.
+
+    One base + one extension core over an asymmetric mix: the extension
+    core drains its short queue and then steals base tasks (non-zero
+    ``sched.steals``), while the flake on the base core forces a
+    checkpoint + retry (non-zero ``resilience.retries`` and
+    ``resilience.checkpoint_bytes``).
+    """
+    from repro.core.machine_runner import HeteroTask, MeasuredScheduler
+    from repro.resilience.failures import CoreFailureInjector
+
+    tasks = [HeteroTask(i, "base", 200) for i in range(4)]
+    tasks += [HeteroTask(4 + i, "ext", 4) for i in range(2)]
+    injector = CoreFailureInjector.flake(
+        0, count=1, after_instructions=80, seed=seed)
+    scheduler = MeasuredScheduler(1, 1, max_instructions=200_000)
+    scheduler.run(tasks, "chimera", injector=injector)
+
+
+#: Metric totals that must be non-zero for each pipeline layer.
+LAYER_REQUIREMENTS: dict[str, tuple[str, ...]] = {
+    "rewriting": ("patch.trampolines",),
+    "scheduling": ("sched.steals",),
+    "simulation": ("cpu.instret", "sim.faults"),
+    "resilience": ("resilience.retries", "resilience.checkpoints"),
+}
+
+
+def verify_four_layers(metrics) -> list[str]:
+    """Check that *metrics* carries non-zero series from all four layers.
+
+    Returns the missing requirements as ``layer:metric`` strings — empty
+    means the ledger spans rewriting, scheduling, simulation, and
+    resilience.
+    """
+    missing = []
+    for layer, names in LAYER_REQUIREMENTS.items():
+        for metric in names:
+            if metrics.total(metric) <= 0:
+                missing.append(f"{layer}:{metric}")
+    return missing

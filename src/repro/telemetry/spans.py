@@ -1,0 +1,155 @@
+"""Nested spans with wall-time and sim-cycle timestamps.
+
+A span covers one phase of the pipeline (``rewrite``, ``analysis.scan``,
+``sim.run``, ...).  Spans nest: opening a span inside another records
+the parent relationship via depth, and the exporter emits Chrome
+``trace_event`` complete events (``ph: "X"``) that chrome://tracing and
+Perfetto render as a flame graph.  Every span carries both clocks: wall
+microseconds (the event's ``ts``/``dur``) and simulated cycles (in
+``args``), so a trace answers "where did the wall time go" and "where
+did the simulated cycles go" at once.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.telemetry.clock import SimCycleClock, WallClock
+
+
+@dataclass
+class Span:
+    """One timed phase; ``end_us`` is None while the span is open."""
+
+    name: str
+    start_us: int
+    start_cycles: int
+    depth: int
+    args: dict = field(default_factory=dict)
+    end_us: Optional[int] = None
+    end_cycles: Optional[int] = None
+
+    @property
+    def duration_us(self) -> int:
+        return (self.end_us - self.start_us) if self.end_us is not None else 0
+
+    @property
+    def duration_cycles(self) -> int:
+        return (self.end_cycles - self.start_cycles) if self.end_cycles is not None else 0
+
+    @property
+    def closed(self) -> bool:
+        return self.end_us is not None
+
+
+class SpanTracer:
+    """Records a tree of spans against both clocks."""
+
+    def __init__(self, wall: Optional[WallClock] = None,
+                 cycles: Optional[SimCycleClock] = None):
+        self.wall = wall or WallClock()
+        self.cycles = cycles or SimCycleClock()
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def begin(self, name: str, **args) -> Span:
+        span = Span(
+            name=name,
+            start_us=self.wall.now_us(),
+            start_cycles=self.cycles.now(),
+            depth=len(self._stack),
+            args=dict(args),
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close *span* (and anything still open beneath it)."""
+        while self._stack:
+            top = self._stack.pop()
+            top.end_us = self.wall.now_us()
+            top.end_cycles = self.cycles.now()
+            if top is span:
+                break
+        return span
+
+    @contextmanager
+    def span(self, name: str, **args):
+        span = self.begin(name, **args)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def completed(self) -> list[Span]:
+        return [s for s in self.spans if s.closed]
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    # -- Chrome trace_event export ----------------------------------------
+
+    def to_chrome(self, *, pid: int = 1, tid: int = 1) -> dict:
+        """The ``trace.json`` payload: Chrome trace_event JSON object
+        format, loadable in chrome://tracing and Perfetto."""
+        events = []
+        for span in self.spans:
+            if not span.closed:
+                continue
+            args = dict(span.args)
+            args["cycles_start"] = span.start_cycles
+            args["cycles"] = span.duration_cycles
+            events.append({
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.duration_us,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"source": "repro.telemetry", "schema": "chrome-trace-event"},
+        }
+
+
+def spans_from_chrome(payload: dict) -> list[Span]:
+    """Rebuild :class:`Span` objects from an exported Chrome trace.
+
+    Depth is recovered from ``ph:"X"`` interval containment (the same
+    nesting Perfetto renders); used by the round-trip tests and by
+    tooling that diffs two traces.
+    """
+    spans: list[Span] = []
+    events = [e for e in payload.get("traceEvents", ()) if e.get("ph") == "X"]
+    events.sort(key=lambda e: (e["ts"], -e["dur"]))
+    open_stack: list[tuple[int, int]] = []  # (ts, end)
+    for event in events:
+        ts, dur = event["ts"], event["dur"]
+        while open_stack and ts >= open_stack[-1][1]:
+            open_stack.pop()
+        args = dict(event.get("args", {}))
+        cycles_start = args.pop("cycles_start", 0)
+        cycles = args.pop("cycles", 0)
+        spans.append(Span(
+            name=event["name"],
+            start_us=ts,
+            start_cycles=cycles_start,
+            depth=len(open_stack),
+            args=args,
+            end_us=ts + dur,
+            end_cycles=cycles_start + cycles,
+        ))
+        open_stack.append((ts, ts + dur))
+    return spans

@@ -1,0 +1,100 @@
+"""Integration tests for the telemetry subsystem across the pipeline.
+
+The ISSUE's acceptance gates, executed for real: one traced workload
+must light up non-zero series from all four layers (rewriting,
+scheduling, simulation, resilience), the written artifacts must be a
+valid Chrome trace + schema-v1 metrics document, and the chaos
+sweeper's metrics ledger must agree exactly with the sweep report's
+outcome taxonomy — the same single-source-of-truth property the
+scheduler stats got.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import sweep_binary
+from repro.telemetry import Telemetry, use
+from repro.telemetry.export import validate_metrics_file
+from repro.telemetry.pipeline import (
+    run_traced_workload,
+    verify_four_layers,
+)
+from repro.telemetry.spans import spans_from_chrome
+from repro.workloads.programs import ALL_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return run_traced_workload("dot")
+
+
+class TestFourLayers:
+    def test_workload_completes(self, traced):
+        assert traced.ok, (traced.exit_code, traced.fault)
+        assert traced.instret > 0
+
+    def test_all_four_layers_nonzero(self, traced):
+        missing = verify_four_layers(traced.telemetry.metrics)
+        assert missing == [], f"layers without series: {missing}"
+
+    def test_instruction_classes_recorded(self, traced):
+        metrics = traced.telemetry.metrics
+        classes = {labels["class"] for labels, _ in metrics.series("cpu.instret")}
+        assert "base" in classes
+        assert metrics.total("cpu.instret") > 0
+
+    def test_span_tree_covers_pipeline_phases(self, traced):
+        tracer = traced.telemetry.tracer
+        for name in ("trace.pipeline", "trace.build", "trace.execute",
+                     "trace.schedule_probe", "rewrite", "sim.run"):
+            assert tracer.find(name), f"missing span {name}"
+        pipeline = tracer.find("trace.pipeline")[0]
+        execute = tracer.find("trace.execute")[0]
+        assert pipeline.depth < execute.depth
+        assert pipeline.start_us <= execute.start_us
+        assert execute.end_us <= pipeline.end_us
+
+
+class TestArtifacts:
+    def test_written_files_validate(self, traced, tmp_path):
+        paths = traced.telemetry.write(tmp_path)
+        assert validate_metrics_file(paths["metrics"]) == []
+        with open(paths["trace"]) as fh:
+            trace = json.load(fh)
+        events = trace["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        rebuilt = spans_from_chrome(trace)
+        assert len(rebuilt) == len(traced.telemetry.tracer.completed)
+
+    def test_metrics_payload_matches_registry(self, traced, tmp_path):
+        paths = traced.telemetry.write(tmp_path)
+        with open(paths["metrics"]) as fh:
+            payload = json.load(fh)
+        ledger = {
+            (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+            for c in payload["counters"]
+        }
+        metrics = traced.telemetry.metrics
+        for (name, labels), value in ledger.items():
+            assert metrics.counter(name, **dict(labels)) == value
+
+
+class TestChaosLedger:
+    def test_sweep_metrics_match_outcome_taxonomy(self):
+        """chaos.outcomes{mode,outcome} must equal SweepReport.counts()
+        exactly — the metrics ledger and the report are two views of the
+        same attacks."""
+        binary = ALL_WORKLOADS["dot"].build("ext")
+        telemetry = Telemetry()
+        with use(telemetry):
+            report = sweep_binary(binary, mode="smile")
+        assert report.results, "dot must have patched regions to attack"
+        counts = {k: v for k, v in report.counts().items() if v}
+        ledger = {
+            labels["outcome"]: value
+            for labels, value in telemetry.metrics.series("chaos.outcomes")
+            if labels["mode"] == "smile"
+        }
+        assert ledger == counts
+        assert telemetry.metrics.total("chaos.outcomes") == len(report.results)

@@ -1,5 +1,9 @@
 """CLI exit codes: failures must be visible to shells and CI, not just
-printed — ``run``/``chaos``/``resilience`` return nonzero on failure."""
+printed — ``run``/``chaos``/``resilience`` return nonzero on failure.
+``run --json`` must keep the same semantics while emitting machine-
+readable output."""
+
+import json
 
 import pytest
 
@@ -36,6 +40,39 @@ class TestRunExitCodes:
 
     def test_guest_success_exit_code_zero(self, tmp_path):
         assert main(["run", exit_image(tmp_path, 0), "--core", "rv64gc"]) == 0
+
+
+class TestRunJsonMode:
+    def test_success_emits_parseable_json(self, tmp_path, capsys):
+        path = tmp_path / "ok.self"
+        save_binary(FibonacciWorkload(iterations=20).build("base"), path)
+        code = main(["run", str(path), "--core", "rv64gc", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["exit_code"] == 0 and payload["ok"] is True
+        assert payload["cycles"] > 0 and payload["instret"] > 0
+        assert payload["fault"] is None
+        assert all(v for v in payload["counters"].values())
+
+    def test_guest_failure_reflected_in_json_and_exit_code(self, tmp_path, capsys):
+        code = main(["run", exit_image(tmp_path, 3), "--core", "rv64gc", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["exit_code"] == 3 and payload["ok"] is False
+
+    def test_workload_name_run_includes_workload_field(self, capsys):
+        code = main(["run", "dot", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["workload"] == "dot"
+
+    def test_telemetry_out_writes_artifacts(self, tmp_path, capsys):
+        outdir = tmp_path / "t"
+        code = main(["run", "dot", "--json", "--telemetry-out", str(outdir)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0 and payload["ok"] is True
+        assert (outdir / "trace.json").exists()
+        assert (outdir / "metrics.json").exists()
 
 
 class TestChaosExitCodes:
