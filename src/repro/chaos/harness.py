@@ -28,6 +28,7 @@ from repro.chaos.injector import (
     PcAssertionInjector,
     SignalMidTrampolineInjector,
     StaleDecodeCacheInjector,
+    TrampolineBitrotInjector,
 )
 from repro.chaos.outcomes import ChaosReport, ScenarioResult, SweepReport
 from repro.chaos.sweeper import TrampolineAttackSweeper
@@ -57,13 +58,28 @@ def sweep_binary(
     target: IsaProfile = RV64GC,
     max_regions: int = 0,
     injector=None,
+    verify: bool = True,
 ) -> SweepReport:
-    """Rewrite *original* for *target* under *mode* and sweep it."""
+    """Rewrite *original* for *target* under *mode* and sweep it.
+
+    With *verify* (the default) the static admission gate runs first and
+    its ledger is cross-checked against the sweep: a hard failure inside
+    an admitted region escalates to ``admission-escape``.
+    """
     rewriter = ChimeraRewriter(use_smile=(mode != "trap-fallback"))
     result = rewriter.rewrite(original, target)
+    admitted = None
+    if verify:
+        # Imported lazily: the verify package pulls in the oracle stack,
+        # which this module must not depend on at import time.
+        from repro.verify.admission import AdmissionGate
+
+        admitted = AdmissionGate(
+            original, result.binary, oracle_trials=1,
+        ).verify().admitted_starts
     sweeper = TrampolineAttackSweeper(
         original, result.binary, rewriter=rewriter, max_regions=max_regions,
-        injector=injector,
+        injector=injector, admitted=admitted,
     )
     return sweeper.sweep(mode=mode)
 
@@ -390,6 +406,49 @@ def scenario_interrupt_migration() -> ScenarioResult:
     return ScenarioResult(name, False, "probe never fired / corruption never surfaced")
 
 
+def scenario_self_heal_bitrot() -> ScenarioResult:
+    """Bitrot a trampoline under ``self_heal=True``: the runtime must
+    quarantine exactly that patch and the workload must still finish
+    with the correct output (the tentpole's survivable scenario, the
+    inverse of the kill-expecting corruptions above)."""
+    name = "self-heal-bitrot"
+    binary = build_erroneous_workload()
+    result = ChimeraRewriter().rewrite(binary, RV64GC)
+    regions = result.binary.metadata["chimera"]["patched_regions"]
+    # Only the lowest-addressed SMILE window is on the workload's normal
+    # path (later ones are preserved secondary trampolines that only
+    # erroneous entries reach); bitrot must hit code that executes.
+    smile = sorted(r for r in regions if r[2] in ("smile", "smile-dp"))[:1]
+    try:
+        injector = TrampolineBitrotInjector(smile)
+    except ValueError as exc:
+        return ScenarioResult(name, False, str(exc))
+    kernel = Kernel()
+    runtime = ChimeraRuntime(result.binary, self_heal=True)
+    runtime.install(kernel)
+    process = make_process(result.binary)
+    injector.corrupt(process)
+    res = kernel.run(process, Core(0, RV64GC))
+    if not res.ok:
+        return ScenarioResult(name, False, f"workload died after bitrot: {res.fault!r}")
+    stats = runtime.stats
+    if stats.patch_rollbacks < 1:
+        return ScenarioResult(name, False, "no rollback happened")
+    if stats.unrecoverable_faults:
+        return ScenarioResult(
+            name, False, f"{stats.unrecoverable_faults} unrecoverable faults raised")
+    out = process.space.read_u64(binary.symbol_addr("out"))
+    buf0 = process.space.read_u64(binary.symbol_addr("buf"))
+    buf1 = process.space.read_u64(binary.symbol_addr("buf") + 8)
+    if (out, buf0, buf1) != (2, 40, 80):
+        return ScenarioResult(
+            name, False,
+            f"wrong output after heal: out={out} buf=[{buf0},{buf1}]")
+    return ScenarioResult(
+        name, True,
+        f"quarantined 1 patch ({stats.patch_rollbacks} rollback), output correct")
+
+
 ALL_SCENARIOS = (
     scenario_drop_fault_entries,
     scenario_corrupt_fault_entry,
@@ -398,6 +457,7 @@ ALL_SCENARIOS = (
     scenario_corrupt_signal_frame,
     scenario_stale_decode_cache,
     scenario_interrupt_migration,
+    scenario_self_heal_bitrot,
 )
 
 

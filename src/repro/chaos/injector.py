@@ -247,3 +247,34 @@ class MigrationCorruptionInjector(Injector):
             return
         self.fired = 1
         manager.process.pending_migration = self.bogus
+
+
+class TrampolineBitrotInjector(Injector):
+    """Overwrites a seeded-randomly-chosen SMILE trampoline head with
+    zero parcels (canonically illegal on RISC-V) before the run.
+
+    Expected degradation *with self-healing*: the runtime attributes the
+    SIGILL to that patch, quarantines it back to the trap-fallback
+    encoding, and the workload finishes with correct output — no
+    UnrecoverableFault, exactly one rollback.
+    """
+
+    name = "trampoline-bitrot"
+
+    def __init__(self, regions, *, seed=None):
+        from repro.resilience.seeds import resolve_seed
+
+        smile = [r for r in regions if r[2] in ("smile", "smile-dp")]
+        if not smile:
+            raise ValueError("no SMILE regions to bitrot")
+        import random
+
+        self.target = random.Random(resolve_seed(seed)).choice(smile)
+        self.fired = 0
+
+    def corrupt(self, process) -> int:
+        """Zero the chosen trampoline head in the live address space."""
+        start = self.target[0]
+        process.space.patch_code(start, b"\x00\x00\x00\x00")
+        self.fired = 1
+        return start

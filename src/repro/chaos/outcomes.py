@@ -17,11 +17,16 @@ Every forced entry into a patched region ends in exactly one of:
   failure: robustness means structured degradation, not tracebacks;
 * ``benign-undefined`` — an entry the architecture cannot produce or
   the paper makes no promise about (an odd/mid-instruction offset, or
-  bytes the rewriter left untouched) that ran without crashing.
+  bytes the rewriter left untouched) that ran without crashing;
+* ``admission-escape`` — a hard failure inside a region the static
+  admission gate (:mod:`repro.verify.admission`) *admitted*: the
+  verifier's invariants failed to predict a real divergence.  Always a
+  hard failure, and the loudest one — it means the gate lied.
 
 Only the first four come from the paper's correctness argument; the
 fifth keeps the sweep honest about offsets that are out of scope rather
-than silently folding them into a success bucket.
+than silently folding them into a success bucket, and the sixth
+cross-checks the verifier's ledger against the full P1/P2/P3 sweep.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ DETERMINISTIC_KILL = "deterministic-kill"
 SILENT_DIVERGENCE = "silent-divergence"
 PYTHON_CRASH = "python-crash"
 BENIGN_UNDEFINED = "benign-undefined"
+ADMISSION_ESCAPE = "admission-escape"
 
 ALL_OUTCOMES = (
     RECOVERED_REDIRECT,
@@ -40,10 +46,11 @@ ALL_OUTCOMES = (
     SILENT_DIVERGENCE,
     PYTHON_CRASH,
     BENIGN_UNDEFINED,
+    ADMISSION_ESCAPE,
 )
 
 #: Outcomes that fail a sweep outright.
-HARD_FAILURES = frozenset({SILENT_DIVERGENCE, PYTHON_CRASH})
+HARD_FAILURES = frozenset({SILENT_DIVERGENCE, PYTHON_CRASH, ADMISSION_ESCAPE})
 
 
 @dataclass
@@ -77,6 +84,10 @@ class SweepReport:
     results: list[AttackResult] = field(default_factory=list)
     #: Regions not attacked because of a sampling cap (never silent).
     skipped_regions: int = 0
+    #: Admission-gate cross-check: regions the verifier admitted /
+    #: rejected before the sweep (0/0 when no gate ran).
+    verified_regions: int = 0
+    rejected_regions: int = 0
 
     def counts(self) -> dict[str, int]:
         out = {outcome: 0 for outcome in ALL_OUTCOMES}
@@ -98,6 +109,10 @@ class SweepReport:
         head = (f"[{self.mode}] {self.binary}: {len(self.results)} attacks "
                 f"({', '.join(parts) or 'no patched regions'})")
         lines = [head]
+        if self.verified_regions:
+            lines.append(
+                f"  admission gate: {self.verified_regions} regions admitted, "
+                f"{self.rejected_regions} rejected before the sweep")
         if self.skipped_regions:
             lines.append(f"  note: {self.skipped_regions} regions skipped by --max-regions cap")
         for failure in self.hard_failures:

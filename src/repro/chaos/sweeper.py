@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.chaos.outcomes import (
+    ADMISSION_ESCAPE,
     BENIGN_UNDEFINED,
     DETERMINISTIC_KILL,
     PYTHON_CRASH,
@@ -76,6 +77,7 @@ class TrampolineAttackSweeper:
         rewriter=None,
         max_regions: int = 0,
         injector=None,
+        admitted: Optional[frozenset[int]] = None,
     ):
         meta = rewritten.metadata.get("chimera")
         if meta is None:
@@ -88,6 +90,11 @@ class TrampolineAttackSweeper:
         #: PcAssertionInjector, which asserts fault.pc propagation on
         #: each of the thousands of faults a sweep raises).
         self.injector = injector
+        #: Region starts the static admission gate admitted.  A hard
+        #: failure inside an admitted region escalates to
+        #: ``admission-escape``: every admitted region must survive the
+        #: full P1/P2/P3 sweep, or the verifier's invariants are wrong.
+        self.admitted = admitted
         self.regions: list[tuple[int, int, str]] = [
             tuple(r) for r in meta.get("patched_regions", ())
         ]
@@ -107,10 +114,19 @@ class TrampolineAttackSweeper:
             report.skipped_regions = len(regions) - self.max_regions
             regions = regions[: self.max_regions]
         telemetry = telemetry_current()
+        if self.admitted is not None:
+            swept_starts = {start for start, _, _ in regions}
+            report.verified_regions = len(self.admitted & swept_starts)
+            report.rejected_regions = len(swept_starts - self.admitted)
         for start, end, kind in regions:
             boundaries = self._original_boundaries(start, end)
             for addr in range(start, end):
                 result = self._attack(addr, start, end, kind, boundaries)
+                if (self.admitted is not None and start in self.admitted
+                        and result.outcome in (SILENT_DIVERGENCE, PYTHON_CRASH)):
+                    result.outcome = ADMISSION_ESCAPE
+                    result.detail = ("verifier admitted this region; "
+                                     + result.detail)
                 report.results.append(result)
                 if telemetry.enabled:
                     telemetry.metrics.inc(

@@ -14,6 +14,9 @@ Commands:
   metrics JSON (``--telemetry-out`` on run/chaos/resilience does the
   same for those commands)
 * ``profiles`` — list the SPEC/app profiles and workloads available
+* ``verify``   — static admission gate: check every patched region of a
+  rewrite (encoding, target, CFG, differential oracle) before release,
+  optionally cross-checked against a chaos sweep
 * ``chaos``    — adversarial fault-injection harness: sweep every byte
   of every patched region and run the runtime-corruption scenarios
 * ``resilience`` — core-failure scenarios: kill/flake cores mid-task,
@@ -242,6 +245,46 @@ def _resolve_workload(name: str, *, variant: str = "ext", scale: int = 128):
         raise SystemExit(str(exc))
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.rewriter import ChimeraRewriter
+    from repro.resilience.seeds import replay_hint, resolve_seed
+    from repro.verify import verify_binary
+
+    seed = resolve_seed(args.seed)
+    original = _resolve_workload(args.workload, scale=args.scale)
+    target = _isa(args.target)
+    scope, telemetry = _telemetry_scope(args)
+    with scope:
+        rewritten = ChimeraRewriter().rewrite(original, target).binary
+        report = verify_binary(
+            original, rewritten, seed=seed,
+            oracle_trials=args.oracle_trials,
+            max_oracle_regions=args.max_oracle_regions,
+        )
+        escapes = 0
+        if args.sweep_check:
+            from repro.chaos.harness import SWEEP_MODES, sweep_binary
+            from repro.chaos.outcomes import ADMISSION_ESCAPE
+
+            for mode in SWEEP_MODES:
+                sweep = sweep_binary(original, mode=mode, target=target)
+                escapes += sum(1 for r in sweep.results
+                               if r.outcome == ADMISSION_ESCAPE)
+                print(sweep.summary())
+    if telemetry is not None:
+        _write_telemetry(telemetry, args.telemetry_out)
+    print(report.summary())
+    if args.report:
+        report.write_json(args.report)
+        print(f"verify: wrote {args.report}", file=sys.stderr)
+    if args.sweep_check:
+        print(f"sweep cross-check: {escapes} admission escape(s)")
+    if not report.ok or escapes:
+        print(f"seed: {seed} — {replay_hint(seed)}")
+        return 1
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import run_chaos
     from repro.resilience.seeds import replay_hint, resolve_seed
@@ -369,6 +412,28 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("profiles", help="list workloads and benchmark profiles")
     p.set_defaults(fn=cmd_profiles)
+
+    p = sub.add_parser(
+        "verify",
+        help="static admission gate: verify every patched region of a "
+             "rewrite before release")
+    p.add_argument("workload", help="kernel workload or synthetic-profile name")
+    p.add_argument("--target", default="rv64gc", help="base core the rewrite targets")
+    p.add_argument("--scale", type=int, default=128, help="synthetic-profile code-size divisor")
+    p.add_argument("--seed", type=int, default=None,
+                   help="oracle randomization seed (default: $REPRO_FUZZ_SEED, else 0)")
+    p.add_argument("--oracle-trials", type=int, default=2,
+                   help="differential-oracle trials per region")
+    p.add_argument("--max-oracle-regions", type=int, default=0,
+                   help="cap oracle-checked regions (0 = all; skips are reported)")
+    p.add_argument("--report", metavar="FILE", default=None,
+                   help="write the full verifier report as JSON")
+    p.add_argument("--sweep-check", action="store_true",
+                   help="also run the chaos sweeps and fail on any "
+                        "admission-escape in a verified region")
+    p.add_argument("--telemetry-out", metavar="DIR", default=None,
+                   help="write trace.json + metrics.json into DIR")
+    p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("chaos", help="adversarial fault-injection sweep + scenarios")
     p.add_argument("workload", help="kernel workload or synthetic-profile name")

@@ -160,7 +160,10 @@ class MeasuredScheduler:
         binary, runtime_kind = _prepared_binary(system, task.kind, task.size, on_ext)
         if runtime_kind == "chimera":
             def factory(kernel, _b=binary):
-                runtime = ChimeraRuntime(_b)
+                # self_heal: an unexpected fault in a patched region
+                # quarantines that one patch (verified patching) instead
+                # of killing the task with UnrecoverableFault.
+                runtime = ChimeraRuntime(_b, self_heal=True)
                 runtime.install(kernel)
                 return runtime
         elif runtime_kind == "safer":
@@ -367,6 +370,12 @@ class MeasuredScheduler:
             execution = self._execute(system, task, cores[w],
                                       checkpoint=checkpoint,
                                       fail_event=fail_event, injector=injector)
+
+            if execution.patch_rollbacks:
+                m.inc("resilience.patch_rollbacks", execution.patch_rollbacks)
+            if execution.patch_readmissions:
+                m.inc("resilience.patch_readmissions",
+                      execution.patch_readmissions)
 
             if execution.checkpoint_corrupt:
                 # Detected at restore: the core did no work; retry from

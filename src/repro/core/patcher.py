@@ -55,6 +55,7 @@ from repro.isa.instructions import Instruction
 from repro.isa.registers import Reg
 from repro.sim.cost import ArchParams, DEFAULT_ARCH
 from repro.telemetry import current as telemetry_current
+from repro.verify.records import PatchRecord
 
 #: Registers never usable as exit registers (ABI-pinned or special).
 _EXIT_FORBIDDEN = frozenset({int(Reg.ZERO), int(Reg.SP), int(Reg.GP), int(Reg.TP), int(Reg.RA)})
@@ -183,6 +184,10 @@ class ChbpPatcher:
         #: "smile", "smile-dp" or "trap".  The chaos sweeper enumerates
         #: its attack offsets from these.
         self.patched_regions: list[tuple[int, int, str]] = []
+        #: Per-patch provenance collected while patching; finalized into
+        #: frozen :class:`PatchRecord`s after ``_resolve_exits`` (trap
+        #: resume addresses are re-pointed there).
+        self._record_drafts: list[dict] = []
 
     # -- top level --------------------------------------------------------
 
@@ -256,10 +261,39 @@ class ChbpPatcher:
             "migration_unsafe": sorted(self.migration_unsafe),
             "patched_regions": sorted(self.patched_regions),
             "smile_regs": dict(self.smile_regs),
+            "patch_records": self._finalize_records(),
         }
         if telemetry.enabled:
             self._record_metrics(telemetry.metrics)
         return out
+
+    def _finalize_records(self) -> tuple[PatchRecord, ...]:
+        """Freeze the per-patch drafts into admission/rollback records.
+
+        Runs after ``_resolve_exits`` so the trap-table values captured
+        here are the final (fault-table-re-pointed) ones.
+        """
+        records = []
+        for d in self._record_drafts:
+            records.append(PatchRecord(
+                start=d["start"],
+                end=d["end"],
+                kind=d["kind"],
+                original_bytes=bytes(d["original"]),
+                patched_bytes=bytes(d["patched"]),
+                block_addr=d["block"],
+                resume=d["resume"],
+                smile_reg=d["reg"],
+                fault_entries=tuple(d["fault_keys"]),
+                trap_entries=tuple(
+                    (key, self.trap_table[key])
+                    for key in d["trap_keys"] if key in self.trap_table
+                ),
+                sources=tuple(
+                    (addr, bytes(data).hex()) for addr, data in d["sources"]
+                ),
+            ))
+        return tuple(sorted(records, key=lambda r: r.start))
 
     def _record_metrics(self, metrics) -> None:
         """Publish the patch ledger as ``patch.*`` metric series."""
@@ -510,6 +544,7 @@ class ChbpPatcher:
             boundaries = [i.addr for i in window[1:]]
             pad_has_boundary = any(b >= window_start + 8 for b in boundaries)
             patch.extend(padding_parcels(span - 8, boundary_in_padding=pad_has_boundary))
+        original_bytes = text.read(window_start, span)
         text.write(window_start, bytes(patch))
         self.stats.trampolines += 1
 
@@ -517,6 +552,7 @@ class ChbpPatcher:
             kind == "upgrade" and payload.entry_policy == "restart-head"
             for kind, payload in site.elements
         )
+        fault_keys: list[tuple[int, int]] = []
         for baddr in (i.addr for i in window[1:]):
             target = entries.get(baddr)
             if target is None and restart_head:
@@ -525,10 +561,29 @@ class ChbpPatcher:
                 target = window_start
             if target is not None:
                 self.fault_table.add(baddr, target)
+                fault_keys.append((baddr, target))
                 self.stats.table_entries += 1
         self._covered.update(i.addr for i in window)
         self.migration_unsafe.append((window_start, max(window_end, site.end())))
         self.patched_regions.append((window_start, window_end, "smile"))
+        self._record_drafts.append({
+            "kind": "smile",
+            "start": window_start,
+            "end": window_end,
+            "original": original_bytes,
+            "patched": bytes(patch),
+            "block": block_addr,
+            "resume": exit_addr,
+            "reg": int(Reg.GP),
+            "fault_keys": fault_keys,
+            "trap_keys": [],
+            "sources": [
+                (i.addr, original_bytes[i.addr - window_start:
+                                        i.addr - window_start + i.length])
+                for i in site.sources
+                if window_start <= i.addr < window_end
+            ],
+        })
         return True
 
     # -- Fig. 5: SMILE via a general data-pointer register ------------------
@@ -615,6 +670,12 @@ class ChbpPatcher:
         except (TranslationError, SmilePlacementError):
             return False
         self._blocks[block_addr] = block_bytes
+        original_bytes = text.read(window_start, window_end - window_start)
+        # The sources themselves stay original in text (only the pointer
+        # pair is overwritten) — capture them for rollback re-trapping.
+        source_bytes = [
+            (i.addr, text.read(i.addr, i.length)) for i in site.sources
+        ]
         text.write(window_start, tramp.encode())
         self.stats.trampolines += 1
         # P1 = the mem slot; its copied reconstruction is the redirect.
@@ -625,6 +686,19 @@ class ChbpPatcher:
         self._covered.update(i.addr for i in site.sources)
         self.migration_unsafe.append((window_start, max(window_end, site.end())))
         self.patched_regions.append((window_start, window_end, "smile-dp"))
+        self._record_drafts.append({
+            "kind": "smile-dp",
+            "start": window_start,
+            "end": window_end,
+            "original": original_bytes,
+            "patched": tramp.encode(),
+            "block": block_addr,
+            "resume": exit_addr,
+            "reg": reg,
+            "fault_keys": [(mem.addr, entries[mem.addr])],
+            "trap_keys": [],
+            "sources": source_bytes,
+        })
         return True
 
     def _main_path(
@@ -791,9 +865,23 @@ class ChbpPatcher:
                 if instr.length == 2
                 else encode(Instruction("ebreak"))
             )
+            original_bytes = text.read(instr.addr, instr.length)
             text.write(instr.addr, trap)
             self.trap_table[instr.addr] = block_addr
             self.stats.trap_fallbacks += 1
             self._covered.add(instr.addr)
             self.migration_unsafe.append((instr.addr, resume))
             self.patched_regions.append((instr.addr, instr.addr + instr.length, "trap"))
+            self._record_drafts.append({
+                "kind": "trap",
+                "start": instr.addr,
+                "end": instr.addr + instr.length,
+                "original": original_bytes,
+                "patched": trap[:instr.length],
+                "block": block_addr,
+                "resume": resume,
+                "reg": int(Reg.GP),
+                "fault_keys": [],
+                "trap_keys": [instr.addr, ebreak_addr],
+                "sources": [],
+            })

@@ -58,6 +58,14 @@ class RuntimeStats:
     fault_table_misses: int = 0
     #: Recovery chains aborted by the recovery-depth guard.
     recovery_loop_aborts: int = 0
+    #: Owned faults whose patched region no longer held the recorded
+    #: patch bytes (corruption, distinct from a table miss on an
+    #: intact trampoline).
+    corrupted_patch_faults: int = 0
+    #: Self-healing: patches quarantined back to the fallback encoding,
+    #: and patches re-verified and re-applied after their backoff.
+    patch_rollbacks: int = 0
+    patch_readmissions: int = 0
 
     @property
     def deterministic_faults(self) -> int:
@@ -78,6 +86,8 @@ class ChimeraRuntime:
         rewriter=None,
         original: Optional[Binary] = None,
         max_recovery_depth: int = DEFAULT_MAX_RECOVERY_DEPTH,
+        self_heal: bool = False,
+        heal_policy=None,
     ):
         meta = rewritten.metadata.get("chimera")
         if meta is None:
@@ -85,6 +95,13 @@ class ChimeraRuntime:
         self.binary = rewritten
         self.fault_table: FaultTable = meta["fault_table"]
         self.trap_table: dict[int, int] = meta["trap_table"]
+        if self_heal:
+            # Healing mutates the tables per-task; never through the
+            # metadata objects other runtimes of this binary share.
+            table = FaultTable()
+            table.entries.update(self.fault_table.entries)
+            self.fault_table = table
+            self.trap_table = dict(self.trap_table)
         self.gp_value: int = meta["gp"]
         #: Fig. 5 variant: P1 address -> the general register whose
         #: return-address value identifies the fault (gp otherwise).
@@ -110,6 +127,17 @@ class ChimeraRuntime:
         #: binary are needed to translate instructions the scan missed.
         self._rewriter = rewriter
         self._original = original
+        #: Per-patch provenance (verified patching): golden bytes and
+        #: table ownership for every patch, by original address.
+        self.patch_records = tuple(meta.get("patch_records", ()))
+        #: Self-healing (opt-in): attribute unexpected owned faults to
+        #: their patch, quarantine/roll back that one patch, and keep
+        #: the task running instead of raising UnrecoverableFault.
+        self.healer = None
+        if self_heal:
+            from repro.verify.rollback import PatchHealer
+
+            self.healer = PatchHealer(self, policy=heal_policy)
 
     # -- installation -------------------------------------------------------
 
@@ -146,6 +174,8 @@ class ChimeraRuntime:
         if looping:
             self._recovery_streak += 1
             if self._recovery_streak >= self.max_recovery_depth:
+                if self._try_heal(kernel, process, cpu, fault, fault_pc):
+                    return True
                 self.stats.recovery_loop_aborts += 1
                 self._record("recovery_loop_abort")
                 self.stats.unrecoverable_faults += 1
@@ -167,10 +197,14 @@ class ChimeraRuntime:
         elif isinstance(fault, IllegalInstructionFault):
             handled = self._handle_sigill(kernel, process, cpu, fault)
         elif isinstance(fault, BreakpointTrap):
-            handled = self._handle_trap(kernel, cpu, fault)
+            handled = self._handle_trap(kernel, process, cpu, fault)
         if handled:
             self._last_recovery_instret = cpu.instret
             self._last_redirect = cpu.pc
+            if self.healer is not None:
+                # Opportunistic re-admission: quarantined patches whose
+                # backoff expired are re-verified and re-applied here.
+                self.healer.maybe_readmit(process, cpu)
             return True
         # Unhandled.  If the fault struck one of our patched regions, or
         # immediately followed one of our own redirects, it is ours by
@@ -187,20 +221,74 @@ class ChimeraRuntime:
             and self._in_patched_region(getattr(cpu, "last_pc", None))
         )
         if looping or self._in_patched_region(fault_pc) or wild_jump:
+            if self._try_heal(kernel, process, cpu, fault, fault_pc):
+                return True
             if not looping:
                 self.stats.fault_table_misses += 1
                 self._record("fault_table_miss")
             self.stats.unrecoverable_faults += 1
             self._record("unrecoverable_fault")
+            verdict = self._classify_patched_encoding(process, fault_pc)
+            if verdict == "corrupted":
+                self.stats.corrupted_patch_faults += 1
+                self._record("corrupted_patch_fault")
+            context = self._fault_context(cpu)
+            context["patch_encoding"] = verdict
             raise UnrecoverableFault(
                 f"{type(fault).__name__} at {fault_pc:#x} inside a patched "
-                "region could not be recovered",
+                f"region could not be recovered (patch encoding: {verdict})",
                 pc=fault_pc,
                 cause=fault,
                 attempts=self._recovery_streak,
-                context=self._fault_context(cpu),
+                context=context,
             )
         return False
+
+    def _try_heal(self, kernel: Kernel, process: Process, cpu: Cpu,
+                  fault: SimFault, fault_pc: Optional[int]) -> bool:
+        """Self-heal an owned-but-unrecoverable fault by quarantining
+        the patch it belongs to (no-op unless ``self_heal`` is on)."""
+        if self.healer is None:
+            return False
+        if not self.healer.heal(kernel, process, cpu, fault, fault_pc):
+            return False
+        self._recovery_streak = 0
+        self._last_recovery_instret = cpu.instret
+        self._last_redirect = cpu.pc
+        return True
+
+    def _classify_patched_encoding(self, process: Process,
+                                   fault_pc: Optional[int]) -> str:
+        """Satellite diagnosis: did the patched region still hold the
+        recorded patch bytes when it faulted?  "intact" means the fault
+        came from a well-formed SMILE trampoline whose table entry is
+        missing or wrong; "corrupted" means the encoding itself was
+        damaged; "unknown" when no record covers the pc."""
+        from repro.verify.records import record_for
+
+        rec = record_for(self.patch_records, fault_pc)
+        if rec is None:
+            return "unknown"
+        if self.healer is not None and self.healer.journal.is_rolled_back(rec.start):
+            return "quarantined"
+        live = bytes(process.space.read(rec.start, len(rec.patched_bytes)))
+        return "intact" if live == rec.patched_bytes else "corrupted"
+
+    def _patch_intact(self, process: Process, addr: Optional[int]) -> bool:
+        """False iff *addr* falls in a patch record whose live bytes no
+        longer match the recorded patch (and it is not a deliberate
+        rollback).  Redirect paths consult this before trusting a table
+        entry: a corrupted trampoline that still happens to produce a
+        plausible-looking fault must not be 'recovered' silently."""
+        from repro.verify.records import record_for
+
+        rec = record_for(self.patch_records, addr)
+        if rec is None:
+            return True
+        if self.healer is not None and self.healer.journal.is_rolled_back(rec.start):
+            return True
+        live = bytes(process.space.read(rec.start, len(rec.patched_bytes)))
+        return live == rec.patched_bytes
 
     def _in_patched_region(self, pc: Optional[int]) -> bool:
         if pc is None:
@@ -228,6 +316,8 @@ class ChimeraRuntime:
             return False
         # The jalr stored its return address (trampoline + 8) in gp.
         fault_addr = (cpu.get_reg(Reg.GP) - 4) & 0xFFFFFFFFFFFFFFFF
+        if not self._patch_intact(process, fault_addr):
+            return False  # corrupted trampoline: never a silent recovery
         redirect = self.fault_table.lookup(fault_addr)
         if redirect is not None:
             cpu.set_reg(Reg.GP, self.gp_value)  # undo the SMILE clobber
@@ -241,6 +331,8 @@ class ChimeraRuntime:
         # probe the armed trampolines' registers (rare path, tiny table).
         for p1_addr, reg in self.smile_regs.items():
             if (cpu.get_reg(reg) - 4) & 0xFFFFFFFFFFFFFFFF == p1_addr:
+                if not self._patch_intact(process, p1_addr):
+                    continue
                 redirect = self.fault_table.lookup(p1_addr)
                 if redirect is None:
                     continue
@@ -255,6 +347,10 @@ class ChimeraRuntime:
         return False
 
     def _handle_sigill(self, kernel: Kernel, process: Process, cpu: Cpu, fault: IllegalInstructionFault) -> bool:
+        if not self._patch_intact(process, cpu.pc):
+            # A SIGILL from damaged patch bytes is corruption, not a
+            # SMILE parcel; declining routes it to healing/diagnosis.
+            return False
         redirect = self.fault_table.lookup(cpu.pc)
         if redirect is not None:
             cpu.set_reg(Reg.GP, self.gp_value)
@@ -268,9 +364,11 @@ class ChimeraRuntime:
             return self._rewrite_at_runtime(process, cpu)
         return False
 
-    def _handle_trap(self, kernel: Kernel, cpu: Cpu, fault: BreakpointTrap) -> bool:
+    def _handle_trap(self, kernel: Kernel, process: Process, cpu: Cpu, fault: BreakpointTrap) -> bool:
         target = self.trap_table.get(cpu.pc)
         if target is None:
+            return False
+        if not self._patch_intact(process, cpu.pc):
             return False
         cpu.pc = target
         cpu.cycles += cpu.cost.trap_cost
@@ -328,7 +426,17 @@ class ChimeraRuntime:
         for lo, hi in new_meta.get("migration_unsafe", ()):
             if (lo, hi) not in self.patched_regions:
                 self.patched_regions.append((lo, hi))
+        # Adopt the re-scan's provenance: same-start records are
+        # superseded (the splice replaced their blocks and tables too).
+        merged = {rec.start: rec for rec in self.patch_records}
+        for rec in new_meta.get("patch_records", ()):
+            merged[rec.start] = rec
+        self.patch_records = tuple(sorted(merged.values(), key=lambda r: r.start))
         cpu.flush_decode_cache()
+        if self.healer is not None:
+            # The full-text splice just silently un-quarantined every
+            # rolled-back patch; re-impose the quarantines.
+            self.healer.reapply_after_splice(process, cpu)
         if self.injector is not None:
             self.injector.after_rewrite(self, process, cpu)
         cpu.cycles += cpu.cost.fault_handling_cost * 4  # rewrite is heavier
@@ -359,12 +467,15 @@ class ChimeraRuntime:
         while the task runs; a task restored from a checkpoint must see
         the extended view or re-fault on already-rewritten sites.
         """
-        return {
+        state = {
             "fault_table": sorted(self.fault_table.entries.items()),
             "trap_table": sorted(self.trap_table.items()),
             "smile_regs": sorted(self.smile_regs.items()),
             "patched_regions": sorted(tuple(r) for r in self.patched_regions),
         }
+        if self.healer is not None:
+            state["heal_journal"] = self.healer.journal.export()
+        return state
 
     def import_state(self, state: dict) -> None:
         """Merge checkpointed runtime state back in (see export_state)."""
@@ -375,6 +486,24 @@ class ChimeraRuntime:
             region = tuple(region)
             if region not in self.patched_regions:
                 self.patched_regions.append(region)
+        journal = state.get("heal_journal")
+        if journal:
+            if self.healer is None:
+                from repro.verify.rollback import PatchHealer
+
+                # Detach from the shared metadata tables before healing
+                # starts mutating them (same copy __init__ makes when
+                # constructed with self_heal=True).
+                table = FaultTable()
+                table.entries.update(self.fault_table.entries)
+                self.fault_table = table
+                self.trap_table = dict(self.trap_table)
+                self.healer = PatchHealer(self)
+            self.healer.journal.import_state(journal)
+            # A fresh runtime starts with every patch admitted; imported
+            # quarantines must re-align the tables (region bytes and
+            # heal segments arrive via the checkpoint segment images).
+            self.healer.apply_imported_state()
 
     # -- signals -------------------------------------------------------------
 

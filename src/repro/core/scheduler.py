@@ -29,6 +29,17 @@ extension pool is gone (for systems whose model can run them there), and
 a task with nowhere left to run ends in a structured
 :class:`~repro.sim.faults.UnrecoverableFault` entry on the result —
 never a silent drop, never a livelock.
+
+This degradation ladder composes with verified patching's *per-patch*
+rung below it (see DESIGN.md "Verified patching"): the measured runner
+(:mod:`repro.core.machine_runner`) executes Chimera tasks under
+``ChimeraRuntime(self_heal=True)``, so an unexpected fault inside one
+patched region quarantines just that patch (rolled back to the
+trap-fallback encoding, surfaced as ``resilience.patch_rollbacks``) and
+the task keeps running — task-level retry, core quarantine, and
+pool-level downgrade only engage when healing cannot contain the
+damage.  The abstract DES here models core/task failures only; per-patch
+healing is below its cost-model resolution.
 """
 
 from __future__ import annotations

@@ -326,6 +326,72 @@ def smile_offset_label(offset: int) -> str:
     return {0: "head", 2: "P2", 4: "P1", 6: "P3"}.get(offset, "padding")
 
 
+def smile_window_violations(data: bytes, addr: int, *, compressed: bool,
+                            reg: Optional[int] = None) -> list[str]:
+    """Check the SMILE bit-pinning invariants over live window bytes.
+
+    Returns a list of human-readable violations (empty = the 8-byte
+    trampoline at *addr* upholds every invariant the runtime's recovery
+    relies on).  Used by the admission gate before release and by the
+    rollback journal's re-verification before re-admission.
+    """
+    out: list[str] = []
+    if len(data) < 8:
+        return [f"window is {len(data)} bytes, need 8"]
+    try:
+        auipc = decode(data, 0, addr=addr)
+    except IllegalEncodingError as exc:
+        return [f"head does not decode: {exc}"]
+    try:
+        jalr = decode(data, 4, addr=addr + 4)
+    except IllegalEncodingError as exc:
+        return [f"jalr slot does not decode: {exc}"]
+    if auipc.mnemonic != "auipc":
+        out.append(f"head is {auipc.mnemonic}, not auipc")
+    if jalr.mnemonic != "jalr":
+        out.append(f"+4 is {jalr.mnemonic}, not jalr")
+    if out:
+        return out
+    if not (auipc.rd == jalr.rd == jalr.rs1):
+        out.append(
+            f"jump register mismatch: auipc rd=x{auipc.rd}, "
+            f"jalr rd=x{jalr.rd} rs1=x{jalr.rs1}")
+    if auipc.rd not in SMILE_CAPABLE_REGS:
+        out.append(f"x{auipc.rd} cannot anchor a SMILE trampoline")
+    if reg is not None and auipc.rd != reg:
+        out.append(f"jump register is x{auipc.rd}, recorded x{reg}")
+    if compressed:
+        u = auipc.imm & 0xFFFFF
+        if (u >> 4) & 0x1F != 0x1F:
+            out.append(
+                f"P2 pin broken: auipc U bits 4-8 are "
+                f"{(u >> 4) & 0x1F:#07b}, must be 0b11111")
+        for mid, label in ((2, "P2"), (6, "P3")):
+            try:
+                parcel = decode(data, mid)
+            except IllegalEncodingError:
+                continue
+            out.append(
+                f"{label} parcel decodes as legal {parcel.mnemonic}: "
+                "a mid-trampoline jump would not fault")
+    return out
+
+
+def smile_window_target(data: bytes, addr: int) -> Optional[int]:
+    """Computed jump target of the SMILE trampoline bytes at *addr*.
+
+    None when the window no longer decodes as an auipc+jalr pair.
+    """
+    try:
+        auipc = decode(data, 0, addr=addr)
+        jalr = decode(data, 4, addr=addr + 4)
+    except IllegalEncodingError:
+        return None
+    if auipc.mnemonic != "auipc" or jalr.mnemonic != "jalr":
+        return None
+    return addr + sign_extend(auipc.imm << 12, 32) + jalr.imm
+
+
 def padding_parcels(n_bytes: int, *, boundary_in_padding: bool) -> bytes:
     """Padding for trampoline windows longer than 8 bytes.
 

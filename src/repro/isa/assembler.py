@@ -294,8 +294,12 @@ class Assembler:
             return [Instruction(mnem, rd=rd, rs1=rd, imm=_parse_int(ops[-1], ln), length=2)]
         if mnem in _C_RR:
             rd = _reg(ops[0], ln)
-            rs2 = _reg(ops[1], ln)
+            # Accept both the two-operand alias (c.add rd, rs2) and the
+            # canonical three-operand disassembly (c.add rd, rd, rs2).
+            rs2 = _reg(ops[-1], ln)
             rs1 = None if mnem == "c.mv" else rd
+            if len(ops) == 3 and mnem != "c.mv" and _reg(ops[1], ln) != rd:
+                raise AssemblyError(f"{mnem} requires rd == rs1", ln)
             return [Instruction(mnem, rd=rd, rs1=rs1, rs2=rs2, length=2)]
         if mnem == "c.addi4spn":
             return [Instruction(mnem, rd=_reg(ops[0], ln), rs1=2, imm=_parse_int(ops[1], ln), length=2)]

@@ -79,6 +79,11 @@ class ResilienceStats:
     migrations_lost: int = 0
     #: Tasks that ended in a structured UnrecoverableFault.
     unrecoverable_tasks: int = 0
+    #: Self-healing (verified patching): patches quarantined back to the
+    #: trap-fallback encoding at runtime, and patches re-verified and
+    #: re-admitted after backoff.
+    patch_rollbacks: int = 0
+    patch_readmissions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(vars(self))

@@ -1,0 +1,39 @@
+"""Verified patching: static admission gate + runtime rollback.
+
+Two halves over the same :class:`~repro.verify.records.PatchRecord`
+provenance the patcher emits:
+
+* :mod:`repro.verify.admission` — re-check every patched region's
+  invariants (SMILE bit pinning, target/pointer non-executability, CFG
+  integrity of the relocated window) and co-execute it against the
+  original under randomized state before release;
+* :mod:`repro.verify.rollback` — attribute unexpected runtime faults to
+  their patch, quarantine exactly that patch back to the trap-fallback
+  encoding, and re-admit it after a verified backoff.
+"""
+
+from repro.verify.admission import AdmissionGate, verify_binary
+from repro.verify.oracle import DifferentialOracle
+from repro.verify.records import PatchRecord, record_for
+from repro.verify.report import CheckResult, RegionVerdict, VerifyReport
+from repro.verify.rollback import (
+    DEFAULT_HEAL_POLICY,
+    HealEntry,
+    PatchHealer,
+    RollbackJournal,
+)
+
+__all__ = [
+    "AdmissionGate",
+    "CheckResult",
+    "DEFAULT_HEAL_POLICY",
+    "DifferentialOracle",
+    "HealEntry",
+    "PatchHealer",
+    "PatchRecord",
+    "RegionVerdict",
+    "RollbackJournal",
+    "VerifyReport",
+    "record_for",
+    "verify_binary",
+]

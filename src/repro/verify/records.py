@@ -1,0 +1,102 @@
+"""Per-patch provenance records: what the patcher did, byte for byte.
+
+A :class:`PatchRecord` is the unit both halves of verified patching
+operate on (DESIGN.md "Verified patching"):
+
+* the static admission gate re-checks every record's invariants against
+  the released bytes before a binary ships;
+* the runtime rollback journal uses the same record to undo exactly one
+  patch — restore ``original_bytes``, drop the record's fault-table
+  entries, and re-trap the extension sources the restore resurrects.
+
+Records are frozen and serialize to primitive tuples (hex strings for
+byte fields) so they survive checkpoint digests and JSON report export
+unchanged.  This module must stay import-light: the patcher imports it,
+so it cannot pull in analysis/runtime code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PatchRecord:
+    """One patched region of original text and everything needed to
+    verify or undo it."""
+
+    #: Original-address span [start, end) the patch overwrote.
+    start: int
+    end: int
+    #: "smile" (gp trampoline), "smile-dp" (Fig. 5 data-pointer
+    #: trampoline) or "trap" (ebreak fallback).
+    kind: str
+    #: Text bytes of [start, end) before / after patching.
+    original_bytes: bytes
+    patched_bytes: bytes
+    #: Entry address of the target block in .chimera.text.
+    block_addr: int
+    #: First original pc where normal flow rejoins original text (the
+    #: exit position for trampolines, ``addr + length`` for traps).
+    resume: int
+    #: SMILE jump register (gp, or the Fig. 5 data-pointer register).
+    smile_reg: int
+    #: (boundary addr, redirect) fault-table entries this patch owns.
+    fault_entries: tuple[tuple[int, int], ...] = ()
+    #: (trap addr, target) trap-table entries this patch owns.
+    trap_entries: tuple[tuple[int, int], ...] = ()
+    #: (addr, encoding hex) of extension sources a rollback resurrects;
+    #: each needs a trap-fallback re-patch to stay runnable on the
+    #: target core.  Empty for "trap" records (golden restore suffices).
+    sources: tuple[tuple[int, str], ...] = ()
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def source_bytes(self, addr: int) -> bytes:
+        for saddr, shex in self.sources:
+            if saddr == addr:
+                return bytes.fromhex(shex)
+        raise KeyError(hex(addr))
+
+    # -- serialization ------------------------------------------------------
+
+    def as_state(self) -> tuple:
+        """Deterministic primitive form (checkpoint/JSON safe)."""
+        return (
+            self.start,
+            self.end,
+            self.kind,
+            self.original_bytes.hex(),
+            self.patched_bytes.hex(),
+            self.block_addr,
+            self.resume,
+            self.smile_reg,
+            tuple(tuple(e) for e in self.fault_entries),
+            tuple(tuple(e) for e in self.trap_entries),
+            tuple(tuple(s) for s in self.sources),
+        )
+
+    @classmethod
+    def from_state(cls, state) -> "PatchRecord":
+        (start, end, kind, orig, patched, block, resume, reg,
+         faults, traps, sources) = state
+        return cls(
+            start=start, end=end, kind=kind,
+            original_bytes=bytes.fromhex(orig),
+            patched_bytes=bytes.fromhex(patched),
+            block_addr=block, resume=resume, smile_reg=reg,
+            fault_entries=tuple(tuple(e) for e in faults),
+            trap_entries=tuple(tuple(e) for e in traps),
+            sources=tuple(tuple(s) for s in sources),
+        )
+
+
+def record_for(records, addr) -> "PatchRecord | None":
+    """The record whose span contains *addr*, if any."""
+    if addr is None:
+        return None
+    for rec in records:
+        if rec.contains(addr):
+            return rec
+    return None

@@ -1,0 +1,116 @@
+"""Admission-gate report structures (JSON-exportable for CI artifacts)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CheckResult:
+    """One static check over one patched region."""
+
+    name: str  # "encoding" | "target" | "cfg" | "oracle"
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{'ok  ' if self.passed else 'FAIL'} {self.name}: {self.detail or 'clean'}"
+
+
+@dataclass
+class RegionVerdict:
+    """Every check outcome for one patched region."""
+
+    start: int
+    end: int
+    kind: str
+    checks: list[CheckResult] = field(default_factory=list)
+    #: Per-trial differential-oracle outcomes ("match", "mismatch: ...",
+    #: "inconclusive: ..."); empty when the oracle was capped out.
+    oracle_trials: list[str] = field(default_factory=list)
+
+    @property
+    def admitted(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> list[CheckResult]:
+        return [c for c in self.checks if not c.passed]
+
+    def as_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "kind": self.kind,
+            "admitted": self.admitted,
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+            "oracle_trials": list(self.oracle_trials),
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Admission verdict for one rewritten binary."""
+
+    binary: str
+    target: str
+    seed: int
+    regions: list[RegionVerdict] = field(default_factory=list)
+    #: Regions whose differential oracle was skipped by the region cap
+    #: (static checks always run on every region; never silent).
+    oracle_skipped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.admitted for r in self.regions)
+
+    @property
+    def admitted_starts(self) -> frozenset[int]:
+        return frozenset(r.start for r in self.regions if r.admitted)
+
+    @property
+    def rejected(self) -> list[RegionVerdict]:
+        return [r for r in self.regions if not r.admitted]
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "regions": len(self.regions),
+            "admitted": sum(r.admitted for r in self.regions),
+            "rejected": len(self.rejected),
+            "oracle_skipped": self.oracle_skipped,
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "binary": self.binary,
+            "target": self.target,
+            "seed": self.seed,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "regions": [r.as_dict() for r in self.regions],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.as_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    def summary(self) -> str:
+        c = self.counts()
+        head = (f"verify {self.binary} -> {self.target}: "
+                f"{c['admitted']}/{c['regions']} regions admitted")
+        lines = [head]
+        if self.oracle_skipped:
+            lines.append(
+                f"  note: oracle skipped on {self.oracle_skipped} regions (cap)")
+        for region in self.rejected:
+            for failure in region.failures:
+                lines.append(
+                    f"  REJECT {region.start:#x}..{region.end:#x} "
+                    f"[{region.kind}] {failure.name}: {failure.detail}")
+        lines.append(f"admission verdict: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)

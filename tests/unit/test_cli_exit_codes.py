@@ -121,3 +121,30 @@ class TestResilienceExitCodes:
     def test_real_single_scenario_round_trip(self):
         # No monkeypatching: the cheapest real scenario end-to-end.
         assert main(["resilience", "ext-core-loss", "--seed", "0"]) == 0
+
+
+class TestVerifyExitCodes:
+    def test_clean_workload_passes_and_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "verify.json"
+        code = main(["verify", "dot", "--oracle-trials", "1",
+                     "--report", str(report)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "admission verdict: PASS" in out
+        assert json.loads(report.read_text())["ok"] is True
+
+    def test_rejection_is_nonzero_and_prints_seed(self, monkeypatch, capsys):
+        import repro.verify
+
+        class FailReport:
+            ok = False
+
+            def summary(self):
+                return "admission verdict: FAIL"
+
+        monkeypatch.setattr(repro.verify, "verify_binary",
+                            lambda *a, **k: FailReport())
+        code = main(["verify", "dot", "--seed", "21"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out and "21" in out and "REPRO_FUZZ_SEED" in out
