@@ -1,0 +1,151 @@
+"""``Cpu.run`` hot-loop micro-fixes, measured in isolation.
+
+Two before/after comparisons backing the run-loop changes:
+
+* **counter bump** — the old ``counters.get(name, 0) + 1`` read-modify-
+  write against the ``defaultdict(int)`` bump the loop uses now
+  (``python -m timeit``-style, best of 5).
+* **hook hoist** — the interpreter loop with a live no-op ``step_hook``
+  (every step pays the truthiness checks *and* the Python call, the
+  shape of the old unhoisted loop) against the hoisted no-hook loop,
+  and against the superblock engine on the same program.  All three
+  must retire the same architectural state.
+
+Wall-clock floors are deliberately loose — these are micro measurements
+on shared CI boxes; ``BENCH_runloop.json`` carries the real numbers.
+"""
+
+import timeit
+from collections import defaultdict
+
+import pytest
+
+from benchmarks.helpers import emit_bench, print_table
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.extensions import PROFILES
+from repro.sim.machine import Core, Kernel
+from repro.telemetry import MetricsRegistry
+
+RV64GC = PROFILES["rv64gc"]
+ITERATIONS = 20_000  # ~3 instructions per loop trip
+
+
+def _loop_binary():
+    b = ProgramBuilder("runloop-microbench")
+    b.set_text(f"""
+_start:
+    li t1, 0
+    li t0, {ITERATIONS}
+loop:
+    addi t1, t1, 1
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+""")
+    return b.build()
+
+
+def _bump_timings():
+    """Best-of-5 seconds for each counter-bump pattern (400k bumps)."""
+    names = ("instret", "cycles", "loads", "stores") * 100_000
+
+    def before():
+        counters = {}
+        for name in names:
+            counters[name] = counters.get(name, 0) + 1
+        return counters
+
+    def after():
+        counters = defaultdict(int)
+        for name in names:
+            counters[name] += 1
+        return counters
+
+    assert dict(after()) == before()
+    return (min(timeit.repeat(before, repeat=5, number=1)),
+            min(timeit.repeat(after, repeat=5, number=1)))
+
+
+def _run_loop(binary, *, block_cache, hook=None):
+    kernel = Kernel(block_cache=block_cache)
+    process = make_process(binary)
+    cpu = kernel.make_cpu(process, Core(0, RV64GC))
+    if hook is not None:
+        cpu.step_hook = hook
+    t0 = timeit.default_timer()
+    result = kernel.run(process, Core(0, RV64GC), cpu=cpu)
+    dt = timeit.default_timer() - t0
+    assert result.ok, f"microbench loop died: {result.fault!r}"
+    return dt, result
+
+
+def _best_run(binary, *, block_cache, hook=None, rounds=3):
+    best, result = None, None
+    for _ in range(rounds):
+        dt, result = _run_loop(binary, block_cache=block_cache, hook=hook)
+        best = dt if best is None else min(best, dt)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    before_bump, after_bump = _bump_timings()
+    binary = _loop_binary()
+    hooked_s, hooked = _best_run(binary, block_cache=False,
+                                 hook=lambda cpu: None)
+    hoisted_s, hoisted = _best_run(binary, block_cache=False)
+    super_s, fast = _best_run(binary, block_cache=True)
+    for other in (hoisted, fast):
+        assert (other.exit_code, other.instret, other.cycles) == \
+            (hooked.exit_code, hooked.instret, hooked.cycles), \
+            "run-loop variants diverged architecturally"
+    return {
+        "bump_before_s": before_bump,
+        "bump_after_s": after_bump,
+        "interp_hooked_s": hooked_s,
+        "interp_hoisted_s": hoisted_s,
+        "superblock_s": super_s,
+        "instret": hooked.instret,
+    }
+
+
+def test_runloop_microbench(measurements):
+    m = measurements
+    bump = m["bump_before_s"] / m["bump_after_s"]
+    hoist = m["interp_hooked_s"] / m["interp_hoisted_s"]
+    superblock = m["interp_hooked_s"] / m["superblock_s"]
+    ips = {key: m["instret"] / m[f"interp_{key}_s"]
+           for key in ("hooked", "hoisted")}
+    ips["superblock"] = m["instret"] / m["superblock_s"]
+    print_table(
+        f"Cpu.run micro-fixes ({m['instret']} retired, best of 3)",
+        ["measurement", "before", "after", "speedup"],
+        [
+            ["counter bump (400k)", f"{m['bump_before_s'] * 1e3:.1f}ms",
+             f"{m['bump_after_s'] * 1e3:.1f}ms", f"{bump:.2f}x"],
+            ["interp loop (hook vs hoisted)",
+             f"{m['interp_hooked_s'] * 1e3:.1f}ms",
+             f"{m['interp_hoisted_s'] * 1e3:.1f}ms", f"{hoist:.2f}x"],
+            ["interp hooked vs superblock",
+             f"{m['interp_hooked_s'] * 1e3:.1f}ms",
+             f"{m['superblock_s'] * 1e3:.1f}ms", f"{superblock:.2f}x"],
+        ],
+    )
+    registry = MetricsRegistry()
+    registry.gauge("bench.counter_bump_speedup", bump)
+    registry.gauge("bench.hook_hoist_speedup", hoist)
+    registry.gauge("bench.superblock_vs_hooked_speedup", superblock)
+    for variant, value in ips.items():
+        registry.gauge("bench.interp_instructions_per_second", value,
+                       variant=variant)
+    emit_bench("runloop", registry)
+
+    # defaultdict bump beats the get() pattern; generous slack for noise.
+    assert bump > 0.9, f"defaultdict counter bump regressed ({bump:.2f}x)"
+    # Dropping the per-step hook dispatch must never cost time.
+    assert hoist > 0.95, f"hoisted loop slower than hooked ({hoist:.2f}x)"
+    assert superblock > 1.0, \
+        f"superblock lost to the hooked interpreter ({superblock:.2f}x)"

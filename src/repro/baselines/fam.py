@@ -68,7 +68,7 @@ class FamRuntime:
             cpu2.pc = cpu.pc
             cpu2.cycles = cpu.cycles + ext_core.params.migration_cost
             cpu2.instret = cpu.instret
-            cpu2.counters = dict(cpu.counters)
+            cpu2.counters.update(cpu.counters)
             cpu2.bump("fam_migrations")
             migrations = 1
             finished_on = ext_core

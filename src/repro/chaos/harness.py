@@ -59,6 +59,7 @@ def sweep_binary(
     max_regions: int = 0,
     injector=None,
     verify: bool = True,
+    jobs: int = 1,
 ) -> SweepReport:
     """Rewrite *original* for *target* under *mode* and sweep it.
 
@@ -75,7 +76,8 @@ def sweep_binary(
         from repro.verify.admission import AdmissionGate
 
         admitted = AdmissionGate(
-            original, result.binary, oracle_trials=1,
+            original, result.binary, oracle_trials=1, jobs=jobs,
+            liveness=result.liveness,
         ).verify().admitted_starts
     sweeper = TrampolineAttackSweeper(
         original, result.binary, rewriter=rewriter, max_regions=max_regions,
@@ -91,10 +93,11 @@ def run_workload_sweeps(
     max_regions: int = 0,
     modes: tuple[str, ...] = SWEEP_MODES,
     injector=None,
+    jobs: int = 1,
 ) -> list[SweepReport]:
     return [
         sweep_binary(original, mode=mode, target=target, max_regions=max_regions,
-                     injector=injector)
+                     injector=injector, jobs=jobs)
         for mode in modes
     ]
 
@@ -475,6 +478,7 @@ def run_chaos(
     max_regions: int = 0,
     scenarios: bool = True,
     seed: Optional[int] = None,
+    jobs: int = 1,
 ) -> ChaosReport:
     """Full chaos verdict for one workload binary.
 
@@ -488,7 +492,7 @@ def run_chaos(
     report = ChaosReport()
     report.sweeps = run_workload_sweeps(
         original, target=target, max_regions=max_regions,
-        injector=PcAssertionInjector(),
+        injector=PcAssertionInjector(), jobs=jobs,
     )
     if scenarios:
         report.scenarios = run_injector_scenarios()

@@ -46,6 +46,19 @@ def _isa(name: str):
         raise SystemExit(f"unknown ISA profile {name!r}; choose from {sorted(ISA_PROFILES)}")
 
 
+def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared performance flags (run/verify/chaos/resilience)."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker threads for per-region verification "
+                             "(1 = serial; results are identical either way)")
+    parser.add_argument("--no-block-cache", action="store_true",
+                        help="disable the superblock execution engine; "
+                             "every CPU runs the plain interpreter loop")
+    parser.add_argument("--rewrite-cache", metavar="DIR", default=None,
+                        help="content-addressed cache of verified rewrites; "
+                             "hits skip both translation and verification")
+
+
 def _telemetry_scope(args: argparse.Namespace):
     """(context manager, Telemetry | None) for a command's --telemetry-out."""
     outdir = getattr(args, "telemetry_out", None)
@@ -165,7 +178,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     profile = _isa(args.core)
     scope, telemetry = _telemetry_scope(args)
     with scope:
-        kernel = Kernel()
+        kernel = Kernel(block_cache=not args.no_block_cache)
         # Install whichever runtime the image's rewriting metadata calls for.
         if "chimera" in binary.metadata:
             from repro.core.runtime import ChimeraRuntime
@@ -202,6 +215,8 @@ def _run_workload(args: argparse.Namespace, name: str) -> int:
             name,
             target=args.core if args.core in ("rv64gc", "rv64gcv") else "rv64gc",
             max_instructions=args.max_instructions,
+            jobs=args.jobs,
+            cache_dir=args.rewrite_cache,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -246,33 +261,38 @@ def _resolve_workload(name: str, *, variant: str = "ext", scale: int = 128):
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    from repro.core.rewriter import ChimeraRewriter
+    from repro.core.pipeline import rewrite_and_verify
     from repro.resilience.seeds import replay_hint, resolve_seed
-    from repro.verify import verify_binary
 
     seed = resolve_seed(args.seed)
     original = _resolve_workload(args.workload, scale=args.scale)
     target = _isa(args.target)
     scope, telemetry = _telemetry_scope(args)
     with scope:
-        rewritten = ChimeraRewriter().rewrite(original, target).binary
-        report = verify_binary(
-            original, rewritten, seed=seed,
+        pipe = rewrite_and_verify(
+            original, target, seed=seed,
             oracle_trials=args.oracle_trials,
             max_oracle_regions=args.max_oracle_regions,
+            jobs=args.jobs,
+            cache_dir=args.rewrite_cache,
         )
+        report = pipe.report
         escapes = 0
         if args.sweep_check:
             from repro.chaos.harness import SWEEP_MODES, sweep_binary
             from repro.chaos.outcomes import ADMISSION_ESCAPE
 
             for mode in SWEEP_MODES:
-                sweep = sweep_binary(original, mode=mode, target=target)
+                sweep = sweep_binary(original, mode=mode, target=target,
+                                     jobs=args.jobs)
                 escapes += sum(1 for r in sweep.results
                                if r.outcome == ADMISSION_ESCAPE)
                 print(sweep.summary())
     if telemetry is not None:
         _write_telemetry(telemetry, args.telemetry_out)
+    if pipe.cache_hit:
+        print("verify: rewrite-cache hit (translation + verification skipped)",
+              file=sys.stderr)
     print(report.summary())
     if args.report:
         report.write_json(args.report)
@@ -299,6 +319,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             max_regions=args.max_regions,
             scenarios=not args.no_scenarios,
             seed=seed,
+            jobs=args.jobs,
         )
     if telemetry is not None:
         _write_telemetry(telemetry, args.telemetry_out)
@@ -393,6 +414,7 @@ def make_parser() -> argparse.ArgumentParser:
                    help="emit the run result as JSON (same exit-code semantics)")
     p.add_argument("--telemetry-out", metavar="DIR", default=None,
                    help="write trace.json + metrics.json into DIR")
+    _add_perf_flags(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -433,6 +455,7 @@ def make_parser() -> argparse.ArgumentParser:
                         "admission-escape in a verified region")
     p.add_argument("--telemetry-out", metavar="DIR", default=None,
                    help="write trace.json + metrics.json into DIR")
+    _add_perf_flags(p)
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("chaos", help="adversarial fault-injection sweep + scenarios")
@@ -449,6 +472,7 @@ def make_parser() -> argparse.ArgumentParser:
                    help="print every attack result, not just the summary")
     p.add_argument("--telemetry-out", metavar="DIR", default=None,
                    help="write trace.json + metrics.json into DIR")
+    _add_perf_flags(p)
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
@@ -461,16 +485,27 @@ def make_parser() -> argparse.ArgumentParser:
                    help="failure-injection seed (default: $REPRO_FUZZ_SEED, else 0)")
     p.add_argument("--telemetry-out", metavar="DIR", default=None,
                    help="write trace.json + metrics.json into DIR")
+    _add_perf_flags(p)
     p.set_defaults(fn=cmd_resilience)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
+    from repro.sim import machine
+
+    # --no-block-cache must reach kernels created arbitrarily deep in a
+    # command (chaos scenarios, resilience schedulers, the oracle), so
+    # it flips the process-wide default for the duration of the command.
+    prev_default = machine.BLOCK_CACHE_DEFAULT
+    if getattr(args, "no_block_cache", False):
+        machine.BLOCK_CACHE_DEFAULT = False
     try:
         return args.fn(args)
     except BrokenPipeError:  # e.g. `repro disasm ... | head`
         return 0
+    finally:
+        machine.BLOCK_CACHE_DEFAULT = prev_default
 
 
 if __name__ == "__main__":  # pragma: no cover

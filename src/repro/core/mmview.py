@@ -241,7 +241,7 @@ class MigrationProbeManager:
         # A 2-byte c.ebreak never clobbers more than one instruction slot.
         space.patch_code(addr, encode(Instruction("c.ebreak", length=2)))
         self._armed[addr] = original
-        cpu.flush_decode_cache()
+        cpu.invalidate_code(addr, 2)
 
     def handle_fault(self, kernel: Kernel, process: Process, cpu: Cpu, fault: SimFault) -> bool:
         if not isinstance(fault, BreakpointTrap) or cpu.pc not in self._armed:
@@ -261,7 +261,7 @@ class MigrationProbeManager:
                 },
             )
         cpu.space.patch_code(addr, bytes(original))
-        cpu.flush_decode_cache()
+        cpu.invalidate_code(addr, len(original))
         self.fired += 1
         self.process.try_commit_pending(cpu)
         # Execution resumes at the restored instruction in the new view.

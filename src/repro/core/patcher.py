@@ -791,9 +791,12 @@ class ChbpPatcher:
             lines.append("ebreak")
         source_text = "\n".join(lines)
 
-        size = len(Assembler(base=0).assemble(source_text).code)
-        block_addr = self._alloc.place(window_start, size)
-        program = Assembler(base=block_addr).assemble(source_text)
+        # Blocks contain only pc-relative label references, so one
+        # assembly sizes the block and retargets to wherever the
+        # allocator places it — no second encode pass.
+        program = Assembler(base=0).assemble(source_text)
+        block_addr = self._alloc.place(window_start, len(program.code))
+        program = program.retarget(block_addr)
         data = bytearray(program.code)
 
         tramp_off = program.labels[".Lexit_tramp"] - block_addr
@@ -854,9 +857,9 @@ class ChbpPatcher:
                 body, _ = self.translator.translate(instr)
                 resume = instr.addr + instr.length
             source_text = f"{body}\nebreak"
-            size = len(Assembler(base=0).assemble(source_text).code)
-            block_addr = self._alloc.place_unconstrained(size)
-            program = Assembler(base=block_addr).assemble(source_text)
+            program = Assembler(base=0).assemble(source_text)
+            block_addr = self._alloc.place_unconstrained(len(program.code))
+            program = program.retarget(block_addr)
             self._blocks[block_addr] = bytes(program.code)
             ebreak_addr = block_addr + len(program.code) - 4
             self.trap_table[ebreak_addr] = resume

@@ -1,0 +1,192 @@
+"""Parallel verified-rewrite pipeline with a content-addressed cache.
+
+``rewrite_and_verify`` is the one-stop producer of a *released* binary:
+it translates (``ChimeraRewriter``), then admits every patched region
+through the static gate and seeded differential oracle
+(:mod:`repro.verify.admission`), fanning the per-region work across a
+thread pool when ``jobs > 1``.  Results are deterministic for any job
+count: each oracle trial's RNG is derived from ``(seed, region, trial)``
+alone and verdicts are collected in record order, so the rewritten bytes
+and the :class:`~repro.verify.report.VerifyReport` ledger are identical
+whether the pipeline ran serial, parallel, or from cache.
+
+The cache is content-addressed: the key hashes the *input* binary's
+sections, the rewriter configuration, and the gate configuration
+(including the resolved seed).  A hit loads the previously released
+``.self`` image plus its verification ledger and skips both translation
+and verification — safe precisely because every key ingredient that
+could change the output is part of the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.rewriter import ChimeraRewriter, RewriteResult
+from repro.elf.binary import Binary
+from repro.elf.fileformat import FileFormatError, load_binary_file, save_binary
+from repro.isa.extensions import IsaProfile
+from repro.resilience.seeds import resolve_seed
+from repro.telemetry import current as telemetry_current
+from repro.verify.report import VerifyReport
+
+#: Bump whenever the rewrite or verification output format changes in a
+#: way the key ingredients do not capture.
+_CACHE_SCHEMA = "chimera-rewrite-cache/v1"
+
+
+@dataclass
+class PipelineResult:
+    """Everything ``rewrite_and_verify`` produced for one binary."""
+
+    result: RewriteResult
+    report: VerifyReport
+    cache_hit: bool = False
+    #: Wall-clock seconds; zero for the skipped halves of a cache hit.
+    rewrite_seconds: float = 0.0
+    verify_seconds: float = 0.0
+
+    @property
+    def binary(self) -> Binary:
+        return self.result.binary
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+def _rewriter_config(rewriter: ChimeraRewriter) -> dict:
+    arch = rewriter.arch
+    return {
+        "mode": rewriter.mode,
+        "batch_blocks": rewriter.batch_blocks,
+        "shift_exits": rewriter.shift_exits,
+        "enable_upgrades": rewriter.enable_upgrades,
+        "scan_address_taken": rewriter.scan_address_taken,
+        "smile_register": rewriter.smile_register,
+        "use_smile": rewriter.use_smile,
+        "arch": {k: v for k, v in vars(arch).items()},
+    }
+
+
+def cache_key(
+    binary: Binary,
+    target_profile: IsaProfile,
+    rewriter: ChimeraRewriter,
+    gate_config: dict,
+) -> str:
+    """Content hash of everything that determines the pipeline output."""
+    h = hashlib.sha256()
+    h.update(_CACHE_SCHEMA.encode())
+    h.update(json.dumps({
+        "entry": binary.entry,
+        "gp": binary.global_pointer,
+        "target": target_profile.name,
+        "rewriter": _rewriter_config(rewriter),
+        "gate": gate_config,
+    }, sort_keys=True).encode())
+    for section in sorted(binary.sections, key=lambda s: (s.name, s.addr)):
+        h.update(f"\x00{section.name}\x00{section.addr}"
+                 f"\x00{section.perm.value}\x00".encode())
+        h.update(bytes(section.data))
+    return h.hexdigest()
+
+
+def _load_cached(
+    cache_dir: Path, key: str, target_profile: IsaProfile
+) -> Optional[tuple[RewriteResult, VerifyReport]]:
+    binary_path = cache_dir / f"{key}.self"
+    report_path = cache_dir / f"{key}.report.json"
+    if not (binary_path.is_file() and report_path.is_file()):
+        return None
+    try:
+        binary = load_binary_file(binary_path)
+        report = VerifyReport.load(report_path)
+    except (FileFormatError, OSError, KeyError, ValueError):
+        return None  # treat a corrupt entry as a miss; it gets rewritten
+    meta = binary.metadata.get("chimera")
+    if meta is None or meta.get("patch_records") is None:
+        return None  # pre-record cache entry: not enough to re-release
+    result = RewriteResult(binary, target_profile, meta.get("stats"))
+    return result, report
+
+
+def _store_cached(cache_dir: Path, key: str, result: RewriteResult,
+                  report: VerifyReport) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    # Write via temp names then rename: a concurrent reader never sees a
+    # half-written entry (rename is atomic within the directory).
+    binary_tmp = cache_dir / f".{key}.self.tmp"
+    report_tmp = cache_dir / f".{key}.report.json.tmp"
+    save_binary(result.binary, binary_tmp)
+    report.write_json(report_tmp)
+    binary_tmp.rename(cache_dir / f"{key}.self")
+    report_tmp.rename(cache_dir / f"{key}.report.json")
+
+
+def rewrite_and_verify(
+    binary: Binary,
+    target_profile: IsaProfile,
+    *,
+    rewriter: Optional[ChimeraRewriter] = None,
+    seed: Optional[int] = None,
+    oracle_trials: int = 2,
+    oracle_max_steps: int = 512,
+    max_oracle_regions: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> PipelineResult:
+    """Translate *binary* for *target_profile* and admission-verify it."""
+    rewriter = rewriter or ChimeraRewriter()
+    seed = resolve_seed(seed)
+    telemetry = telemetry_current()
+    gate_config = {
+        "seed": seed,
+        "oracle_trials": oracle_trials,
+        "oracle_max_steps": oracle_max_steps,
+        "max_oracle_regions": max_oracle_regions,
+    }
+
+    cache_path = Path(cache_dir) if cache_dir is not None else None
+    key = None
+    if cache_path is not None:
+        key = cache_key(binary, target_profile, rewriter, gate_config)
+        cached = _load_cached(cache_path, key, target_profile)
+        if cached is not None:
+            if telemetry.enabled:
+                telemetry.metrics.inc("pipeline.rewrite_cache_hits",
+                                      binary=binary.name,
+                                      target=target_profile.name)
+            result, report = cached
+            return PipelineResult(result, report, cache_hit=True)
+        if telemetry.enabled:
+            telemetry.metrics.inc("pipeline.rewrite_cache_misses",
+                                  binary=binary.name,
+                                  target=target_profile.name)
+
+    # Attribute access at call time so tests monkeypatching
+    # ``repro.verify.verify_binary`` intercept the pipeline too.
+    from repro import verify as verify_mod
+
+    with telemetry.span("pipeline.rewrite_verify", binary=binary.name,
+                        target=target_profile.name, jobs=jobs):
+        t0 = time.perf_counter()
+        result = rewriter.rewrite(binary, target_profile)
+        t1 = time.perf_counter()
+        report = verify_mod.verify_binary(
+            binary, result.binary, seed=seed,
+            oracle_trials=oracle_trials, oracle_max_steps=oracle_max_steps,
+            max_oracle_regions=max_oracle_regions, jobs=jobs,
+            liveness=result.liveness,
+        )
+        t2 = time.perf_counter()
+
+    if cache_path is not None:
+        _store_cached(cache_path, key, result, report)
+    return PipelineResult(result, report, cache_hit=False,
+                          rewrite_seconds=t1 - t0, verify_seconds=t2 - t1)

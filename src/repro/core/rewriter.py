@@ -27,6 +27,11 @@ class RewriteResult:
     binary: Binary
     target_profile: IsaProfile
     stats: PatchStats
+    #: Liveness analysis of the *source* binary, as computed by the
+    #: patcher for its exit-register proofs.  The admission gate's
+    #: differential oracle needs the same analysis; handing it over
+    #: avoids recomputing scan+cfg+dataflow during verification.
+    liveness: object = None
 
     @property
     def fault_table(self):
@@ -95,7 +100,8 @@ class ChimeraRewriter:
         with telemetry_current().span("rewrite", binary=binary.name,
                                       target=target_profile.name):
             rewritten = patcher.patch()
-        return RewriteResult(rewritten, target_profile, patcher.stats)
+        return RewriteResult(rewritten, target_profile, patcher.stats,
+                             liveness=getattr(patcher, "liveness", None))
 
     def rewrite_all(
         self, binary: Binary, profiles: list[IsaProfile]

@@ -55,24 +55,48 @@ def _chimera_meta_to_json(meta: dict) -> dict:
     stats = meta.get("stats")
     if stats is not None and hasattr(stats, "as_dict"):
         out["stats"] = stats.as_dict()
+    elif isinstance(stats, dict):
+        out["stats"] = stats
+    if "patched_regions" in meta:
+        out["patched_regions"] = [list(r) for r in meta["patched_regions"]]
+    if "smile_regs" in meta:
+        out["smile_regs"] = {str(k): v for k, v in meta["smile_regs"].items()}
+    records = meta.get("patch_records")
+    if records is not None:
+        out["patch_records"] = [list(r.as_state()) for r in records]
     return out
 
 
 def _chimera_meta_from_json(data: dict) -> dict:
     from repro.core.fault_table import FaultTable
+    from repro.core.patcher import PatchStats
+    from repro.verify.records import PatchRecord
 
     table = FaultTable()
     for k, v in data.get("fault_table", {}).items():
         table.add(int(k), int(v))
-    return {
+    stats = data.get("stats", {})
+    try:
+        stats = PatchStats(**stats)
+    except TypeError:
+        pass  # stats from a newer/older writer: keep the raw dict
+    meta = {
         "gp": data.get("gp", 0),
         "vregs_base": data.get("vregs_base", 0),
         "target_profile": data.get("target_profile", ""),
         "trap_table": {int(k): int(v) for k, v in data.get("trap_table", {}).items()},
         "fault_table": table,
-        "stats": data.get("stats", {}),
+        "stats": stats,
         "migration_unsafe": [tuple(r) for r in data.get("migration_unsafe", [])],
     }
+    if "patched_regions" in data:
+        meta["patched_regions"] = [tuple(r) for r in data["patched_regions"]]
+    if "smile_regs" in data:
+        meta["smile_regs"] = {int(k): v for k, v in data["smile_regs"].items()}
+    if "patch_records" in data:
+        meta["patch_records"] = tuple(
+            PatchRecord.from_state(state) for state in data["patch_records"])
+    return meta
 
 
 def _instr_to_json(instr) -> dict:

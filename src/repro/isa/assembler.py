@@ -23,7 +23,7 @@ Pseudo-instructions: ``nop``, ``mv``, ``li``, ``la``, ``not``, ``neg``,
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.isa.encoding import encode
 from repro.isa.fields import fits_signed, split_hi_lo
@@ -108,6 +108,7 @@ class _Item:
     data: bytes = b""
     align: int = 0
     addr: int = 0
+    aligned: bool = False  # pad width depends on the absolute pc
 
 
 @dataclass
@@ -118,10 +119,33 @@ class AssembledProgram:
     instructions: list[Instruction]
     labels: dict[str, int]
     base: int
+    #: True when the encodings are base-independent: every label
+    #: reference in the supported syntax is pc-relative, so only
+    #: ``.align`` padding (whose width depends on the absolute pc) ties
+    #: code bytes to the assembly base.
+    relocatable: bool = True
 
     def label(self, name: str) -> int:
         """Absolute address of label *name*."""
         return self.labels[name]
+
+    def retarget(self, base: int) -> "AssembledProgram":
+        """The same program placed at *base* without re-assembling.
+
+        Valid only for relocatable programs (no ``.align``): code bytes
+        are identical at any base, so retargeting just shifts labels and
+        instruction addresses.  Callers that may assemble ``.align``
+        must fall back to a second :meth:`Assembler.assemble` pass.
+        """
+        if not self.relocatable:
+            raise ValueError("program uses .align; re-assemble at the new base")
+        delta = base - self.base
+        if delta == 0:
+            return self
+        instructions = [replace(i, addr=(i.addr + delta if i.addr is not None else None))
+                        for i in self.instructions]
+        labels = {name: addr + delta for name, addr in self.labels.items()}
+        return AssembledProgram(self.code, instructions, labels, base)
 
 
 class Assembler:
@@ -178,7 +202,7 @@ class Assembler:
         if mnem == ".align":
             align = 1 << _parse_int(ops[0], line_no)
             pad = (-pc) % align
-            return _Item("bytes", line_no, pad, data=bytes(pad))
+            return _Item("bytes", line_no, pad, data=bytes(pad), aligned=True)
         if mnem == ".space":
             n = _parse_int(ops[0], line_no)
             return _Item("bytes", line_no, n, data=bytes(n))
@@ -343,8 +367,11 @@ class Assembler:
         items, labels = self._scan(source)
         code = bytearray()
         instructions: list[Instruction] = []
+        relocatable = True
         for item in items:
             if item.kind == "bytes":
+                if item.aligned:
+                    relocatable = False
                 code.extend(item.data)
                 continue
             expanded = self._expand(item, labels)
@@ -361,7 +388,8 @@ class Assembler:
                     f"{item.mnemonic}: pass-1 size {item.size} != pass-2 size {total}",
                     item.line_no,
                 )
-        return AssembledProgram(bytes(code), instructions, labels, self.base)
+        return AssembledProgram(bytes(code), instructions, labels, self.base,
+                                relocatable=relocatable)
 
 
 def _split_mem(text: str, line_no: int) -> tuple[int, int]:

@@ -15,6 +15,7 @@ again.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Callable, Optional
 
 from repro.isa.decoding import IllegalEncodingError, decode
@@ -35,6 +36,17 @@ from repro.sim.vector import VectorUnit
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 _MASK32 = 0xFFFFFFFF
 
+#: Mnemonics that may redirect control flow; they terminate superblocks.
+#: ecall/ebreak raise, so they end a block the same way a jump does.
+_CTRL_MNEMONICS = frozenset({
+    "jal", "jalr", "beq", "bne", "blt", "bge", "bltu", "bgeu",
+    "ecall", "ebreak",
+    "c.j", "c.jr", "c.jalr", "c.beqz", "c.bnez", "c.ebreak",
+})
+
+#: Straight-line run length cap per superblock.
+_MAX_BLOCK_OPS = 128
+
 
 def _s(value: int) -> int:
     """Unsigned-64 storage -> signed value."""
@@ -50,6 +62,7 @@ class Cpu:
         profile: IsaProfile = RV64GCV,
         cost_model: Optional[CostModel] = None,
         name: str = "hart0",
+        block_cache: bool = True,
     ):
         self.space = space
         self.profile = profile
@@ -77,7 +90,7 @@ class Cpu:
         #: ``fault.pc`` is never None once the CPU knows it.
         self.fault_hook: Optional[Callable[["Cpu", "SimFault"], None]] = None
         #: Counts of interesting dynamic events, keyed by name.
-        self.counters: dict[str, int] = {}
+        self.counters: dict[str, int] = defaultdict(int)
         #: Optional address tags: executing a tagged address bumps the
         #: named counter (used to count e.g. ARMore trampoline bounces).
         self.tag_addrs: dict[int, str] = {}
@@ -87,6 +100,14 @@ class Cpu:
         self.count_decode = False
         # decode cache: addr -> (instr, handler, tag, seg, seg_version)
         self._dcache: dict[int, tuple[Instruction, Callable, Optional[str], object, int]] = {}
+        #: Superblock engine switch: when True, :meth:`run` executes
+        #: straight-line runs from a basic-block cache; when any hook
+        #: (step_hook/tracer/tag_addrs) is live it falls back to
+        #: :meth:`step` so chaos/self-heal/telemetry semantics hold.
+        self.block_cache = block_cache
+        # superblock cache: entry pc -> (ops, seg, seg_version, start, end)
+        # where ops = [(pc, next_pc, instr, handler, cost, cost_taken)].
+        self._bcache: dict[int, tuple[list, object, int, int, int]] = {}
 
     # -- register helpers --------------------------------------------------
 
@@ -101,11 +122,41 @@ class Cpu:
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment a named event counter."""
-        self.counters[counter] = self.counters.get(counter, 0) + amount
+        self.counters[counter] += amount
 
     def flush_decode_cache(self) -> None:
-        """Drop all cached decodes (after kernel code patching)."""
+        """Drop all cached decodes and superblocks (after code patching)."""
         self._dcache.clear()
+        self._bcache.clear()
+
+    def invalidate_code(self, addr: int, length: int) -> None:
+        """Targeted invalidation after a code patch at ``[addr, addr+length)``.
+
+        Evicts decode-cache entries and superblocks overlapping the
+        patched range.  Surviving entries in the patched segment are
+        re-validated in place when the segment advanced by exactly the
+        one version bump this patch made — so a ranged patch costs only
+        the overlapping entries, not the whole cache.  Correctness never
+        depends on this being called: every cache probe checks the
+        segment version and rebuilds stale entries lazily.
+        """
+        end = addr + length
+        dcache = self._dcache
+        for pc in [pc for pc, e in dcache.items()
+                   if pc < end and pc + e[0].length > addr]:
+            del dcache[pc]
+        for pc, entry in dcache.items():
+            instr, handler, tag, seg, version = entry
+            if seg.contains(addr) and version == seg.version - 1:
+                dcache[pc] = (instr, handler, tag, seg, seg.version)
+        bcache = self._bcache
+        for pc in [pc for pc, b in bcache.items()
+                   if b[3] < end and b[4] > addr]:
+            del bcache[pc]
+        for pc, block in bcache.items():
+            ops, seg, version, start, stop = block
+            if seg.contains(addr) and version == seg.version - 1:
+                bcache[pc] = (ops, seg, seg.version, start, stop)
 
     def snapshot_regs(self) -> list[int]:
         """Copy of the integer register file."""
@@ -171,13 +222,147 @@ class Cpu:
         return instr
 
     def run(self, max_instructions: int = 50_000_000) -> None:
-        """Run until a fault propagates or the budget is exhausted."""
+        """Run until a fault propagates or the budget is exhausted.
+
+        With :attr:`block_cache` on and no per-step hook live, execution
+        goes through the superblock engine: straight-line runs are
+        decoded once into a flat dispatch list and replayed in a tight
+        loop with precomputed costs.  Any live ``step_hook``/``tracer``/
+        ``tag_addrs`` drops back to :meth:`step` per instruction, so
+        instrumented runs observe every architectural event.
+        """
         step = self.step
         remaining = max_instructions
-        while remaining > 0:
-            step()
-            remaining -= 1
+        if not self.block_cache:
+            while remaining > 0:
+                step()
+                remaining -= 1
+            raise SimulationLimitExceeded(max_instructions)
+        bcache = self._bcache
+        hits = 0
+        retired = 0
+        try:
+            while remaining > 0:
+                if (self.step_hook is not None or self.tracer is not None
+                        or self.tag_addrs):
+                    step()
+                    remaining -= 1
+                    continue
+                pc = self.pc
+                block = bcache.get(pc)
+                if block is None or block[1].version != block[2]:
+                    try:
+                        block = self._build_block(pc)
+                    except SimFault as fault:
+                        if fault.pc is None:
+                            fault.pc = pc
+                        if self.fault_hook is not None:
+                            self.fault_hook(self, fault)
+                        raise
+                else:
+                    hits += 1
+                executed = self._exec_block(block[0], remaining)
+                retired += executed
+                remaining -= executed
+        finally:
+            if retired:
+                self.counters["superblock_instret"] += retired
+            if hits:
+                self.counters["block_cache_hits"] += hits
         raise SimulationLimitExceeded(max_instructions)
+
+    def _build_block(self, pc: int) -> tuple[list, object, int, int, int]:
+        """Decode the straight-line run starting at *pc* into a superblock.
+
+        The block ends at the first control-flow instruction, at the
+        segment edge, at an instruction the profile cannot execute, or
+        at the op cap.  A decode failure past the entry just ends the
+        block early: execution reaches that pc architecturally and the
+        fault is raised from there with the exact :meth:`step` protocol.
+        """
+        seg = self.space.fetch_segment(pc)  # raises SegmentationFault(exec)
+        version = seg.version
+        seg_end = seg.end
+        instruction_cost = self.cost.instruction_cost
+        ops: list = []
+        cur = pc
+        while len(ops) < _MAX_BLOCK_OPS:
+            try:
+                instr, handler, _tag = self._decode_at(cur)
+            except SimFault:
+                if ops:
+                    break  # fault raised when execution actually gets there
+                raise
+            fn = handler
+            if handler is not _unsupported:
+                spec = _SPECIALIZERS.get(instr.mnemonic)
+                if spec is not None:
+                    fn = spec(instr) or handler
+            nxt = cur + instr.length
+            ops.append((cur, nxt, instr, fn,
+                        instruction_cost(instr, taken=False),
+                        instruction_cost(instr, taken=True)))
+            if instr.mnemonic in _CTRL_MNEMONICS or handler is _unsupported:
+                break
+            cur = nxt
+            if cur >= seg_end:
+                break
+        block = (ops, seg, version, pc, ops[-1][1])
+        self._bcache[pc] = block
+        return block
+
+    def _exec_block(self, ops: list, limit: int) -> int:
+        """Execute up to *limit* ops of one superblock; returns retired count.
+
+        Mirrors :meth:`step` exactly on the fault path: pc restored to
+        the faulting instruction, ``fault.pc`` filled, ``fault_hook``
+        fired, and only retired ops counted toward instret/cycles.
+        """
+        if len(ops) > limit:
+            ops = ops[:limit]
+        executed = 0
+        cycles = 0
+        pc = self.pc
+        try:
+            for pc, nxt, instr, handler, cost, cost_taken in ops:
+                self.pc = nxt
+                if handler(self, instr):
+                    cycles += cost_taken
+                else:
+                    cycles += cost
+                executed += 1
+                if self.pc != nxt:
+                    break
+        except SimFault as fault:
+            self.pc = pc
+            self._commit(executed, cycles, ops, count=True)
+            if fault.pc is None:
+                fault.pc = pc
+            if self.fault_hook is not None:
+                self.fault_hook(self, fault)
+            raise
+        except Exception:
+            self.pc = pc
+            self._commit(executed, cycles, ops, count=True)
+            raise
+        self._commit(executed, cycles, ops)
+        return executed
+
+    def _commit(self, executed: int, cycles: int, ops: list,
+                count: bool = False) -> None:
+        """Account a (possibly partial) superblock's retired ops.
+
+        ``count=True`` (the fault paths) also settles the
+        ``superblock_instret`` counter here, because :meth:`run` only
+        sums the retired counts of blocks that return normally.
+        """
+        if not executed:
+            return
+        self.instret += executed
+        self.cycles += cycles
+        self.last_pc = ops[executed - 1][0]
+        if count:
+            self.counters["superblock_instret"] += executed
 
 
 # ---------------------------------------------------------------------------
@@ -674,4 +859,306 @@ _HANDLERS: dict[str, Callable] = {
     "vmv.v.i": _exec_vmv_v_i,
     "vmv.x.s": _exec_vmv_x_s,
     "vredsum.vs": _exec_vredsum,
+}
+
+
+# ---------------------------------------------------------------------------
+# Superblock operand specialization.  At block-build time the decoded
+# operands are baked into small closures that index the register file
+# directly — the same architectural semantics as the generic handlers
+# (x0 stays zero because nothing ever writes regs[0] and writes to it
+# are compiled out; results are masked exactly as set_reg would), minus
+# the per-step attribute and method dispatch.  A specializer may return
+# None to decline an encoding, falling back to the generic handler.
+# ---------------------------------------------------------------------------
+
+def _spec_nop(cpu, _i):
+    return None
+
+
+def _spec_const(i, value):
+    rd = i.rd
+    if rd == 0:
+        return _spec_nop
+    value &= _MASK64
+
+    def fn(cpu, _i, rd=rd, value=value):
+        cpu.regs[rd] = value
+    return fn
+
+
+def _spec_lui(i):
+    return _spec_const(i, sign_extend(i.imm << 12, 32))
+
+
+def _spec_c_lui(i):
+    return _spec_const(i, sign_extend((i.imm & 0x3F) << 12, 18))
+
+
+def _spec_c_li(i):
+    return _spec_const(i, i.imm)
+
+
+def _spec_auipc(i):
+    return _spec_const(i, i.addr + sign_extend(i.imm << 12, 32))
+
+
+def _spec_addi(i):
+    rd, rs1, imm = i.rd, i.rs1, i.imm
+    if rd == 0:
+        return _spec_nop
+
+    def fn(cpu, _i, rd=rd, rs1=rs1, imm=imm):
+        regs = cpu.regs
+        regs[rd] = (regs[rs1] + imm) & _MASK64
+    return fn
+
+
+def _spec_addiw(i):
+    rd, rs1, imm = i.rd, i.rs1, i.imm
+    if rd == 0:
+        return _spec_nop
+
+    def fn(cpu, _i, rd=rd, rs1=rs1, imm=imm):
+        regs = cpu.regs
+        v = (regs[rs1] + imm) & _MASK32
+        regs[rd] = (v - 0x1_0000_0000 if v & 0x8000_0000 else v) & _MASK64
+    return fn
+
+
+def _spec_c_addi16sp(i):
+    imm = i.imm
+
+    def fn(cpu, _i, imm=imm):
+        regs = cpu.regs
+        regs[2] = (regs[2] + imm) & _MASK64
+    return fn
+
+
+def _spec_logic_imm(op):
+    def make(i):
+        rd, rs1 = i.rd, i.rs1
+        if rd == 0:
+            return _spec_nop
+        imm = i.imm & _MASK64
+
+        def fn(cpu, _i, rd=rd, rs1=rs1, imm=imm, op=op):
+            regs = cpu.regs
+            regs[rd] = op(regs[rs1], imm)
+        return fn
+    return make
+
+
+def _spec_shift_imm(op):
+    """Immediate shifts: result masked, shamt literal."""
+    def make(i):
+        rd, rs1, sh = i.rd, i.rs1, i.imm
+        if rd == 0:
+            return _spec_nop
+
+        def fn(cpu, _i, rd=rd, rs1=rs1, sh=sh, op=op):
+            regs = cpu.regs
+            regs[rd] = op(regs[rs1], sh) & _MASK64
+        return fn
+    return make
+
+
+def _spec_rr(op):
+    """Register-register ALU: result masked like set_reg."""
+    def make(i):
+        rd, rs1, rs2 = i.rd, i.rs1, i.rs2
+        if rd == 0:
+            return _spec_nop
+
+        def fn(cpu, _i, rd=rd, rs1=rs1, rs2=rs2, op=op):
+            regs = cpu.regs
+            regs[rd] = op(regs[rs1], regs[rs2]) & _MASK64
+        return fn
+    return make
+
+
+def _spec_c_mv(i):
+    rd, rs2 = i.rd, i.rs2
+    if rd == 0:
+        return _spec_nop
+
+    def fn(cpu, _i, rd=rd, rs2=rs2):
+        regs = cpu.regs
+        regs[rd] = regs[rs2]
+    return fn
+
+
+def _spec_c_add(i):
+    rd, rs2 = i.rd, i.rs2
+    if rd == 0:
+        return _spec_nop
+
+    def fn(cpu, _i, rd=rd, rs2=rs2):
+        regs = cpu.regs
+        regs[rd] = (regs[rd] + regs[rs2]) & _MASK64
+    return fn
+
+
+def _spec_load(width, signed):
+    bits = width * 8
+
+    def make(i):
+        rd, rs1, imm = i.rd, i.rs1, i.imm
+
+        def fn(cpu, _i, rd=rd, rs1=rs1, imm=imm, width=width,
+               bits=bits, signed=signed):
+            regs = cpu.regs
+            addr = (regs[rs1] + imm) & _MASK64
+            value = int.from_bytes(cpu.space.read(addr, width), "little")
+            if signed and value >> (bits - 1):
+                value = (value - (1 << bits)) & _MASK64
+            if rd:
+                regs[rd] = value
+        return fn
+    return make
+
+
+def _spec_store(width):
+    mask = (1 << (width * 8)) - 1
+
+    def make(i):
+        rs1, rs2, imm = i.rs1, i.rs2, i.imm
+
+        def fn(cpu, _i, rs1=rs1, rs2=rs2, imm=imm, width=width, mask=mask):
+            regs = cpu.regs
+            cpu.space.write((regs[rs1] + imm) & _MASK64,
+                            (regs[rs2] & mask).to_bytes(width, "little"))
+        return fn
+    return make
+
+
+def _spec_branch(op):
+    def make(i):
+        rs1, rs2 = i.rs1, i.rs2
+        target = (i.addr + i.imm) & _MASK64
+
+        def fn(cpu, _i, rs1=rs1, rs2=rs2, target=target, op=op):
+            regs = cpu.regs
+            if op(regs[rs1], regs[rs2]):
+                cpu.pc = target
+                return True
+            return False
+        return fn
+    return make
+
+
+def _spec_c_branch(zero_taken):
+    def make(i):
+        rs1 = i.rs1
+        target = (i.addr + i.imm) & _MASK64
+
+        def fn(cpu, _i, rs1=rs1, target=target, zero_taken=zero_taken):
+            if (cpu.regs[rs1] == 0) is zero_taken:
+                cpu.pc = target
+                return True
+            return False
+        return fn
+    return make
+
+
+def _spec_jal(i):
+    rd, link = i.rd, i.addr + 4
+    target = (i.addr + i.imm) & _MASK64
+
+    def fn(cpu, _i, rd=rd, link=link, target=target):
+        if rd:
+            cpu.regs[rd] = link
+        cpu.pc = target
+    return fn
+
+
+def _spec_c_j(i):
+    target = (i.addr + i.imm) & _MASK64
+
+    def fn(cpu, _i, target=target):
+        cpu.pc = target
+    return fn
+
+
+def _spec_jalr(i):
+    rd, rs1, imm, link = i.rd, i.rs1, i.imm, i.addr + 4
+
+    def fn(cpu, _i, rd=rd, rs1=rs1, imm=imm, link=link):
+        target = (cpu.regs[rs1] + imm) & _MASK64 & ~1
+        if rd:
+            cpu.regs[rd] = link
+        cpu.pc = target
+    return fn
+
+
+_SPECIALIZERS: dict[str, Callable[[Instruction], Optional[Callable]]] = {
+    "lui": _spec_lui,
+    "auipc": _spec_auipc,
+    "c.lui": _spec_c_lui,
+    "c.li": _spec_c_li,
+    "addi": _spec_addi,
+    "c.addi": _spec_addi,
+    "c.addi4spn": _spec_addi,
+    "addiw": _spec_addiw,
+    "c.addiw": _spec_addiw,
+    "c.addi16sp": _spec_c_addi16sp,
+    "andi": _spec_logic_imm(lambda a, b: a & b),
+    "c.andi": _spec_logic_imm(lambda a, b: a & b),
+    "ori": _spec_logic_imm(lambda a, b: a | b),
+    "xori": _spec_logic_imm(lambda a, b: a ^ b),
+    "slli": _spec_shift_imm(lambda a, sh: a << sh),
+    "c.slli": _spec_shift_imm(lambda a, sh: a << sh),
+    "srli": _spec_shift_imm(lambda a, sh: a >> sh),
+    "c.srli": _spec_shift_imm(lambda a, sh: a >> sh),
+    "srai": _spec_shift_imm(lambda a, sh: _s(a) >> sh),
+    "c.srai": _spec_shift_imm(lambda a, sh: _s(a) >> sh),
+    "add": _spec_rr(lambda a, b: a + b),
+    "sub": _spec_rr(lambda a, b: a - b),
+    "c.sub": _spec_rr(lambda a, b: a - b),
+    "and": _spec_rr(lambda a, b: a & b),
+    "c.and": _spec_rr(lambda a, b: a & b),
+    "or": _spec_rr(lambda a, b: a | b),
+    "c.or": _spec_rr(lambda a, b: a | b),
+    "xor": _spec_rr(lambda a, b: a ^ b),
+    "c.xor": _spec_rr(lambda a, b: a ^ b),
+    "sll": _spec_rr(lambda a, b: a << (b & 63)),
+    "srl": _spec_rr(lambda a, b: a >> (b & 63)),
+    "sra": _spec_rr(lambda a, b: _s(a) >> (b & 63)),
+    "slt": _spec_rr(lambda a, b: 1 if _s(a) < _s(b) else 0),
+    "sltu": _spec_rr(lambda a, b: 1 if a < b else 0),
+    "mul": _spec_rr(lambda a, b: a * b),
+    "remu": _spec_rr(lambda a, b: a if b == 0 else a % b),
+    "divu": _spec_rr(lambda a, b: _MASK64 if b == 0 else a // b),
+    "c.mv": _spec_c_mv,
+    "c.add": _spec_c_add,
+    "lb": _spec_load(1, True),
+    "lh": _spec_load(2, True),
+    "lw": _spec_load(4, True),
+    "ld": _spec_load(8, True),
+    "c.lw": _spec_load(4, True),
+    "c.ld": _spec_load(8, True),
+    "c.lwsp": _spec_load(4, True),
+    "c.ldsp": _spec_load(8, True),
+    "lbu": _spec_load(1, False),
+    "lhu": _spec_load(2, False),
+    "lwu": _spec_load(4, False),
+    "sb": _spec_store(1),
+    "sh": _spec_store(2),
+    "sw": _spec_store(4),
+    "sd": _spec_store(8),
+    "c.sw": _spec_store(4),
+    "c.sd": _spec_store(8),
+    "c.swsp": _spec_store(4),
+    "c.sdsp": _spec_store(8),
+    "beq": _spec_branch(lambda a, b: a == b),
+    "bne": _spec_branch(lambda a, b: a != b),
+    "blt": _spec_branch(lambda a, b: _s(a) < _s(b)),
+    "bge": _spec_branch(lambda a, b: _s(a) >= _s(b)),
+    "bltu": _spec_branch(lambda a, b: a < b),
+    "bgeu": _spec_branch(lambda a, b: a >= b),
+    "c.beqz": _spec_c_branch(True),
+    "c.bnez": _spec_c_branch(False),
+    "jal": _spec_jal,
+    "c.j": _spec_c_j,
+    "jalr": _spec_jalr,
 }

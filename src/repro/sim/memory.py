@@ -107,6 +107,8 @@ class AddressSpace:
         seg = self._seg_for(addr, len(data), "write", Perm.W)
         off = addr - seg.base
         seg.data[off:off + len(data)] = data
+        if Perm.X in seg.perm:
+            seg.version += 1  # store into W+X memory: cached decodes stale
 
     def fetch(self, addr: int, size: int) -> bytes:
         """Permission-checked instruction fetch (requires X).

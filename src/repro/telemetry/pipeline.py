@@ -69,8 +69,16 @@ def run_traced_workload(
     max_instructions: int = 50_000_000,
     telemetry: Telemetry | None = None,
     probe: bool = True,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> TracedRun:
-    """Drive *name* through the full instrumented pipeline."""
+    """Drive *name* through the full instrumented pipeline.
+
+    With *cache_dir* the rewrite goes through the verified-rewrite
+    pipeline (:mod:`repro.core.pipeline`): the binary is admission-
+    verified once, cached content-addressed, and later runs load the
+    released image instead of re-translating.
+    """
     from repro.core.rewriter import ChimeraRewriter
     from repro.core.runtime import ChimeraRuntime
     from repro.elf.loader import make_process
@@ -85,7 +93,15 @@ def run_traced_workload(
                 binary = resolve_workload(name, variant=variant, scale=scale)
 
             rewriter = ChimeraRewriter()
-            rewrite = rewriter.rewrite(binary, profile)
+            if cache_dir is not None:
+                from repro.core.pipeline import rewrite_and_verify
+
+                rewrite = rewrite_and_verify(
+                    binary, profile, rewriter=rewriter, oracle_trials=1,
+                    jobs=jobs, cache_dir=cache_dir,
+                ).result
+            else:
+                rewrite = rewriter.rewrite(binary, profile)
 
             with telemetry.span("trace.execute", core=target):
                 kernel = Kernel()

@@ -29,6 +29,7 @@ admitted region is an ``admission-escape``).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
 from repro.core.smile import smile_window_target, smile_window_violations
@@ -57,6 +58,8 @@ class AdmissionGate:
         oracle_trials: int = 2,
         oracle_max_steps: int = 512,
         max_oracle_regions: int = 0,
+        jobs: int = 1,
+        liveness=None,
     ):
         meta = rewritten.metadata.get("chimera")
         if meta is None:
@@ -76,9 +79,16 @@ class AdmissionGate:
         #: expensive co-execution on large synthetic binaries (static
         #: checks always run on all regions; the skip is reported).
         self.max_oracle_regions = max_oracle_regions
+        #: Worker threads for the per-region fan-out (1 = serial).  Every
+        #: check is read-only over shared state — the oracle builds fresh
+        #: processes per trial and each trial's RNG is derived from
+        #: (seed, region, trial) alone — so results are identical for any
+        #: job count; only the wall-clock changes.
+        self.jobs = max(1, jobs)
         self.oracle = DifferentialOracle(
             original, rewritten, seed=self.seed,
-            trials=oracle_trials, max_steps=oracle_max_steps)
+            trials=oracle_trials, max_steps=oracle_max_steps,
+            liveness=liveness)
         self._ct = (rewritten.section(".chimera.text")
                     if rewritten.has_section(".chimera.text") else None)
 
@@ -92,30 +102,44 @@ class AdmissionGate:
             seed=self.seed,
         )
         with telemetry.span("verify.admission", binary=self.rewritten.name,
-                            regions=len(self.records)):
-            for idx, rec in enumerate(self.records):
-                verdict = RegionVerdict(rec.start, rec.end, rec.kind)
-                verdict.checks.append(self._check_encoding(rec))
-                verdict.checks.append(self._check_target(rec))
-                verdict.checks.append(self._check_cfg(rec))
-                run_oracle = (self.max_oracle_regions <= 0
-                              or idx < self.max_oracle_regions)
-                if run_oracle:
-                    verdict.oracle_trials = self.oracle.check_region(rec)
-                    mismatches = [t for t in verdict.oracle_trials
-                                  if t.startswith("mismatch")]
-                    verdict.checks.append(CheckResult(
-                        "oracle", not mismatches,
-                        "; ".join(mismatches)
-                        or f"{len(verdict.oracle_trials)} trials"))
-                else:
+                            regions=len(self.records), jobs=self.jobs):
+            indices = range(len(self.records))
+            if self.jobs > 1 and len(self.records) > 1:
+                # Settle the oracle's lazy one-shot analysis on this
+                # thread; afterwards every worker only reads shared state.
+                self.oracle.prepare()
+                with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                    verdicts = list(pool.map(self._verify_region, indices))
+            else:
+                verdicts = [self._verify_region(idx) for idx in indices]
+            for verdict, oracle_ran in verdicts:
+                if not oracle_ran:
                     report.oracle_skipped += 1
                 report.regions.append(verdict)
                 if telemetry.enabled:
                     telemetry.metrics.inc(
-                        "verify.regions", kind=rec.kind,
+                        "verify.regions", kind=verdict.kind,
                         admitted=str(verdict.admitted).lower())
         return report
+
+    def _verify_region(self, idx: int) -> tuple[RegionVerdict, bool]:
+        """All four checks for region *idx*; safe to run concurrently."""
+        rec = self.records[idx]
+        verdict = RegionVerdict(rec.start, rec.end, rec.kind)
+        verdict.checks.append(self._check_encoding(rec))
+        verdict.checks.append(self._check_target(rec))
+        verdict.checks.append(self._check_cfg(rec))
+        run_oracle = (self.max_oracle_regions <= 0
+                      or idx < self.max_oracle_regions)
+        if run_oracle:
+            verdict.oracle_trials = self.oracle.check_region(rec)
+            mismatches = [t for t in verdict.oracle_trials
+                          if t.startswith("mismatch")]
+            verdict.checks.append(CheckResult(
+                "oracle", not mismatches,
+                "; ".join(mismatches)
+                or f"{len(verdict.oracle_trials)} trials"))
+        return verdict, run_oracle
 
     # -- live bytes ---------------------------------------------------------
 
@@ -342,10 +366,14 @@ def verify_binary(
     *,
     seed: Optional[int] = None,
     oracle_trials: int = 2,
+    oracle_max_steps: int = 512,
     max_oracle_regions: int = 0,
+    jobs: int = 1,
+    liveness=None,
 ) -> VerifyReport:
     """Convenience wrapper: gate *rewritten* against *original*."""
     return AdmissionGate(
         original, rewritten, seed=seed, oracle_trials=oracle_trials,
-        max_oracle_regions=max_oracle_regions,
+        oracle_max_steps=oracle_max_steps,
+        max_oracle_regions=max_oracle_regions, jobs=jobs, liveness=liveness,
     ).verify()

@@ -95,6 +95,7 @@ class DifferentialOracle:
         seed: Optional[int] = None,
         trials: int = 2,
         max_steps: int = 512,
+        liveness=None,
     ):
         meta = rewritten.metadata.get("chimera")
         if meta is None:
@@ -108,9 +109,20 @@ class DifferentialOracle:
         #: The source side runs on a superset core so every original
         #: extension instruction executes natively.
         self.source_profile = PROFILES["rv64gcv"]
-        self._liveness = None
+        #: Liveness over the *original* binary.  The rewriter already
+        #: computed exactly this to prove exit registers dead; passing it
+        #: in skips a redundant scan+cfg+dataflow pass.
+        self._liveness = liveness
 
     # -- analysis (matches the patcher's own parameters) --------------------
+
+    def prepare(self) -> None:
+        """Force the lazy liveness analysis now.
+
+        Call before fanning ``check_region`` out across threads so the
+        one-shot mutation happens on a single thread.
+        """
+        self._dead_at(self.original.entry)
 
     def _dead_at(self, addr: int) -> frozenset:
         if self._liveness is None:
@@ -186,7 +198,7 @@ class DifferentialOracle:
         for name in sorted(names or ()):
             size = min(s.size for p in processes
                        for s in p.space.segments if s.name == name)
-            blob = bytes(rng.getrandbits(8) for _ in range(min(size, 512)))
+            blob = rng.randbytes(min(size, 512))
             for process in processes:
                 seg = next(s for s in process.space.segments if s.name == name)
                 seg.data[:len(blob)] = blob

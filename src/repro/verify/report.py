@@ -51,6 +51,17 @@ class RegionVerdict:
             "oracle_trials": list(self.oracle_trials),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegionVerdict":
+        return cls(
+            start=data["start"],
+            end=data["end"],
+            kind=data["kind"],
+            checks=[CheckResult(c["name"], c["passed"], c.get("detail", ""))
+                    for c in data.get("checks", ())],
+            oracle_trials=list(data.get("oracle_trials", ())),
+        )
+
 
 @dataclass
 class VerifyReport:
@@ -94,10 +105,26 @@ class VerifyReport:
             "regions": [r.as_dict() for r in self.regions],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerifyReport":
+        return cls(
+            binary=data["binary"],
+            target=data["target"],
+            seed=data["seed"],
+            regions=[RegionVerdict.from_dict(r)
+                     for r in data.get("regions", ())],
+            oracle_skipped=data.get("counts", {}).get("oracle_skipped", 0),
+        )
+
     def write_json(self, path: str) -> None:
         with open(path, "w") as fh:
             json.dump(self.as_dict(), fh, indent=1, sort_keys=True)
             fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "VerifyReport":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
 
     def summary(self) -> str:
         c = self.counts()

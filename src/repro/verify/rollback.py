@@ -193,7 +193,11 @@ class PatchHealer:
             entry.not_before = cpu.instret + self.policy.backoff(entry.rollbacks)
         cpu.pc = self._resume_pc(rec, fault_pc)
         cpu.set_reg(Reg.GP, rt.gp_value)
-        cpu.flush_decode_cache()
+        # Only the restored window and the re-trapped sources changed;
+        # every other cached decode/superblock stays valid.
+        cpu.invalidate_code(rec.start, rec.end - rec.start)
+        for saddr, slen, _, _, _ in entry.heal_patches:
+            cpu.invalidate_code(saddr, slen)
         cpu.cycles += cpu.cost.fault_handling_cost * 4  # rollback is heavy
         cpu.bump("patch_rollbacks")
         rt.stats.patch_rollbacks += 1
@@ -299,11 +303,16 @@ class PatchHealer:
                 entry.state = "pinned"  # golden patch itself is bad
                 self.runtime._record("patch_pinned")
                 continue
+            # Capture the spans before _reapply clears heal_patches.
+            spans = [(rec.start, rec.end - rec.start)]
+            spans += [(saddr, slen)
+                      for saddr, slen, _, _, _ in entry.heal_patches]
             self._reapply(process, rec, entry)
             entry.state = "admitted"
             entry.readmissions += 1
             readmitted += 1
-            cpu.flush_decode_cache()
+            for addr, length in spans:
+                cpu.invalidate_code(addr, length)
             self.runtime.stats.patch_readmissions += 1
             self.runtime._record("patch_readmission")
         return readmitted
@@ -348,13 +357,14 @@ class PatchHealer:
             for key, _ in rec.fault_entries:
                 rt.fault_table.entries.pop(key, None)
                 rt.smile_regs.pop(key, None)
+            cpu.invalidate_code(rec.start, rec.end - rec.start)
             for saddr, slen, block, blen, ebreak_addr in entry.heal_patches:
                 trap = (encode(Instruction("c.ebreak", length=2))
                         if slen == 2 else encode(Instruction("ebreak")))
                 process.space.patch_code(saddr, trap)
                 rt.trap_table[saddr] = block
                 rt.trap_table[ebreak_addr] = saddr + slen
-        cpu.flush_decode_cache()
+                cpu.invalidate_code(saddr, slen)
 
     def apply_imported_state(self) -> None:
         """Fix the runtime's tables after a journal import: a freshly

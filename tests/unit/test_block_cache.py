@@ -1,0 +1,142 @@
+"""Superblock execution engine: equivalence with the interpreter,
+versioned invalidation when code under a cached block is patched, and
+the targeted ``invalidate_code`` range semantics."""
+
+import pytest
+
+from repro.chaos.harness import scenario_self_heal_bitrot
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instruction
+from repro.sim.faults import SimFault, SimulationLimitExceeded
+from repro.sim.machine import Core, Kernel
+from repro.isa.extensions import PROFILES
+from repro.workloads.programs import FibonacciWorkload
+
+RV64GC = PROFILES["rv64gc"]
+
+
+def _loop_binary(iterations=5):
+    b = ProgramBuilder("bcache-loop")
+    b.set_text(f"""
+_start:
+    li a0, 0
+    li t0, {iterations}
+loop:
+    addi a0, a0, 1
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    ecall
+""")
+    return b.build()
+
+
+def _run(binary, *, block_cache):
+    kernel = Kernel(block_cache=block_cache)
+    process = make_process(binary)
+    result = kernel.run(process, Core(0, RV64GC))
+    return result
+
+
+class TestEquivalence:
+    def test_superblock_matches_interpreter(self):
+        binary = FibonacciWorkload(iterations=20).build("base")
+        fast = _run(binary, block_cache=True)
+        slow = _run(FibonacciWorkload(iterations=20).build("base"),
+                    block_cache=False)
+        assert fast.exit_code == slow.exit_code == 0
+        assert fast.instret == slow.instret
+        assert fast.cycles == slow.cycles
+        assert fast.output == slow.output
+
+    def test_superblock_counters_reported(self):
+        result = _run(FibonacciWorkload(iterations=20).build("base"),
+                      block_cache=True)
+        assert result.counters.get("block_cache_hits", 0) > 0
+        assert result.counters.get("superblock_instret", 0) > 0
+
+    def test_interpreter_path_reports_no_superblocks(self):
+        result = _run(FibonacciWorkload(iterations=20).build("base"),
+                      block_cache=False)
+        assert result.counters.get("block_cache_hits", 0) == 0
+        assert result.counters.get("superblock_instret", 0) == 0
+
+    def test_step_hook_forces_fallback(self):
+        binary = _loop_binary()
+        kernel = Kernel(block_cache=True)
+        process = make_process(binary)
+        cpu = kernel.make_cpu(process, Core(0, RV64GC))
+        seen = []
+        cpu.step_hook = lambda c: seen.append(c.pc)
+        kernel.run(process, Core(0, RV64GC), cpu=cpu)
+        assert seen  # the hook observed every instruction
+        assert cpu.counters.get("superblock_instret", 0) == 0
+
+
+class TestPatchInvalidation:
+    def test_patch_inside_cached_superblock_takes_effect(self):
+        """Bitrot-style patch (version bump only, no explicit
+        invalidation): the next execution of the cached block must see
+        the new bytes."""
+        binary = _loop_binary(iterations=5)
+        kernel = Kernel(block_cache=True)
+        process = make_process(binary)
+        cpu = kernel.make_cpu(process, Core(0, RV64GC))
+        # 2 setup instructions + 2 full loop iterations (3 each).
+        with pytest.raises(SimulationLimitExceeded):
+            cpu.run(max_instructions=8)
+        assert cpu.get_reg(10) == 2  # a0 after two increments
+        loop_pc = binary.symbol_addr("loop")
+        assert any(start <= loop_pc < end
+                   for (_, _, _, start, end) in cpu._bcache.values())
+        # Patch the cached `addi a0, a0, 1` to add 2 instead — exactly
+        # what TrampolineBitrotInjector does: patch_code, no cpu in hand.
+        process.space.patch_code(
+            loop_pc, encode(Instruction("addi", rd=10, rs1=10, imm=2)))
+        with pytest.raises(SimFault):  # runs to the exit ecall
+            cpu.run(max_instructions=50)
+        assert cpu.get_reg(10) == 2 + 3 * 2  # three patched iterations
+
+    def test_invalidate_code_is_targeted(self):
+        """Patching one block must not evict unrelated cached blocks."""
+        binary = _loop_binary(iterations=5)
+        kernel = Kernel(block_cache=True)
+        process = make_process(binary)
+        cpu = kernel.make_cpu(process, Core(0, RV64GC))
+        with pytest.raises(SimFault):
+            cpu.run(max_instructions=50)
+        assert len(cpu._bcache) >= 2  # entry block + loop body
+        loop_pc = binary.symbol_addr("loop")
+        survivors = [pc for pc, b in cpu._bcache.items()
+                     if not (b[3] <= loop_pc < b[4])]
+        assert survivors
+        process.space.patch_code(
+            loop_pc, encode(Instruction("addi", rd=10, rs1=10, imm=2)))
+        cpu.invalidate_code(loop_pc, 4)
+        assert all(not (b[3] <= loop_pc < b[4])
+                   for b in cpu._bcache.values())
+        seg = process.space.fetch_segment(loop_pc)
+        for pc in survivors:
+            # Refreshed in place: still cached and still valid.
+            assert cpu._bcache[pc][2] == seg.version
+
+    def test_rollback_heal_invalidates_cached_window(self):
+        """The chaos self-heal scenario patches original text mid-run
+        via PatchHealer rollback; with the block cache on (the default)
+        the freshly healed bytes must be the ones that execute."""
+        result = scenario_self_heal_bitrot()
+        assert result.passed, result.detail
+
+
+class TestWriteToExecutableMemory:
+    def test_store_into_wx_segment_bumps_version(self):
+        from repro.elf.binary import Perm
+        from repro.sim.memory import AddressSpace
+
+        space = AddressSpace("wx")
+        seg = space.map("wx-seg", 0x1000, bytearray(64), Perm.R | Perm.W | Perm.X)
+        before = seg.version
+        space.write(0x1000, b"\x13\x00\x00\x00")
+        assert seg.version == before + 1

@@ -148,3 +148,80 @@ class TestVerifyExitCodes:
         out = capsys.readouterr().out
         assert code == 1
         assert "FAIL" in out and "21" in out and "REPRO_FUZZ_SEED" in out
+
+
+class TestPerfFlagExitCodes:
+    """--jobs / --no-block-cache / --rewrite-cache keep the exit-code
+    contract on every command that accepts them."""
+
+    def test_run_image_no_block_cache_success(self, tmp_path):
+        path = tmp_path / "ok.self"
+        save_binary(FibonacciWorkload(iterations=20).build("base"), path)
+        assert main(["run", str(path), "--core", "rv64gc",
+                     "--no-block-cache"]) == 0
+
+    def test_run_image_no_block_cache_failure(self, tmp_path):
+        assert main(["run", exit_image(tmp_path, 1), "--core", "rv64gc",
+                     "--no-block-cache"]) == 1
+
+    def test_no_block_cache_restores_global_default(self, tmp_path):
+        from repro.sim import machine
+
+        assert machine.BLOCK_CACHE_DEFAULT is True
+        main(["run", exit_image(tmp_path, 0), "--core", "rv64gc",
+              "--no-block-cache"])
+        assert machine.BLOCK_CACHE_DEFAULT is True
+
+    def test_run_matches_interpreter_counters(self, tmp_path, capsys):
+        path = tmp_path / "ok.self"
+        save_binary(FibonacciWorkload(iterations=20).build("base"), path)
+        main(["run", str(path), "--core", "rv64gc", "--json"])
+        fast = json.loads(capsys.readouterr().out)
+        main(["run", str(path), "--core", "rv64gc", "--json",
+              "--no-block-cache"])
+        slow = json.loads(capsys.readouterr().out)
+        assert fast["instret"] == slow["instret"]
+        assert fast["cycles"] == slow["cycles"]
+        assert fast["counters"].get("block_cache_hits", 0) > 0
+        assert slow["counters"].get("block_cache_hits", 0) == 0
+
+    def test_verify_jobs_and_cache_success(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["verify", "dot", "--oracle-trials", "1",
+                     "--jobs", "2", "--rewrite-cache", str(cache)]) == 0
+        capsys.readouterr()
+        # Second invocation hits the cache and keeps the verdict.
+        assert main(["verify", "dot", "--oracle-trials", "1",
+                     "--jobs", "2", "--rewrite-cache", str(cache)]) == 0
+        assert "rewrite-cache hit" in capsys.readouterr().err
+
+    def test_verify_rejection_still_nonzero_with_jobs(self, monkeypatch):
+        import repro.verify
+
+        class FailReport:
+            ok = False
+
+            def summary(self):
+                return "admission verdict: FAIL"
+
+        monkeypatch.setattr(repro.verify, "verify_binary",
+                            lambda *a, **k: FailReport())
+        assert main(["verify", "dot", "--seed", "21", "--jobs", "4"]) == 1
+
+    def test_chaos_accepts_perf_flags(self, monkeypatch, capsys):
+        report = ChaosReport()
+        report.sweeps = [SweepReport(binary="b", mode="smile")]
+        report.scenarios = [ScenarioResult("stub", True, "fine")]
+        monkeypatch.setattr(repro.chaos, "run_chaos",
+                            lambda *a, **k: report)
+        assert main(["chaos", "matmul", "--jobs", "2",
+                     "--no-block-cache"]) == 0
+        capsys.readouterr()
+
+    def test_resilience_accepts_perf_flags(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            repro.resilience.scenarios, "run_all",
+            lambda seed=None: [ScenarioResult("stub", True, "fine")])
+        assert main(["resilience", "all", "--no-block-cache",
+                     "--jobs", "2"]) == 0
+        capsys.readouterr()
