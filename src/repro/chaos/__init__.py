@@ -23,6 +23,11 @@ from repro.chaos.harness import (
     sweep_binary,
 )
 from repro.chaos.injector import Injector, PcAssertionInjector
+from repro.chaos.pipeline_chaos import (
+    InjectedPipelineKill,
+    PipelineFailureInjector,
+    run_pipeline_chaos,
+)
 from repro.chaos.outcomes import (
     ALL_OUTCOMES,
     BENIGN_UNDEFINED,
@@ -46,9 +51,11 @@ __all__ = [
     "ChaosReport",
     "DETERMINISTIC_KILL",
     "HARD_FAILURES",
+    "InjectedPipelineKill",
     "Injector",
     "PYTHON_CRASH",
     "PcAssertionInjector",
+    "PipelineFailureInjector",
     "RECOVERED_REDIRECT",
     "SILENT_DIVERGENCE",
     "SWEEP_MODES",
@@ -57,6 +64,7 @@ __all__ = [
     "TrampolineAttackSweeper",
     "run_chaos",
     "run_injector_scenarios",
+    "run_pipeline_chaos",
     "run_workload_sweeps",
     "sweep_binary",
 ]

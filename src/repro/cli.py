@@ -49,8 +49,17 @@ def _isa(name: str):
 def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
     """The shared performance flags (run/verify/chaos/resilience)."""
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker threads for per-region verification "
+                        help="verification workers "
                              "(1 = serial; results are identical either way)")
+    parser.add_argument("--executor", choices=("serial", "thread", "process"),
+                        default=None,
+                        help="verification executor (default: process when "
+                             "--jobs > 1, else serial); process isolates "
+                             "worker crashes and hangs from the release")
+    parser.add_argument("--region-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock watchdog per region under "
+                             "--executor process (default: 60)")
     parser.add_argument("--no-block-cache", action="store_true",
                         help="disable the superblock execution engine; "
                              "every CPU runs the plain interpreter loop")
@@ -217,6 +226,7 @@ def _run_workload(args: argparse.Namespace, name: str) -> int:
             max_instructions=args.max_instructions,
             jobs=args.jobs,
             cache_dir=args.rewrite_cache,
+            executor=args.executor,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -269,12 +279,18 @@ def cmd_verify(args: argparse.Namespace) -> int:
     target = _isa(args.target)
     scope, telemetry = _telemetry_scope(args)
     with scope:
+        extra = {}
+        if args.region_timeout is not None:
+            extra["region_timeout"] = args.region_timeout
         pipe = rewrite_and_verify(
             original, target, seed=seed,
             oracle_trials=args.oracle_trials,
             max_oracle_regions=args.max_oracle_regions,
             jobs=args.jobs,
             cache_dir=args.rewrite_cache,
+            executor=args.executor,
+            resume=not args.no_resume,
+            **extra,
         )
         report = pipe.report
         escapes = 0
@@ -311,6 +327,23 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     seed = resolve_seed(args.seed)
     binary = _resolve_workload(args.workload, scale=args.scale)
+    if args.pipeline:
+        from repro.chaos import run_pipeline_chaos
+
+        scope, telemetry = _telemetry_scope(args)
+        with scope:
+            report = run_pipeline_chaos(
+                binary, target=_isa(args.target), jobs=args.jobs,
+                seed=seed, executor=args.executor or "process")
+        if telemetry is not None:
+            _write_telemetry(telemetry, args.telemetry_out)
+        for scenario in report.scenarios:
+            status = "PASS" if scenario.passed else "FAIL"
+            print(f"{status} {scenario.name}: {scenario.detail}")
+        if not report.ok:
+            print(f"seed: {seed} — {replay_hint(seed)}")
+            return 1
+        return 0
     scope, telemetry = _telemetry_scope(args)
     with scope:
         report = run_chaos(
@@ -453,6 +486,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--sweep-check", action="store_true",
                    help="also run the chaos sweeps and fail on any "
                         "admission-escape in a verified region")
+    p.add_argument("--no-resume", action="store_true",
+                   help="ignore any journalled verdicts from an interrupted "
+                        "run of the same release (requires --rewrite-cache "
+                        "to matter; a fresh run re-verifies every region)")
     p.add_argument("--telemetry-out", metavar="DIR", default=None,
                    help="write trace.json + metrics.json into DIR")
     _add_perf_flags(p)
@@ -466,6 +503,11 @@ def make_parser() -> argparse.ArgumentParser:
                    help="cap attacked regions per sweep (0 = exhaustive; skips are reported)")
     p.add_argument("--no-scenarios", action="store_true",
                    help="sweep only; skip the runtime-corruption injector scenarios")
+    p.add_argument("--pipeline", action="store_true",
+                   help="run the pipeline failure-injection scenarios instead "
+                        "(worker kills, oracle hangs, torn cache writes, "
+                        "truncated journals) and fail unless every one ends "
+                        "in a completed run with a correct ledger")
     p.add_argument("--seed", type=int, default=None,
                    help="failure-injection seed (default: $REPRO_FUZZ_SEED, else 0)")
     p.add_argument("-v", "--verbose", action="store_true",

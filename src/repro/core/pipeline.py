@@ -1,28 +1,52 @@
-"""Parallel verified-rewrite pipeline with a content-addressed cache.
+"""Fault-isolated verified-rewrite pipeline with a crash-safe cache.
 
 ``rewrite_and_verify`` is the one-stop producer of a *released* binary:
 it translates (``ChimeraRewriter``), then admits every patched region
 through the static gate and seeded differential oracle
-(:mod:`repro.verify.admission`), fanning the per-region work across a
-thread pool when ``jobs > 1``.  Results are deterministic for any job
-count: each oracle trial's RNG is derived from ``(seed, region, trial)``
-alone and verdicts are collected in record order, so the rewritten bytes
-and the :class:`~repro.verify.report.VerifyReport` ledger are identical
-whether the pipeline ran serial, parallel, or from cache.
+(:mod:`repro.verify.admission`).  With ``jobs > 1`` the per-region work
+fans out across a **fault-isolated process pool** by default
+(:mod:`repro.core.procpool`): a worker that crashes or hangs is killed,
+attributed to its exact region as a structured
+:class:`~repro.resilience.failures.RegionFault`, and the region is
+re-dispatched under :data:`~repro.resilience.policy.PIPELINE_RETRY_POLICY`.
+A region that exhausts its retries is quarantined and **degraded** —
+re-admitted on the verified trap-fallback encoding
+(:mod:`repro.verify.degrade`) or excluded — so a release always
+completes with a machine-readable account of what was verified,
+degraded, or refused.  ``--executor thread`` keeps the old shared
+interpreter fan-out for debugging; results are deterministic for any
+executor and job count: each oracle trial's RNG is derived from
+``(seed, region, trial)`` alone and verdicts are merged in record
+order, so the rewritten bytes and the
+:class:`~repro.verify.report.VerifyReport` ledger are byte-identical
+whether the pipeline ran serial, threaded, process-parallel, resumed,
+or from cache — on fault-free inputs.
 
 The cache is content-addressed: the key hashes the *input* binary's
 sections, the rewriter configuration, and the gate configuration
-(including the resolved seed).  A hit loads the previously released
-``.self`` image plus its verification ledger and skips both translation
-and verification — safe precisely because every key ingredient that
-could change the output is part of the key.
+(including the resolved seed).  Entries are crash-safe against
+concurrent multi-process writers: each is published as ``<key>.self`` +
+``<key>.report.json`` + a final ``<key>.meta.json`` carrying both
+checksums (temp-file writes, atomic renames, the meta rename is the
+commit point).  A torn, truncated, or checksum-mismatching entry is a
+**miss-and-repair**: every on-disk piece is deleted (counter
+``pipeline.cache_repairs``) and the release is rebuilt.  Temp files
+orphaned by a crashed writer are garbage-collected after
+:data:`_ORPHAN_TTL` seconds.
+
+A resumable run journal (``<cache>/journal/<key>.jsonl``) records each
+settled region verdict as it lands; a killed ``python -m repro verify``
+rerun with the same inputs resumes from the completed regions instead
+of restarting (torn tail lines are detected by checksum and dropped).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -31,13 +55,27 @@ from repro.core.rewriter import ChimeraRewriter, RewriteResult
 from repro.elf.binary import Binary
 from repro.elf.fileformat import FileFormatError, load_binary_file, save_binary
 from repro.isa.extensions import IsaProfile
+from repro.resilience.failures import (
+    RESOLVED_DEGRADED,
+    RESOLVED_EXCLUDED,
+    RESOLVED_QUARANTINED,
+)
+from repro.resilience.policy import RetryPolicy
 from repro.resilience.seeds import resolve_seed
 from repro.telemetry import current as telemetry_current
-from repro.verify.report import VerifyReport
+from repro.verify.report import RegionVerdict, VerifyReport
 
 #: Bump whenever the rewrite or verification output format changes in a
-#: way the key ingredients do not capture.
-_CACHE_SCHEMA = "chimera-rewrite-cache/v1"
+#: way the key ingredients do not capture.  v2: three-file entries with
+#: a checksummed meta commit record.
+_CACHE_SCHEMA = "chimera-rewrite-cache/v2"
+
+#: Temp files older than this (seconds) are crash orphans: their writer
+#: died between write and rename.  Collected opportunistically.
+_ORPHAN_TTL = 3600.0
+
+#: Default wall-clock watchdog per region for the process executor.
+DEFAULT_REGION_TIMEOUT = 60.0
 
 
 @dataclass
@@ -50,6 +88,8 @@ class PipelineResult:
     #: Wall-clock seconds; zero for the skipped halves of a cache hit.
     rewrite_seconds: float = 0.0
     verify_seconds: float = 0.0
+    #: Regions preloaded from the run journal of an interrupted run.
+    resumed_regions: int = 0
 
     @property
     def binary(self) -> Binary:
@@ -58,6 +98,10 @@ class PipelineResult:
     @property
     def ok(self) -> bool:
         return self.report.ok
+
+    @property
+    def releasable(self) -> bool:
+        return getattr(self.report, "releasable", self.report.ok)
 
 
 def _rewriter_config(rewriter: ChimeraRewriter) -> dict:
@@ -97,20 +141,67 @@ def cache_key(
     return h.hexdigest()
 
 
+# -- crash-safe cache entries ------------------------------------------------
+
+
+def _entry_paths(cache_dir: Path, key: str) -> tuple[Path, Path, Path]:
+    return (cache_dir / f"{key}.self",
+            cache_dir / f"{key}.report.json",
+            cache_dir / f"{key}.meta.json")
+
+
+def _repair_entry(cache_dir: Path, key: str, *, reason: str) -> None:
+    """Delete every on-disk piece of a torn entry so it can never be
+    re-read and re-rejected on a later run (miss-and-repair)."""
+    removed = False
+    for path in _entry_paths(cache_dir, key):
+        try:
+            path.unlink()
+            removed = True
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass
+    if removed:
+        telemetry = telemetry_current()
+        if telemetry.enabled:
+            telemetry.metrics.inc("pipeline.cache_repairs", reason=reason)
+
+
 def _load_cached(
     cache_dir: Path, key: str, target_profile: IsaProfile
 ) -> Optional[tuple[RewriteResult, VerifyReport]]:
-    binary_path = cache_dir / f"{key}.self"
-    report_path = cache_dir / f"{key}.report.json"
-    if not (binary_path.is_file() and report_path.is_file()):
+    binary_path, report_path, meta_path = _entry_paths(cache_dir, key)
+    present = [p for p in (binary_path, report_path, meta_path) if p.is_file()]
+    if not present:
+        return None  # clean miss
+    if len(present) < 3:
+        # Partial entry: the writer crashed between renames.
+        _repair_entry(cache_dir, key, reason="partial")
+        return None
+    try:
+        entry_meta = json.loads(meta_path.read_text())
+        valid = (
+            entry_meta.get("schema") == _CACHE_SCHEMA
+            and hashlib.sha256(binary_path.read_bytes()).hexdigest()
+            == entry_meta.get("self_sha256")
+            and hashlib.sha256(report_path.read_bytes()).hexdigest()
+            == entry_meta.get("report_sha256")
+        )
+    except (OSError, ValueError):
+        valid = False
+    if not valid:
+        _repair_entry(cache_dir, key, reason="checksum")
         return None
     try:
         binary = load_binary_file(binary_path)
         report = VerifyReport.load(report_path)
     except (FileFormatError, OSError, KeyError, ValueError):
-        return None  # treat a corrupt entry as a miss; it gets rewritten
+        _repair_entry(cache_dir, key, reason="decode")
+        return None
     meta = binary.metadata.get("chimera")
     if meta is None or meta.get("patch_records") is None:
+        _repair_entry(cache_dir, key, reason="pre-record")
         return None  # pre-record cache entry: not enough to re-release
     result = RewriteResult(binary, target_profile, meta.get("stats"))
     return result, report
@@ -119,14 +210,219 @@ def _load_cached(
 def _store_cached(cache_dir: Path, key: str, result: RewriteResult,
                   report: VerifyReport) -> None:
     cache_dir.mkdir(parents=True, exist_ok=True)
-    # Write via temp names then rename: a concurrent reader never sees a
-    # half-written entry (rename is atomic within the directory).
-    binary_tmp = cache_dir / f".{key}.self.tmp"
-    report_tmp = cache_dir / f".{key}.report.json.tmp"
+    # Write via pid-unique temp names then rename: concurrent writers
+    # never clobber each other's temps and a reader never sees a
+    # half-written entry (rename is atomic within the directory).  The
+    # meta record — carrying both checksums — is renamed last, making it
+    # the commit point: without it the entry is partial and repaired.
+    pid = os.getpid()
+    binary_tmp = cache_dir / f".{key}.self.{pid}.tmp"
+    report_tmp = cache_dir / f".{key}.report.json.{pid}.tmp"
+    meta_tmp = cache_dir / f".{key}.meta.json.{pid}.tmp"
+    binary_path, report_path, meta_path = _entry_paths(cache_dir, key)
     save_binary(result.binary, binary_tmp)
     report.write_json(report_tmp)
-    binary_tmp.rename(cache_dir / f"{key}.self")
-    report_tmp.rename(cache_dir / f"{key}.report.json")
+    meta_tmp.write_text(json.dumps({
+        "schema": _CACHE_SCHEMA,
+        "key": key,
+        "self_sha256": hashlib.sha256(binary_tmp.read_bytes()).hexdigest(),
+        "report_sha256": hashlib.sha256(report_tmp.read_bytes()).hexdigest(),
+    }, sort_keys=True) + "\n")
+    os.replace(binary_tmp, binary_path)
+    os.replace(report_tmp, report_path)
+    os.replace(meta_tmp, meta_path)
+
+
+def _gc_orphans(cache_dir: Path) -> None:
+    """Collect temp files whose writer crashed before publishing."""
+    if not cache_dir.is_dir():
+        return
+    telemetry = telemetry_current()
+    now = time.time()
+    for tmp in cache_dir.glob(".*.tmp"):
+        try:
+            if now - tmp.stat().st_mtime <= _ORPHAN_TTL:
+                continue
+            tmp.unlink()
+        except OSError:
+            continue
+        if telemetry.enabled:
+            telemetry.metrics.inc("pipeline.cache_orphans_gc")
+
+
+# -- resumable run journal ---------------------------------------------------
+
+
+class RunJournal:
+    """Append-only ledger of settled region verdicts for one release key.
+
+    One JSON line per record, each carrying a CRC of its own payload:
+    a process killed mid-write leaves a torn tail line that fails the
+    CRC (or does not parse) and is simply dropped — every line before it
+    resumes.  The journal is deleted when the run completes.
+    """
+
+    def __init__(self, cache_dir: Path, key: str, *, regions: int, seed: int):
+        self.path = cache_dir / "journal" / f"{key}.jsonl"
+        self.key = key
+        self.regions = regions
+        self.seed = seed
+        self.records_written = 0
+        self._fh = None
+
+    def load(self) -> dict[int, tuple[dict, bool]]:
+        """Validated (index -> (verdict dict, oracle_ran)) entries from a
+        previous interrupted run; empty when absent or unusable."""
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return {}
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return {}
+        if (header.get("t") != "h" or header.get("schema") != _CACHE_SCHEMA
+                or header.get("key") != self.key
+                or header.get("regions") != self.regions
+                or header.get("seed") != self.seed):
+            return {}
+        entries: dict[int, tuple[dict, bool]] = {}
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break  # torn tail: the writer died mid-line
+            if record.get("t") != "r":
+                break
+            payload = {"i": record.get("i"), "o": record.get("o"),
+                       "v": record.get("v")}
+            crc = zlib.crc32(json.dumps(payload, sort_keys=True).encode())
+            if record.get("c") != crc:
+                break  # torn tail: payload does not match its checksum
+            entries[payload["i"]] = (payload["v"], payload["o"])
+        return entries
+
+    def start(self, resumed: int) -> None:
+        """Open for appending.  A fresh run (or an unusable journal)
+        truncates and rewrites the header; a resumed run appends."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if resumed else "w"
+        self._fh = open(self.path, mode)
+        if not resumed:
+            header = {"t": "h", "schema": _CACHE_SCHEMA, "key": self.key,
+                      "regions": self.regions, "seed": self.seed}
+            self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        self.records_written = resumed
+
+    def record(self, idx: int, verdict: dict, oracle_ran: bool) -> None:
+        if self._fh is None:
+            return
+        payload = {"i": idx, "o": oracle_ran, "v": verdict}
+        crc = zlib.crc32(json.dumps(payload, sort_keys=True).encode())
+        line = json.dumps({"t": "r", "c": crc, **payload}, sort_keys=True)
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.records_written += 1
+
+    def complete(self) -> None:
+        """The run finished: the journal has nothing left to resume."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# -- quarantine-and-degrade --------------------------------------------------
+
+
+def _degrade_quarantined(
+    original: Binary,
+    result: RewriteResult,
+    report: VerifyReport,
+    gate_config: dict,
+    liveness,
+    telemetry,
+) -> None:
+    """Re-admit quarantined regions on the trap fallback (or exclude).
+
+    Each quarantined smile/smile-dp region is statically rolled back to
+    original bytes + trap-trampoline sources, then its replacement
+    records go through a fresh, injector-free serial admission gate.
+    Success flips the region's faults to ``degraded-trap`` and appends
+    the new verdicts to the ledger; anything else is ``excluded``.
+    """
+    from repro.verify.degrade import DegradeError, degrade_region_to_trap
+
+    faults = getattr(report, "faults", None) or []
+    quarantined = [f for f in faults if f.resolution == RESOLVED_QUARANTINED]
+    if not quarantined:
+        return
+    starts = sorted({f.start for f in quarantined})
+    with telemetry.span("pipeline.degrade", binary=result.binary.name,
+                        regions=len(starts)):
+        for start in starts:
+            region_faults = [f for f in quarantined if f.start == start]
+            meta = result.binary.metadata.get("chimera") or {}
+            rec = next((r for r in meta.get("patch_records", ())
+                        if r.start == start), None)
+            if rec is None or rec.kind == "trap":
+                for fault in region_faults:
+                    fault.resolution = RESOLVED_EXCLUDED
+                continue
+            try:
+                new_records = degrade_region_to_trap(result.binary, rec)
+            except DegradeError:
+                for fault in region_faults:
+                    fault.resolution = RESOLVED_EXCLUDED
+                continue
+            verdicts, admitted = _verify_degraded(
+                original, result, new_records, gate_config, liveness)
+            report.regions.extend(verdicts)
+            resolution = RESOLVED_DEGRADED if admitted else RESOLVED_EXCLUDED
+            for fault in region_faults:
+                fault.resolution = resolution
+            if telemetry.enabled:
+                telemetry.metrics.inc(
+                    "pipeline.regions_degraded",
+                    outcome="degraded-trap" if admitted else "excluded")
+
+
+def _verify_degraded(original, result, new_records, gate_config, liveness):
+    """Gate the replacement trap records; (verdicts, all_admitted)."""
+    from repro.verify.admission import AdmissionGate
+
+    if not new_records:
+        return [], True  # restore-only degrade: nothing left to verify
+    gate = AdmissionGate(
+        original, result.binary,
+        seed=gate_config["seed"],
+        oracle_trials=gate_config["oracle_trials"],
+        oracle_max_steps=gate_config["oracle_max_steps"],
+        max_oracle_regions=0,
+        jobs=1, executor="serial", liveness=liveness)
+    wanted = {rec.start for rec in new_records}
+    verdicts = []
+    for idx, rec in enumerate(gate.records):
+        if rec.start in wanted:
+            verdict, _ = gate.verify_region_once(idx)
+            verdicts.append(verdict)
+    return verdicts, all(v.admitted for v in verdicts)
+
+
+# -- the pipeline ------------------------------------------------------------
 
 
 def rewrite_and_verify(
@@ -140,11 +436,29 @@ def rewrite_and_verify(
     max_oracle_regions: int = 0,
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
+    executor: Optional[str] = None,
+    region_timeout: Optional[float] = DEFAULT_REGION_TIMEOUT,
+    resume: bool = True,
+    degrade: str = "trap",
+    retry_policy: Optional[RetryPolicy] = None,
+    failure_injector=None,
 ) -> PipelineResult:
-    """Translate *binary* for *target_profile* and admission-verify it."""
+    """Translate *binary* for *target_profile* and admission-verify it.
+
+    ``executor`` is "serial", "thread", or "process"; None auto-selects
+    "process" when ``jobs > 1`` (fault isolation plus real parallelism
+    for the pure-Python oracle) and "serial" otherwise.  ``degrade``
+    picks what happens to a region that exhausts its retry budget:
+    "trap" re-admits it on the verified trap-fallback encoding,
+    "exclude" drops it with the fault recorded in the ledger.
+    """
     rewriter = rewriter or ChimeraRewriter()
     seed = resolve_seed(seed)
     telemetry = telemetry_current()
+    if executor is None:
+        executor = "process" if jobs > 1 else "serial"
+    if degrade not in ("trap", "exclude"):
+        raise ValueError(f"degrade must be 'trap' or 'exclude', not {degrade!r}")
     gate_config = {
         "seed": seed,
         "oracle_trials": oracle_trials,
@@ -155,6 +469,7 @@ def rewrite_and_verify(
     cache_path = Path(cache_dir) if cache_dir is not None else None
     key = None
     if cache_path is not None:
+        _gc_orphans(cache_path)
         key = cache_key(binary, target_profile, rewriter, gate_config)
         cached = _load_cached(cache_path, key, target_profile)
         if cached is not None:
@@ -174,19 +489,81 @@ def rewrite_and_verify(
     from repro import verify as verify_mod
 
     with telemetry.span("pipeline.rewrite_verify", binary=binary.name,
-                        target=target_profile.name, jobs=jobs):
+                        target=target_profile.name, jobs=jobs,
+                        executor=executor):
         t0 = time.perf_counter()
         result = rewriter.rewrite(binary, target_profile)
         t1 = time.perf_counter()
-        report = verify_mod.verify_binary(
-            binary, result.binary, seed=seed,
-            oracle_trials=oracle_trials, oracle_max_steps=oracle_max_steps,
-            max_oracle_regions=max_oracle_regions, jobs=jobs,
-            liveness=result.liveness,
-        )
+
+        journal = None
+        precomputed = None
+        resumed = 0
+        if cache_path is not None and key is not None:
+            records = (result.binary.metadata.get("chimera") or {}).get(
+                "patch_records") or ()
+            journal = RunJournal(cache_path, key, regions=len(records),
+                                 seed=seed)
+            if resume:
+                loaded = journal.load()
+                if loaded:
+                    precomputed = {
+                        idx: (RegionVerdict.from_dict(verdict), oracle_ran)
+                        for idx, (verdict, oracle_ran) in loaded.items()}
+                    resumed = len(precomputed)
+                    if telemetry.enabled:
+                        telemetry.metrics.inc("pipeline.journal_resumes",
+                                              binary=binary.name)
+                        telemetry.metrics.inc("pipeline.regions_resumed",
+                                              resumed, binary=binary.name)
+            journal.start(resumed)
+
+        settled = resumed
+
+        def on_region(idx: int, verdict: RegionVerdict,
+                      oracle_ran: bool) -> None:
+            nonlocal settled
+            if journal is not None:
+                journal.record(idx, verdict.as_dict(), oracle_ran)
+            settled += 1
+            if failure_injector is not None:
+                failure_injector.on_journal_record(settled)
+
+        try:
+            report = verify_mod.verify_binary(
+                binary, result.binary, seed=seed,
+                oracle_trials=oracle_trials,
+                oracle_max_steps=oracle_max_steps,
+                max_oracle_regions=max_oracle_regions, jobs=jobs,
+                liveness=result.liveness,
+                executor=executor, region_timeout=region_timeout,
+                retry_policy=retry_policy, injector=failure_injector,
+                on_region=on_region, precomputed=precomputed,
+            )
+        except BaseException:
+            # Killed mid-run (or injected kill): the journal keeps every
+            # settled region for the resuming rerun.
+            if journal is not None:
+                journal.close()
+            raise
         t2 = time.perf_counter()
 
-    if cache_path is not None:
+    faults = getattr(report, "faults", None)
+    if faults:
+        if degrade == "trap":
+            _degrade_quarantined(binary, result, report, gate_config,
+                                 result.liveness, telemetry)
+        else:
+            for fault in faults:
+                if fault.resolution == RESOLVED_QUARANTINED:
+                    fault.resolution = RESOLVED_EXCLUDED
+
+    if journal is not None:
+        journal.complete()
+    if cache_path is not None and not getattr(report, "quarantined_starts",
+                                              frozenset()):
+        # Degraded or excluded releases are never cached: the cache key
+        # promises the deterministic fault-free output for these inputs.
         _store_cached(cache_path, key, result, report)
     return PipelineResult(result, report, cache_hit=False,
-                          rewrite_seconds=t1 - t0, verify_seconds=t2 - t1)
+                          rewrite_seconds=t1 - t0, verify_seconds=t2 - t1,
+                          resumed_regions=resumed)

@@ -1,0 +1,383 @@
+"""Fault-isolated process pool for per-region verification.
+
+The per-region admission checks (and above all the differential oracle)
+are pure-Python, CPU-bound work, so a thread pool never scales past one
+core.  :class:`FaultIsolatedPool` dispatches picklable
+:class:`RegionWorkItem` tasks to worker *processes* and treats every
+worker failure as a structured, attributable event:
+
+* a worker that **dies** mid-region (segfault-equivalent raise deep in
+  the oracle, OOM-style kill) is attributed to the exact region it was
+  verifying and respawned — ``worker-crash``;
+* a worker that **hangs** past the wall-clock ``region_timeout`` is
+  killed by the watchdog and respawned — ``worker-hang``;
+* an exception the worker catches itself comes back as a structured
+  ``verify-error`` message, never a raw traceback.
+
+Failed regions are re-dispatched under a
+:class:`~repro.resilience.policy.RetryPolicy` (exponential backoff,
+attempt budget); a region that exhausts its budget is *quarantined* and
+reported to the caller, which degrades it (trap fallback or exclusion)
+instead of aborting the release.
+
+Determinism: each worker builds an identical
+:class:`~repro.verify.admission.AdmissionGate` from the pickled payload
+— the resolved seed rides in the payload *and* in every work item, so a
+mid-run ``REPRO_FUZZ_SEED`` change can never make process workers drift
+from a serial run.  Verdicts depend only on ``(payload, region index)``,
+so the results are byte-identical no matter which worker or attempt
+produced them.
+
+This module must not import :mod:`repro.verify.admission` at module
+level (the gate imports this pool); workers import it lazily.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.resilience.failures import (
+    RESOLVED_QUARANTINED,
+    WORKER_CRASH,
+    WORKER_HANG,
+    VERIFY_ERROR,
+    RegionFault,
+)
+from repro.resilience.policy import PIPELINE_RETRY_POLICY, RetryPolicy
+
+#: Parent-loop poll tick (seconds): outbox waits and watchdog checks.
+_TICK = 0.05
+#: Grace after terminate() before escalating to kill().
+_KILL_GRACE = 1.0
+#: Consecutive pre-ready worker deaths (with no work dispatched) before
+#: the pool declares itself broken and the caller falls back in-process.
+_MAX_STILLBIRTHS = 3
+
+
+class PoolBrokenError(RuntimeError):
+    """The pool could not be brought up (workers die before ready)."""
+
+
+@dataclass(frozen=True)
+class RegionWorkItem:
+    """One picklable unit of verification work.
+
+    The resolved trial seed is hoisted into the item so a worker can
+    cross-check it against its gate — process workers must never
+    re-derive the seed from the environment mid-run.
+    """
+
+    index: int
+    start: int
+    end: int
+    kind: str
+    seed: int
+    attempt: int = 1
+
+    def retried(self) -> "RegionWorkItem":
+        return replace(self, attempt=self.attempt + 1)
+
+
+@dataclass
+class RegionOutcome:
+    """What the pool concluded about one region."""
+
+    index: int
+    #: ``RegionVerdict.as_dict()`` payload; None when quarantined.
+    verdict: Optional[dict] = None
+    oracle_ran: bool = False
+    faults: list[RegionFault] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> bool:
+        return self.verdict is None
+
+
+@dataclass
+class PoolPayload:
+    """Everything a worker needs to rebuild the gate, pickled once.
+
+    ``gate_config`` carries the *resolved* seed (an int, never None):
+    workers must not consult ``REPRO_FUZZ_SEED`` — the parent resolved
+    it exactly once before fan-out.
+    """
+
+    original: object
+    rewritten: object
+    gate_config: dict
+    liveness: object = None
+    injector: object = None
+
+
+def _worker_main(worker_id: int, inbox, outbox, payload_bytes: bytes) -> None:
+    """Worker entry: build the gate once, then verify region by region."""
+    try:
+        payload: PoolPayload = pickle.loads(payload_bytes)
+        from repro.verify.admission import AdmissionGate
+
+        cfg = payload.gate_config
+        gate = AdmissionGate(
+            payload.original, payload.rewritten,
+            seed=cfg["seed"],
+            oracle_trials=cfg["oracle_trials"],
+            oracle_max_steps=cfg["oracle_max_steps"],
+            max_oracle_regions=cfg["max_oracle_regions"],
+            jobs=1, executor="serial",
+            liveness=payload.liveness,
+            injector=payload.injector,
+        )
+    except BaseException as exc:  # noqa: BLE001 - must surface, not die raw
+        outbox.put(("init-error", worker_id, None,
+                    f"{type(exc).__name__}: {exc}"))
+        return
+    outbox.put(("ready", worker_id, None, None))
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        try:
+            if item.seed != gate.seed:
+                raise RuntimeError(
+                    f"seed drift: work item carries {item.seed}, worker gate "
+                    f"resolved {gate.seed}")
+            verdict, oracle_ran = gate.verify_region_once(
+                item.index, attempt=item.attempt)
+            outbox.put(("verdict", worker_id, item.index,
+                        (verdict.as_dict(), oracle_ran)))
+        except Exception as exc:  # noqa: BLE001 - structured, not raw
+            outbox.put(("error", worker_id, item.index,
+                        f"{type(exc).__name__}: {exc}"))
+
+
+class _Worker:
+    """Parent-side handle for one worker process."""
+
+    def __init__(self, ctx, worker_id: int, outbox, payload_bytes: bytes):
+        self.id = worker_id
+        self.inbox = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.inbox, outbox, payload_bytes),
+            daemon=True,
+        )
+        self.process.start()
+        self.item: Optional[RegionWorkItem] = None
+        self.deadline: Optional[float] = None
+        self.ready = False
+        self.dispatched = 0
+
+    def dispatch(self, item: RegionWorkItem, timeout: Optional[float]) -> None:
+        self.item = item
+        self.deadline = (time.monotonic() + timeout) if timeout else None
+        self.dispatched += 1
+        self.inbox.put(item)
+
+    def settle(self) -> None:
+        self.item = None
+        self.deadline = None
+
+    def stop(self) -> None:
+        """Best-effort shutdown: sentinel, short join, then kill."""
+        try:
+            self.inbox.put(None)
+        except (ValueError, OSError):  # queue already closed
+            pass
+        self.process.join(timeout=_KILL_GRACE)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=_KILL_GRACE)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join()
+        self.inbox.close()
+        self.inbox.cancel_join_thread()
+
+    def kill(self) -> None:
+        """Hard-kill (watchdog path): no sentinel, no grace."""
+        self.process.terminate()
+        self.process.join(timeout=_KILL_GRACE)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+        self.inbox.close()
+        self.inbox.cancel_join_thread()
+
+
+class FaultIsolatedPool:
+    """Crash-/hang-tolerant process pool over region work items."""
+
+    def __init__(
+        self,
+        payload: PoolPayload,
+        jobs: int,
+        *,
+        region_timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        telemetry=None,
+        labels: Optional[dict] = None,
+    ):
+        self.payload_bytes = pickle.dumps(payload)
+        self.jobs = max(1, jobs)
+        self.region_timeout = region_timeout
+        self.policy = retry_policy or PIPELINE_RETRY_POLICY
+        self.telemetry = telemetry
+        self.labels = labels or {}
+        try:
+            self.ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self.ctx = multiprocessing.get_context("spawn")
+
+    def _inc(self, name: str, **extra) -> None:
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.metrics.inc(name, **self.labels, **extra)
+
+    def run(
+        self,
+        items: list[RegionWorkItem],
+        on_complete: Optional[Callable[[RegionOutcome], None]] = None,
+    ) -> list[RegionOutcome]:
+        """Verify every item; returns outcomes in submission order.
+
+        ``on_complete`` fires (on the caller's thread) the moment each
+        region settles — verdicts reach the run journal before a crash
+        of the *driver* can lose them.
+        """
+        outcomes: dict[int, RegionOutcome] = {}
+        faults: dict[int, list[RegionFault]] = {item.index: [] for item in items}
+        pending: deque[RegionWorkItem] = deque(items)
+        delayed: list[tuple[float, RegionWorkItem]] = []
+        outbox = self.ctx.Queue()
+        workers: dict[int, _Worker] = {}
+        next_id = 0
+        #: Consecutive pre-ready deaths; any ready handshake resets it.
+        state = {"stillbirths": 0}
+        total = len(items)
+
+        def spawn() -> _Worker:
+            nonlocal next_id
+            worker = _Worker(self.ctx, next_id, outbox, self.payload_bytes)
+            workers[worker.id] = worker
+            next_id += 1
+            return worker
+
+        def settle(idx: int, verdict: Optional[dict], oracle_ran: bool) -> None:
+            outcome = RegionOutcome(idx, verdict, oracle_ran, faults[idx])
+            outcomes[idx] = outcome
+            if on_complete is not None:
+                on_complete(outcome)
+
+        def fail(worker: Optional[_Worker], item: RegionWorkItem,
+                 kind: str, detail: str) -> None:
+            fault = RegionFault(
+                start=item.start, end=item.end, region_kind=item.kind,
+                fault=kind, attempt=item.attempt, detail=detail,
+                worker=worker.id if worker is not None else None)
+            faults[item.index].append(fault)
+            if self.policy.exhausted(item.attempt + 1):
+                fault.resolution = RESOLVED_QUARANTINED
+                self._inc("pipeline.regions_quarantined")
+                settle(item.index, None, False)
+            else:
+                self._inc("pipeline.region_retries")
+                ready_at = (time.monotonic()
+                            + self.policy.backoff_seconds(item.attempt))
+                delayed.append((ready_at, item.retried()))
+
+        for _ in range(min(self.jobs, total)):
+            spawn()
+        try:
+            while len(outcomes) < total:
+                now = time.monotonic()
+                for ready_at, item in list(delayed):
+                    if ready_at <= now:
+                        delayed.remove((ready_at, item))
+                        pending.append(item)
+                for worker in workers.values():
+                    # Dispatch only after the ready handshake: a worker
+                    # holding an item is then *by construction* ready, so
+                    # a death with an item is always a real region crash
+                    # and a pre-ready death is always a stillbirth.
+                    if worker.ready and worker.item is None and pending:
+                        worker.dispatch(pending.popleft(), self.region_timeout)
+                self._drain(outbox, workers, outcomes, settle, fail, state)
+                self._reap(workers, spawn, fail, state, pending, delayed)
+                if state["stillbirths"] >= _MAX_STILLBIRTHS:
+                    raise PoolBrokenError(
+                        f"{state['stillbirths']} workers died before becoming "
+                        "ready; payload or pool setup is broken")
+        finally:
+            for worker in list(workers.values()):
+                worker.stop()
+            outbox.close()
+            outbox.cancel_join_thread()
+        return [outcomes[item.index] for item in items]
+
+    # -- parent loop helpers ------------------------------------------------
+
+    def _drain(self, outbox, workers, outcomes, settle, fail, state) -> None:
+        """Pull every queued message, waiting up to one tick for the first."""
+        import queue as queue_mod
+
+        block = True
+        while True:
+            try:
+                message = outbox.get(timeout=_TICK if block else 0)
+            except queue_mod.Empty:
+                return
+            block = False
+            kind, worker_id, idx, body = message
+            worker = workers.get(worker_id)
+            if kind == "ready":
+                state["stillbirths"] = 0
+                if worker is not None:
+                    worker.ready = True
+                continue
+            if kind == "init-error":
+                raise PoolBrokenError(f"worker {worker_id} failed to start: {body}")
+            if idx is None or idx in outcomes:
+                continue  # stale message from a worker the watchdog retired
+            item = worker.item if (worker is not None and worker.item is not None
+                                   and worker.item.index == idx) else None
+            if worker is not None and item is not None:
+                worker.settle()
+            if kind == "verdict":
+                verdict, oracle_ran = body
+                settle(idx, verdict, oracle_ran)
+            elif kind == "error" and item is not None:
+                self._inc("pipeline.verify_errors")
+                fail(worker, item, VERIFY_ERROR, body)
+
+    def _reap(self, workers, spawn, fail, state, pending, delayed) -> None:
+        """Crash and hang detection; respawns replacements."""
+        now = time.monotonic()
+        for worker in list(workers.values()):
+            if not worker.process.is_alive():
+                del workers[worker.id]
+                victim = worker.item
+                exitcode = worker.process.exitcode
+                worker.inbox.close()
+                worker.inbox.cancel_join_thread()
+                if victim is not None:
+                    self._inc("pipeline.worker_crashes")
+                    fail(worker, victim, WORKER_CRASH,
+                         f"worker process died (exit code {exitcode})")
+                elif not worker.ready:
+                    state["stillbirths"] += 1
+                if pending or delayed or any(w.item for w in workers.values()) \
+                        or victim is not None:
+                    spawn()
+            elif (worker.deadline is not None and now > worker.deadline
+                    and worker.item is not None):
+                victim = worker.item
+                del workers[worker.id]
+                worker.kill()
+                self._inc("pipeline.worker_hangs")
+                fail(worker, victim, WORKER_HANG,
+                     f"watchdog killed worker after {self.region_timeout:.1f}s")
+                spawn()

@@ -24,6 +24,86 @@ from typing import Optional
 
 from repro.resilience.seeds import resolve_seed
 
+# -- fault-isolated verification pipeline taxonomy ---------------------------
+
+#: A verification worker process died mid-region (segfault-equivalent
+#: raise deep in the oracle, OOM-style kill, BrokenProcessPool).
+WORKER_CRASH = "worker-crash"
+#: The wall-clock watchdog killed a worker that exceeded the per-region
+#: deadline (hung CFG walk, stuck oracle).
+WORKER_HANG = "worker-hang"
+#: A structured exception escaped the per-region checks in-process
+#: (serial/thread executors, or caught inside a worker).
+VERIFY_ERROR = "verify-error"
+#: The process pool itself failed to come up; the pipeline fell back to
+#: in-process verification.
+POOL_BROKEN = "pool-broken"
+
+REGION_FAULT_KINDS = (WORKER_CRASH, WORKER_HANG, VERIFY_ERROR, POOL_BROKEN)
+
+#: How the pipeline disposed of a region fault.
+RESOLVED_RETRIED = "retried"            # a later attempt succeeded
+RESOLVED_QUARANTINED = "quarantined"    # retries exhausted, awaiting degrade
+RESOLVED_DEGRADED = "degraded-trap"     # re-admitted on the trap-fallback encoding
+RESOLVED_EXCLUDED = "excluded"          # refused; recorded in the ledger
+
+
+@dataclass
+class RegionFault:
+    """One fault the verification pipeline attributed to one patched
+    region — never a raw traceback, never a silent drop.
+
+    ``start``/``end``/``region_kind`` identify the
+    :class:`~repro.verify.records.PatchRecord`; ``fault`` is one of
+    :data:`REGION_FAULT_KINDS`; ``attempt`` is the 1-based dispatch that
+    faulted; ``resolution`` records what the pipeline did about it.
+    """
+
+    start: int
+    end: int
+    region_kind: str
+    fault: str
+    attempt: int
+    detail: str = ""
+    worker: Optional[int] = None
+    resolution: str = RESOLVED_RETRIED
+
+    def __post_init__(self) -> None:
+        if self.fault not in REGION_FAULT_KINDS:
+            raise ValueError(
+                f"unknown region fault {self.fault!r}; choose from {REGION_FAULT_KINDS}")
+
+    def __str__(self) -> str:
+        where = f"{self.start:#x}..{self.end:#x} [{self.region_kind}]"
+        return (f"{self.fault} at {where} attempt {self.attempt}"
+                f" -> {self.resolution}" + (f": {self.detail}" if self.detail else ""))
+
+    def as_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "region_kind": self.region_kind,
+            "fault": self.fault,
+            "attempt": self.attempt,
+            "detail": self.detail,
+            "worker": self.worker,
+            "resolution": self.resolution,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegionFault":
+        return cls(
+            start=data["start"],
+            end=data["end"],
+            region_kind=data["region_kind"],
+            fault=data["fault"],
+            attempt=data["attempt"],
+            detail=data.get("detail", ""),
+            worker=data.get("worker"),
+            resolution=data.get("resolution", RESOLVED_RETRIED),
+        )
+
+
 KILL_CORE = "kill-core"
 FLAKE_CORE = "flake-core"
 DROP_MIGRATION = "drop-migration"

@@ -49,8 +49,21 @@ class RetryPolicy:
     def past_deadline(self, first_start: int, now: int) -> bool:
         return self.deadline is not None and now - first_start > self.deadline
 
+    def backoff_seconds(self, retry: int) -> float:
+        """Backoff for wall-clock users, reading the cycle fields as
+        milliseconds — the verification pipeline sleeps real time
+        between re-dispatches, it does not burn simulated cycles."""
+        return self.backoff(retry) / 1000.0
+
 
 DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: Retry budget for the fault-isolated verification pipeline: backoff
+#: fields are read as *milliseconds* (``backoff_seconds``).  Three
+#: attempts per region keeps a persistently crashing region from
+#: stalling a release for more than ~a second before quarantine.
+PIPELINE_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_backoff=50, multiplier=4, max_backoff=2_000)
 
 
 @dataclass

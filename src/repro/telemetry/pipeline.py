@@ -71,6 +71,7 @@ def run_traced_workload(
     probe: bool = True,
     jobs: int = 1,
     cache_dir: str | None = None,
+    executor: str | None = None,
 ) -> TracedRun:
     """Drive *name* through the full instrumented pipeline.
 
@@ -98,7 +99,7 @@ def run_traced_workload(
 
                 rewrite = rewrite_and_verify(
                     binary, profile, rewriter=rewriter, oracle_trials=1,
-                    jobs=jobs, cache_dir=cache_dir,
+                    jobs=jobs, cache_dir=cache_dir, executor=executor,
                 ).result
             else:
                 rewrite = rewriter.rewrite(binary, profile)

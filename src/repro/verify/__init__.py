@@ -12,7 +12,8 @@ provenance the patcher emits:
   encoding, and re-admit it after a verified backoff.
 """
 
-from repro.verify.admission import AdmissionGate, verify_binary
+from repro.verify.admission import EXECUTORS, AdmissionGate, verify_binary
+from repro.verify.degrade import DegradeError, degrade_region_to_trap
 from repro.verify.oracle import DifferentialOracle
 from repro.verify.records import PatchRecord, record_for
 from repro.verify.report import CheckResult, RegionVerdict, VerifyReport
@@ -27,7 +28,10 @@ __all__ = [
     "AdmissionGate",
     "CheckResult",
     "DEFAULT_HEAL_POLICY",
+    "DegradeError",
     "DifferentialOracle",
+    "EXECUTORS",
+    "degrade_region_to_trap",
     "HealEntry",
     "PatchHealer",
     "PatchRecord",

@@ -29,13 +29,30 @@ admitted region is an ``admission-escape``).
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Callable, Optional
 
+from repro.core.procpool import (
+    FaultIsolatedPool,
+    PoolBrokenError,
+    PoolPayload,
+    RegionWorkItem,
+)
 from repro.core.smile import smile_window_target, smile_window_violations
 from repro.elf.binary import Binary, Perm
 from repro.isa.decoding import IllegalEncodingError, decode
 from repro.isa.fields import sign_extend
+from repro.resilience.failures import (
+    POOL_BROKEN,
+    RESOLVED_QUARANTINED,
+    RESOLVED_RETRIED,
+    VERIFY_ERROR,
+    WORKER_CRASH,
+    WORKER_HANG,
+    RegionFault,
+)
+from repro.resilience.policy import PIPELINE_RETRY_POLICY, RetryPolicy
 from repro.resilience.seeds import resolve_seed
 from repro.telemetry import current as telemetry_current
 from repro.verify.oracle import DifferentialOracle
@@ -44,6 +61,8 @@ from repro.verify.report import CheckResult, RegionVerdict, VerifyReport
 
 #: Bounded relocated-block walk length (instructions).
 _WALK_BUDGET = 96
+
+EXECUTORS = ("serial", "thread", "process")
 
 
 class AdmissionGate:
@@ -60,6 +79,10 @@ class AdmissionGate:
         max_oracle_regions: int = 0,
         jobs: int = 1,
         liveness=None,
+        executor: str = "thread",
+        region_timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        injector=None,
     ):
         meta = rewritten.metadata.get("chimera")
         if meta is None:
@@ -85,6 +108,22 @@ class AdmissionGate:
         #: (seed, region, trial) alone — so results are identical for any
         #: job count; only the wall-clock changes.
         self.jobs = max(1, jobs)
+        #: Execution substrate for the fan-out: "serial" runs in-line,
+        #: "thread" shares the interpreter (debuggable, no isolation),
+        #: "process" dispatches picklable work items to a
+        #: :class:`~repro.core.procpool.FaultIsolatedPool` so a crashed
+        #: or hung region can never take down the release verification.
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}")
+        self.executor = executor
+        #: Wall-clock watchdog per region (process executor only; a hung
+        #: thread cannot be killed).  None disables the watchdog.
+        self.region_timeout = region_timeout
+        self.retry_policy = retry_policy or PIPELINE_RETRY_POLICY
+        #: Optional chaos hook (``before_region(idx, attempt, record)``)
+        #: consulted before every verification attempt.
+        self.injector = injector
         self.oracle = DifferentialOracle(
             original, rewritten, seed=self.seed,
             trials=oracle_trials, max_steps=oracle_max_steps,
@@ -94,25 +133,46 @@ class AdmissionGate:
 
     # -- public API ---------------------------------------------------------
 
-    def verify(self) -> VerifyReport:
+    def verify(
+        self,
+        *,
+        on_region: Optional[Callable[[int, RegionVerdict, bool], None]] = None,
+        precomputed: Optional[dict[int, tuple[RegionVerdict, bool]]] = None,
+    ) -> VerifyReport:
+        """Verify every region and assemble the ledger.
+
+        ``on_region(idx, verdict, oracle_ran)`` fires the moment each
+        *fresh, non-quarantined* verdict settles — the run journal hangs
+        off it.  ``precomputed`` (index -> (verdict, oracle_ran)) skips
+        regions a resumed run already settled; verdicts are merged back
+        in record order so the report is byte-identical either way.
+        """
         telemetry = telemetry_current()
         report = VerifyReport(
             binary=self.rewritten.name,
             target=self.meta["target_profile"],
             seed=self.seed,
         )
+        done: dict[int, tuple[RegionVerdict, bool]] = dict(precomputed or {})
+        faults: list[RegionFault] = []
+        indices = [idx for idx in range(len(self.records)) if idx not in done]
         with telemetry.span("verify.admission", binary=self.rewritten.name,
-                            regions=len(self.records), jobs=self.jobs):
-            indices = range(len(self.records))
-            if self.jobs > 1 and len(self.records) > 1:
-                # Settle the oracle's lazy one-shot analysis on this
-                # thread; afterwards every worker only reads shared state.
-                self.oracle.prepare()
-                with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                    verdicts = list(pool.map(self._verify_region, indices))
-            else:
-                verdicts = [self._verify_region(idx) for idx in indices]
-            for verdict, oracle_ran in verdicts:
+                            regions=len(self.records), jobs=self.jobs,
+                            executor=self.executor):
+            if indices:
+                if self.executor == "process":
+                    self._verify_process(indices, done, faults, on_region,
+                                         telemetry)
+                elif self.executor == "thread" and self.jobs > 1 \
+                        and len(indices) > 1:
+                    self._verify_threaded(indices, done, faults, on_region)
+                else:
+                    for idx in indices:
+                        self._settle(idx, *self._verify_with_retry(idx),
+                                     done=done, faults=faults,
+                                     on_region=on_region)
+            for idx in sorted(done):
+                verdict, oracle_ran = done[idx]
                 if not oracle_ran:
                     report.oracle_skipped += 1
                 report.regions.append(verdict)
@@ -120,7 +180,163 @@ class AdmissionGate:
                     telemetry.metrics.inc(
                         "verify.regions", kind=verdict.kind,
                         admitted=str(verdict.admitted).lower())
+        faults.sort(key=lambda f: (f.start, f.attempt, f.fault))
+        report.faults.extend(faults)
         return report
+
+    # -- executors ----------------------------------------------------------
+
+    def _settle(self, idx, verdict, oracle_ran, region_faults, *,
+                done, faults, on_region) -> None:
+        faults.extend(region_faults)
+        if verdict is None:  # quarantined: retries exhausted
+            done[idx] = (self._quarantine_verdict(idx, region_faults), False)
+            return
+        done[idx] = (verdict, oracle_ran)
+        if on_region is not None:
+            on_region(idx, verdict, oracle_ran)
+
+    def _verify_threaded(self, indices, done, faults, on_region) -> None:
+        # Settle the oracle's lazy one-shot analysis on this thread;
+        # afterwards every worker only reads shared state.
+        self.oracle.prepare()
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {pool.submit(self._verify_with_retry, idx): idx
+                       for idx in indices}
+            for future in as_completed(futures):
+                idx = futures[future]
+                self._settle(idx, *future.result(), done=done, faults=faults,
+                             on_region=on_region)
+
+    def _verify_process(self, indices, done, faults, on_region,
+                        telemetry) -> None:
+        """Fan out across a crash-/hang-tolerant process pool.
+
+        Each worker rebuilds the gate from a pickled payload carrying
+        the *resolved* seed, so verdicts depend only on (payload, region
+        index) — identical bytes regardless of worker, attempt, or a
+        mid-run ``REPRO_FUZZ_SEED`` change.
+        """
+        payload = PoolPayload(
+            original=self.original, rewritten=self.rewritten,
+            gate_config={
+                "seed": self.seed,
+                "oracle_trials": self.oracle.trials,
+                "oracle_max_steps": self.oracle.max_steps,
+                "max_oracle_regions": self.max_oracle_regions,
+            },
+            liveness=self.oracle._liveness,
+            injector=self.injector,
+        )
+        items = [RegionWorkItem(idx, self.records[idx].start,
+                                self.records[idx].end, self.records[idx].kind,
+                                self.seed)
+                 for idx in indices]
+        pool = FaultIsolatedPool(
+            payload, self.jobs, region_timeout=self.region_timeout,
+            retry_policy=self.retry_policy, telemetry=telemetry,
+            labels={"binary": self.rewritten.name})
+
+        pool_quarantined: set[int] = set()
+
+        def on_complete(outcome) -> None:
+            faults.extend(outcome.faults)
+            if outcome.quarantined:
+                if all(f.fault in (WORKER_CRASH, WORKER_HANG)
+                       for f in outcome.faults):
+                    pool_quarantined.add(outcome.index)
+                done[outcome.index] = (
+                    self._quarantine_verdict(outcome.index, outcome.faults),
+                    False)
+                return
+            verdict = RegionVerdict.from_dict(outcome.verdict)
+            done[outcome.index] = (verdict, outcome.oracle_ran)
+            if on_region is not None:
+                on_region(outcome.index, verdict, outcome.oracle_ran)
+
+        try:
+            pool.run(items, on_complete=on_complete)
+        except PoolBrokenError as exc:
+            # The pool itself could not be brought up (payload failed to
+            # unpickle, fork bomb guard, ...).  Verification must still
+            # complete: record the fault and finish in-process.
+            if telemetry.enabled:
+                telemetry.metrics.inc("pipeline.pool_fallbacks",
+                                      binary=self.rewritten.name)
+            first, last = self.records[0], self.records[-1]
+            faults.append(RegionFault(
+                start=first.start, end=last.end, region_kind="pipeline",
+                fault=POOL_BROKEN, attempt=1, detail=str(exc)))
+            for idx in indices:
+                if idx in pool_quarantined:
+                    # The quarantine was an artifact of the collapsing
+                    # pool (only crash/hang faults, never an in-process
+                    # verdict): the serial redo below is its real retry.
+                    done.pop(idx, None)
+                    rec = self.records[idx]
+                    for fault in faults:
+                        if fault.start == rec.start and fault.fault in (
+                                WORKER_CRASH, WORKER_HANG):
+                            fault.resolution = RESOLVED_RETRIED
+                if idx in done:
+                    continue
+                self._settle(idx, *self._verify_with_retry(idx), done=done,
+                             faults=faults, on_region=on_region)
+
+    def _verify_with_retry(
+        self, idx: int
+    ) -> tuple[Optional[RegionVerdict], bool, list[RegionFault]]:
+        """In-process retry ladder for the serial/thread executors and
+        the pool-broken fallback.  Catches exceptions (``verify-error``
+        faults) — a hung region cannot be recovered without a process
+        boundary, which is what the process executor is for."""
+        rec = self.records[idx]
+        telemetry = telemetry_current()
+        region_faults: list[RegionFault] = []
+        attempt = 1
+        while True:
+            try:
+                verdict, oracle_ran = self.verify_region_once(idx,
+                                                              attempt=attempt)
+                return verdict, oracle_ran, region_faults
+            except Exception as exc:  # noqa: BLE001 - becomes a RegionFault
+                fault = RegionFault(
+                    start=rec.start, end=rec.end, region_kind=rec.kind,
+                    fault=VERIFY_ERROR, attempt=attempt,
+                    detail=f"{type(exc).__name__}: {exc}")
+                region_faults.append(fault)
+                if self.retry_policy.exhausted(attempt + 1):
+                    fault.resolution = RESOLVED_QUARANTINED
+                    if telemetry.enabled:
+                        telemetry.metrics.inc("pipeline.regions_quarantined",
+                                              binary=self.rewritten.name)
+                    return None, False, region_faults
+                if telemetry.enabled:
+                    telemetry.metrics.inc("pipeline.region_retries",
+                                          binary=self.rewritten.name)
+                time.sleep(self.retry_policy.backoff_seconds(attempt))
+                attempt += 1
+
+    def _quarantine_verdict(self, idx: int,
+                            region_faults: list[RegionFault]) -> RegionVerdict:
+        """Ledger entry for a region whose verification never completed:
+        an explicit failed "isolation" check — never a silent drop."""
+        rec = self.records[idx]
+        attempts = max((f.attempt for f in region_faults), default=0)
+        verdict = RegionVerdict(rec.start, rec.end, rec.kind)
+        verdict.checks.append(CheckResult(
+            "isolation", False,
+            f"verification faulted on all {attempts} attempt(s); "
+            "region quarantined"))
+        return verdict
+
+    def verify_region_once(self, idx: int, *,
+                           attempt: int = 1) -> tuple[RegionVerdict, bool]:
+        """One verification attempt for region *idx* (no retry, no fault
+        capture) — the unit of work a pool worker executes."""
+        if self.injector is not None:
+            self.injector.before_region(idx, attempt, self.records[idx])
+        return self._verify_region(idx)
 
     def _verify_region(self, idx: int) -> tuple[RegionVerdict, bool]:
         """All four checks for region *idx*; safe to run concurrently."""
@@ -370,10 +586,18 @@ def verify_binary(
     max_oracle_regions: int = 0,
     jobs: int = 1,
     liveness=None,
+    executor: str = "thread",
+    region_timeout: Optional[float] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    injector=None,
+    on_region=None,
+    precomputed=None,
 ) -> VerifyReport:
     """Convenience wrapper: gate *rewritten* against *original*."""
     return AdmissionGate(
         original, rewritten, seed=seed, oracle_trials=oracle_trials,
         oracle_max_steps=oracle_max_steps,
         max_oracle_regions=max_oracle_regions, jobs=jobs, liveness=liveness,
-    ).verify()
+        executor=executor, region_timeout=region_timeout,
+        retry_policy=retry_policy, injector=injector,
+    ).verify(on_region=on_region, precomputed=precomputed)

@@ -5,6 +5,12 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.resilience.failures import (
+    RESOLVED_DEGRADED,
+    RESOLVED_RETRIED,
+    RegionFault,
+)
+
 
 @dataclass
 class CheckResult:
@@ -74,10 +80,36 @@ class VerifyReport:
     #: Regions whose differential oracle was skipped by the region cap
     #: (static checks always run on every region; never silent).
     oracle_skipped: int = 0
+    #: Every fault the isolated pipeline attributed to a region: worker
+    #: crashes, watchdog kills, in-process verify errors — with the
+    #: attempt that faulted and how it was resolved.  Empty on
+    #: fault-free runs, so serial/thread/process ledgers stay identical.
+    faults: list[RegionFault] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return all(r.admitted for r in self.regions)
+
+    @property
+    def degraded_starts(self) -> frozenset[int]:
+        """Regions quarantined and re-admitted on the trap fallback."""
+        return frozenset(f.start for f in self.faults
+                         if f.resolution == RESOLVED_DEGRADED)
+
+    @property
+    def quarantined_starts(self) -> frozenset[int]:
+        """Regions whose fault was not healed by a retry (degraded or
+        excluded — either way, not the fault-free output)."""
+        return frozenset(f.start for f in self.faults
+                         if f.resolution != RESOLVED_RETRIED)
+
+    @property
+    def releasable(self) -> bool:
+        """True when every region was either admitted outright or
+        successfully degraded to the verified trap fallback.  Strictly
+        weaker than :attr:`ok` (which refuses degraded releases)."""
+        degraded = self.degraded_starts
+        return all(r.admitted or r.start in degraded for r in self.regions)
 
     @property
     def admitted_starts(self) -> frozenset[int]:
@@ -93,6 +125,8 @@ class VerifyReport:
             "admitted": sum(r.admitted for r in self.regions),
             "rejected": len(self.rejected),
             "oracle_skipped": self.oracle_skipped,
+            "region_faults": len(self.faults),
+            "degraded": len(self.degraded_starts),
         }
 
     def as_dict(self) -> dict:
@@ -103,6 +137,7 @@ class VerifyReport:
             "ok": self.ok,
             "counts": self.counts(),
             "regions": [r.as_dict() for r in self.regions],
+            "faults": [f.as_dict() for f in self.faults],
         }
 
     @classmethod
@@ -114,6 +149,8 @@ class VerifyReport:
             regions=[RegionVerdict.from_dict(r)
                      for r in data.get("regions", ())],
             oracle_skipped=data.get("counts", {}).get("oracle_skipped", 0),
+            faults=[RegionFault.from_dict(f)
+                    for f in data.get("faults", ())],
         )
 
     def write_json(self, path: str) -> None:
@@ -134,10 +171,15 @@ class VerifyReport:
         if self.oracle_skipped:
             lines.append(
                 f"  note: oracle skipped on {self.oracle_skipped} regions (cap)")
+        for fault in self.faults:
+            lines.append(f"  FAULT {fault}")
         for region in self.rejected:
             for failure in region.failures:
                 lines.append(
                     f"  REJECT {region.start:#x}..{region.end:#x} "
                     f"[{region.kind}] {failure.name}: {failure.detail}")
+        if self.degraded_starts:
+            lines.append(
+                f"  degraded to trap fallback: {len(self.degraded_starts)} region(s)")
         lines.append(f"admission verdict: {'PASS' if self.ok else 'FAIL'}")
         return "\n".join(lines)

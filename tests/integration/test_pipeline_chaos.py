@@ -1,0 +1,29 @@
+"""Pipeline failure-injection scenarios, end to end.
+
+Every scenario of :func:`repro.chaos.run_pipeline_chaos` injects one
+failure the process-pool pipeline must absorb — a worker killed
+mid-region, an oracle hang, retries exhausted into quarantine-and-
+degrade, a cache entry torn mid-publish, the driver killed mid-journal
+— and asserts the run still completes with a machine-readable ledger
+that attributes the fault to the exact region, and (for survivable
+faults) a byte-identical release.
+"""
+
+import pytest
+
+from repro.chaos import run_pipeline_chaos
+from repro.workloads.spec_profiles import PROFILES as WORKLOADS
+from repro.workloads.synthetic import SyntheticBinary
+
+
+@pytest.fixture(autouse=True)
+def _fixed_seed(monkeypatch):
+    monkeypatch.setenv("REPRO_FUZZ_SEED", "20260806")
+
+
+def test_every_injected_failure_completes_with_a_correct_ledger():
+    original = SyntheticBinary(WORKLOADS["gcc_r"], scale=32).build()
+    report = run_pipeline_chaos(original, jobs=2, executor="process")
+    failed = [s for s in report.scenarios if not s.passed]
+    assert not failed, "; ".join(f"{s.name}: {s.detail}" for s in failed)
+    assert len(report.scenarios) == 5

@@ -122,6 +122,69 @@ class TestPatchInvalidation:
             # Refreshed in place: still cached and still valid.
             assert cpu._bcache[pc][2] == seg.version
 
+    def test_concurrent_quarantine_of_two_windows(self):
+        """Two patches quarantined back-to-back (the healer's
+        patch_code + invalidate_code sequence) while both windows sit
+        inside cached superblocks: both windows must execute the new
+        bytes, every unrelated block must survive revalidated, and no
+        block over either window may serve stale bytes."""
+        b = ProgramBuilder("bcache-quarantine")
+        b.set_text("""
+_start:
+    li a0, 0
+    li a1, 0
+    li t0, 4
+loop_a:
+    addi a0, a0, 1
+    addi t0, t0, -1
+    bnez t0, loop_a
+    li t0, 4
+loop_b:
+    addi a1, a1, 1
+    addi t0, t0, -1
+    bnez t0, loop_b
+    li a7, 93
+    ecall
+""")
+        binary = b.build()
+        kernel = Kernel(block_cache=True)
+        process = make_process(binary)
+        cpu = kernel.make_cpu(process, Core(0, RV64GC))
+        with pytest.raises(SimFault):  # runs to the exit ecall
+            cpu.run(max_instructions=100)
+        assert cpu.get_reg(10) == 4 and cpu.get_reg(11) == 4
+        pc_a = binary.symbol_addr("loop_a")
+        pc_b = binary.symbol_addr("loop_b")
+        cached = {pc: blk for pc, blk in cpu._bcache.items()}
+        assert any(blk[3] <= pc_a < blk[4] for blk in cached.values())
+        assert any(blk[3] <= pc_b < blk[4] for blk in cached.values())
+        survivors = [pc for pc, blk in cached.items()
+                     if not (blk[3] <= pc_a < blk[4])
+                     and not (blk[3] <= pc_b < blk[4])]
+        # Quarantine both windows, one after the other, with no
+        # execution in between — the rollback journal's batch path.
+        for pc in (pc_a, pc_b):
+            process.space.patch_code(
+                pc, encode(Instruction("addi",
+                                       rd=10 if pc == pc_a else 11,
+                                       rs1=10 if pc == pc_a else 11,
+                                       imm=2)))
+            cpu.invalidate_code(pc, 4)
+        for pc in (pc_a, pc_b):
+            assert all(not (blk[3] <= pc < blk[4])
+                       for blk in cpu._bcache.values())
+        seg = process.space.fetch_segment(pc_a)
+        for pc in survivors:
+            assert cpu._bcache[pc][2] == seg.version  # revalidated, not stale
+        # Re-run from scratch: both quarantined windows execute the
+        # patched (doubled) increments.
+        cpu.pc = binary.entry
+        for reg in (10, 11):
+            cpu.set_reg(reg, 0)
+        with pytest.raises(SimFault):
+            cpu.run(max_instructions=100)
+        assert cpu.get_reg(10) == 8 and cpu.get_reg(11) == 8
+
     def test_rollback_heal_invalidates_cached_window(self):
         """The chaos self-heal scenario patches original text mid-run
         via PatchHealer rollback; with the block cache on (the default)

@@ -98,6 +98,93 @@ class TestRewriteCache:
         assert _section_bytes(redo.result) == _section_bytes(cold.result)
 
 
+class TestExecutors:
+    def test_serial_thread_process_are_byte_identical(self):
+        serial = rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1,
+                                    executor="serial")
+        thread = rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1,
+                                    jobs=2, executor="thread")
+        pooled = rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1,
+                                    jobs=2, executor="process")
+        assert _section_bytes(serial.result) == _section_bytes(thread.result)
+        assert _section_bytes(serial.result) == _section_bytes(pooled.result)
+        assert serial.report.as_dict() == thread.report.as_dict()
+        assert serial.report.as_dict() == pooled.report.as_dict()
+
+
+class TestCacheCrashSafety:
+    def test_torn_entry_is_repaired_and_counted(self, tmp_path):
+        from repro.telemetry import Telemetry, use
+
+        cold = rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1,
+                                  cache_dir=tmp_path)
+        entry, = tmp_path.glob("*.self")
+        data = entry.read_bytes()
+        entry.write_bytes(data[: len(data) // 2])
+        telemetry = Telemetry()
+        with use(telemetry):
+            redo = rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1,
+                                      cache_dir=tmp_path)
+        assert not redo.cache_hit
+        assert telemetry.metrics.total("pipeline.cache_repairs") >= 1
+        assert _section_bytes(redo.result) == _section_bytes(cold.result)
+        # The repaired entry was republished and is hit-able again.
+        assert rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1,
+                                  cache_dir=tmp_path).cache_hit
+
+    def test_stale_orphan_temps_are_collected(self, tmp_path, monkeypatch):
+        import os
+        import time
+
+        from repro.core import pipeline as pipeline_mod
+        from repro.telemetry import Telemetry, use
+
+        orphan = tmp_path / ".deadbeef.self.tmp"
+        orphan.write_bytes(b"half-written")
+        os.utime(orphan, (time.time() - 7200, time.time() - 7200))
+        fresh = tmp_path / ".cafe.self.tmp"
+        fresh.write_bytes(b"in-flight")
+        telemetry = Telemetry()
+        with use(telemetry):
+            rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1,
+                               cache_dir=tmp_path)
+        assert not orphan.exists()
+        assert fresh.exists()  # younger than the TTL: left alone
+        assert telemetry.metrics.total("pipeline.cache_orphans_gc") == 1
+
+
+class TestJournalResume:
+    def test_interrupted_run_resumes_byte_identical(self, tmp_path):
+        from repro.chaos import InjectedPipelineKill, PipelineFailureInjector
+
+        baseline = rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1)
+        injector = PipelineFailureInjector(abort_after_regions=3)
+        with pytest.raises(InjectedPipelineKill):
+            rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1,
+                               cache_dir=tmp_path, failure_injector=injector)
+        journals = list(tmp_path.glob("journal/*.jsonl"))
+        assert len(journals) == 1
+        resumed = rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1,
+                                     cache_dir=tmp_path)
+        assert resumed.resumed_regions == 3
+        assert _section_bytes(resumed.result) == _section_bytes(baseline.result)
+        assert resumed.report.as_dict() == baseline.report.as_dict()
+        assert not journals[0].exists()  # completed runs delete the journal
+
+    def test_no_resume_reverifies_from_scratch(self, tmp_path):
+        from repro.chaos import InjectedPipelineKill, PipelineFailureInjector
+
+        injector = PipelineFailureInjector(abort_after_regions=3)
+        with pytest.raises(InjectedPipelineKill):
+            rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1,
+                               cache_dir=tmp_path, failure_injector=injector)
+        fresh = rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1,
+                                   cache_dir=tmp_path, resume=False)
+        assert fresh.resumed_regions == 0
+        baseline = rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1)
+        assert fresh.report.as_dict() == baseline.report.as_dict()
+
+
 class TestReportRoundTrip:
     def test_verify_report_json_round_trip(self, tmp_path):
         report = rewrite_and_verify(_gcc(), RV64GC, oracle_trials=1).report
