@@ -22,6 +22,14 @@ Commands:
 * ``resilience`` — core-failure scenarios: kill/flake cores mid-task,
   drop migrations, corrupt checkpoints, lose the whole extension pool —
   and assert forward progress with structured faults
+* ``serve``    — batch translation service: accept many rewrite jobs
+  over a local socket, deduplicate through the sharded rewrite cache,
+  stream ledgers back byte-identical to ``verify --report``
+* ``submit``   — fleet client: fan binaries/workloads at a running
+  server with bounded concurrency and retries; writes per-job ledgers
+  and a campaign manifest
+* ``cache``    — rewrite-cache admin: per-shard stats, orphan GC, LRU
+  eviction to a size budget
 """
 
 from __future__ import annotations
@@ -66,6 +74,28 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rewrite-cache", metavar="DIR", default=None,
                         help="content-addressed cache of verified rewrites; "
                              "hits skip both translation and verification")
+    _add_cache_flags(parser)
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-shards", type=int, default=0, metavar="N",
+                        help="shard the rewrite cache (and its journals) "
+                             "across N subdirectories keyed by release-key "
+                             "prefix (0 = flat legacy layout)")
+    parser.add_argument("--cache-max-mb", type=float, default=None,
+                        metavar="MB",
+                        help="LRU size budget for the rewrite cache; "
+                             "oldest entries are evicted at publish time "
+                             "(split evenly across shards)")
+
+
+def _cache_layout(args: argparse.Namespace):
+    """CacheLayout (or None) from --rewrite-cache/--cache-shards/--cache-max-mb."""
+    from repro.core.pipeline import CacheLayout
+
+    return CacheLayout.resolve(args.rewrite_cache,
+                               getattr(args, "cache_shards", 0),
+                               getattr(args, "cache_max_mb", None))
 
 
 def _telemetry_scope(args: argparse.Namespace):
@@ -225,7 +255,7 @@ def _run_workload(args: argparse.Namespace, name: str) -> int:
             target=args.core if args.core in ("rv64gc", "rv64gcv") else "rv64gc",
             max_instructions=args.max_instructions,
             jobs=args.jobs,
-            cache_dir=args.rewrite_cache,
+            cache_dir=_cache_layout(args),
             executor=args.executor,
         )
     except ValueError as exc:
@@ -287,7 +317,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             oracle_trials=args.oracle_trials,
             max_oracle_regions=args.max_oracle_regions,
             jobs=args.jobs,
-            cache_dir=args.rewrite_cache,
+            cache_dir=_cache_layout(args),
             executor=args.executor,
             resume=not args.no_resume,
             **extra,
@@ -405,6 +435,129 @@ def cmd_profiles(args: argparse.Namespace) -> int:
     print("\nsynthetic benchmark profiles (use with build <name> --scale N):")
     for name, p in sorted(PROFILES.items()):
         print(f"  {name:14s} {p.code_size_mb:6.2f} MB  ext {p.ext_inst_pct:.2f}%  ({p.suite})")
+    return 0
+
+
+def _service_address(args: argparse.Namespace) -> str:
+    if getattr(args, "socket", None):
+        return f"unix:{args.socket}"
+    if getattr(args, "address", None):
+        return args.address
+    raise SystemExit("need --socket PATH or --address tcp:HOST:PORT")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.pipeline import CacheLayout
+    from repro.service.server import serve
+
+    if not args.socket and args.port is None:
+        raise SystemExit("serve needs --socket PATH or --port N")
+    # The service always shards (--cache-shards 0 means "default", not
+    # the flat legacy layout a solo `verify --rewrite-cache` gets).
+    from repro.core.pipeline import DEFAULT_CACHE_SHARDS
+
+    layout = CacheLayout.resolve(args.cache,
+                                 args.cache_shards or DEFAULT_CACHE_SHARDS,
+                                 args.cache_max_mb)
+    scope, telemetry = _telemetry_scope(args)
+
+    def ready(address: str) -> None:
+        print(f"serve: listening on {address} "
+              f"(shards={layout.shards}, workers={args.jobs or os.cpu_count()})",
+              file=sys.stderr, flush=True)
+
+    with scope:
+        try:
+            stats = asyncio.run(serve(
+                layout,
+                socket_path=args.socket,
+                host=args.host, port=args.port,
+                jobs=args.jobs,
+                executor=args.executor,
+                oracle_trials=args.oracle_trials,
+                region_timeout=args.region_timeout,
+                ready=ready,
+            ))
+        except KeyboardInterrupt:
+            print("serve: interrupted", file=sys.stderr)
+            return 130
+    if telemetry is not None:
+        _write_telemetry(telemetry, args.telemetry_out)
+    json.dump(stats.as_dict(), sys.stdout, indent=1, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import client
+
+    address = _service_address(args)
+    if args.wait:
+        if not client.wait_for_server(address, timeout=args.wait):
+            print(f"submit: no server at {address} after {args.wait}s",
+                  file=sys.stderr)
+            return 1
+    if args.stats:
+        reply = client.server_stats(address)
+        json.dump(reply, sys.stdout, indent=1, sort_keys=True)
+        sys.stdout.write("\n")
+    status = 0
+    if args.sources:
+        on_event = None
+        if args.verbose:
+            def on_event(event):  # noqa: E306
+                if event.get("event") == "progress":
+                    print(f"  [{event.get('id')}] {event.get('stage')}",
+                          file=sys.stderr)
+        result = client.run_campaign(
+            address, args.sources,
+            concurrency=args.concurrency,
+            out_dir=args.out,
+            on_event=on_event,
+            repeat=args.repeat,
+            target=args.target, variant=args.variant, scale=args.scale,
+            seed=args.seed, oracle_trials=args.oracle_trials,
+        )
+        for record in result.records:
+            if record.get("status") == "ok":
+                verdict = "ok" if record.get("verify_ok") else "VERIFY-FAIL"
+                print(f"{record['id']}: {verdict} cache={record.get('cache')} "
+                      f"key={str(record.get('key'))[:12]} "
+                      f"{record.get('seconds', 0):.3f}s")
+            else:
+                fault = record.get("fault") or {}
+                print(f"{record['id']}: FAILED {fault.get('fault')}: "
+                      f"{fault.get('detail')}")
+        print(f"campaign: {result.succeeded}/{len(result.records)} ok "
+              f"in {result.seconds:.3f}s, by_cache={result.by_cache}")
+        if result.manifest_path:
+            print(f"campaign: wrote {result.manifest_path}", file=sys.stderr)
+        status = 0 if result.ok else 1
+    if args.shutdown:
+        client.shutdown_server(address)
+        print("submit: server shut down", file=sys.stderr)
+    if not args.sources and not args.stats and not args.shutdown:
+        raise SystemExit("submit: nothing to do "
+                         "(give sources, --stats, or --shutdown)")
+    return status
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import CacheLayout, cache_gc, cache_stats
+
+    layout = CacheLayout.resolve(args.cache, args.cache_shards,
+                                 args.cache_max_mb)
+    if args.action == "stats":
+        payload = cache_stats(layout)
+    else:
+        extra = {}
+        if args.ttl is not None:
+            extra["ttl"] = args.ttl
+        payload = cache_gc(layout, **extra)
+    json.dump(payload, sys.stdout, indent=1, sort_keys=True)
+    sys.stdout.write("\n")
     return 0
 
 
@@ -529,6 +682,82 @@ def make_parser() -> argparse.ArgumentParser:
                    help="write trace.json + metrics.json into DIR")
     _add_perf_flags(p)
     p.set_defaults(fn=cmd_resilience)
+
+    p = sub.add_parser(
+        "serve",
+        help="batch translation service: accept rewrite jobs over a local "
+             "socket, dedup through the sharded cache, stream ledgers")
+    p.add_argument("--cache", required=True, metavar="DIR",
+                   help="rewrite-cache root the service shards and serves")
+    p.add_argument("--socket", metavar="PATH", default=None,
+                   help="listen on a unix socket at PATH")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind host (localhost only by design)")
+    p.add_argument("--port", type=int, default=None,
+                   help="listen on TCP (0 = ephemeral; address is printed)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="machine-wide verification-worker budget shared "
+                        "fairly across concurrent jobs (default: CPU count)")
+    p.add_argument("--executor", choices=("serial", "thread", "process"),
+                   default=None,
+                   help="per-job verification executor (default: auto)")
+    p.add_argument("--oracle-trials", type=int, default=None,
+                   help="pin every job's oracle trials server-side "
+                        "(one fleet, one policy, one cache key)")
+    p.add_argument("--region-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock watchdog per region (process executor)")
+    p.add_argument("--telemetry-out", metavar="DIR", default=None,
+                   help="write trace.json + metrics.json into DIR at shutdown")
+    _add_cache_flags(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="fleet client: fan binaries/workloads at a running server, "
+             "collect ledgers + a campaign manifest")
+    p.add_argument("sources", nargs="*",
+                   help="workload names, .self files, or directories of "
+                        ".self files")
+    p.add_argument("--socket", metavar="PATH", default=None,
+                   help="server unix socket")
+    p.add_argument("--address", metavar="ADDR", default=None,
+                   help="server address (unix:PATH or tcp:HOST:PORT)")
+    p.add_argument("--out", metavar="DIR", default=None,
+                   help="write per-job ledgers and campaign.json into DIR")
+    p.add_argument("--concurrency", type=int, default=4, metavar="N",
+                   help="client-side in-flight job bound")
+    p.add_argument("--repeat", type=int, default=1, metavar="N",
+                   help="submit the batch N times (dedup smoke lever)")
+    p.add_argument("--wait", type=float, default=None, metavar="SECONDS",
+                   help="wait up to SECONDS for the server to answer ping")
+    p.add_argument("--target", default="rv64gc")
+    p.add_argument("--variant", choices=("base", "ext"), default="ext")
+    p.add_argument("--scale", type=int, default=128,
+                   help="synthetic-profile code-size divisor")
+    p.add_argument("--seed", type=int, default=None,
+                   help="oracle randomization seed sent with every job")
+    p.add_argument("--oracle-trials", type=int, default=2,
+                   help="differential-oracle trials per region")
+    p.add_argument("--stats", action="store_true",
+                   help="print the server's counters snapshot")
+    p.add_argument("--shutdown", action="store_true",
+                   help="gracefully stop the server (after any campaign)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="stream per-job progress events to stderr")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser(
+        "cache",
+        help="rewrite-cache admin: per-shard stats, orphan GC, LRU eviction")
+    p.add_argument("action", choices=("stats", "gc"))
+    p.add_argument("--cache", required=True, metavar="DIR",
+                   help="rewrite-cache root (flat or sharded)")
+    p.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                   help="gc: age before a temp/journal orphan is swept "
+                        "(default: 1 hour)")
+    _add_cache_flags(p)
+    p.set_defaults(fn=cmd_cache)
     return parser
 
 

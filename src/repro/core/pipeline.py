@@ -71,11 +71,81 @@ from repro.verify.report import RegionVerdict, VerifyReport
 _CACHE_SCHEMA = "chimera-rewrite-cache/v2"
 
 #: Temp files older than this (seconds) are crash orphans: their writer
-#: died between write and rename.  Collected opportunistically.
+#: died between write and rename.  Collected opportunistically.  The
+#: same TTL covers journals orphaned by a crashed driver: within the
+#: TTL they are resume candidates, past it they are garbage.
 _ORPHAN_TTL = 3600.0
 
 #: Default wall-clock watchdog per region for the process executor.
 DEFAULT_REGION_TIMEOUT = 60.0
+
+#: Default shard fan-out for the serving cache (``repro serve``).  The
+#: single-binary CLI keeps the flat layout (``shards=0``) unless asked.
+DEFAULT_CACHE_SHARDS = 16
+
+
+@dataclass(frozen=True)
+class CacheLayout:
+    """Where one release key lives inside a (possibly sharded) cache.
+
+    ``shards == 0`` is the flat legacy layout: entries and the run
+    journal sit directly under ``root``.  With ``shards == N`` the
+    cache splits into ``root/shard-XX`` directories keyed by the
+    release-key prefix, so concurrent service workers publishing
+    different releases never contend on one directory's rename stream
+    — and a torn entry, a crashed writer, or an LRU sweep in one shard
+    can never touch another.  Each shard carries its own ``journal/``
+    subdirectory and is orphan-GC'd independently.
+
+    ``max_mb`` arms LRU eviction at publish time: the budget is split
+    evenly across shards and the oldest-atime entries are evicted
+    until the shard fits.
+    """
+
+    root: Path
+    shards: int = 0
+    max_mb: Optional[float] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "root", Path(self.root))
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0")
+
+    @classmethod
+    def resolve(cls, cache_dir, shards: int = 0,
+                max_mb: Optional[float] = None) -> Optional["CacheLayout"]:
+        if cache_dir is None:
+            return None
+        if isinstance(cache_dir, CacheLayout):
+            return cache_dir
+        return cls(Path(cache_dir), shards, max_mb)
+
+    def shard_index(self, key: str) -> int:
+        """Shard for *key* — a pure function of the release-key prefix,
+        so every worker, client, and admin command agrees forever."""
+        if not self.shards:
+            return 0
+        return int(key[:8], 16) % self.shards
+
+    def shard_name(self, key: str) -> str:
+        return f"shard-{self.shard_index(key):02d}"
+
+    def dir_for(self, key: str) -> Path:
+        if not self.shards:
+            return self.root
+        return self.root / self.shard_name(key)
+
+    def dirs(self) -> list[Path]:
+        """Every shard directory (flat layout: just the root)."""
+        if not self.shards:
+            return [self.root]
+        return [self.root / f"shard-{i:02d}" for i in range(self.shards)]
+
+    @property
+    def shard_budget_bytes(self) -> Optional[int]:
+        if self.max_mb is None:
+            return None
+        return int(self.max_mb * 1024 * 1024) // max(1, self.shards or 1)
 
 
 @dataclass
@@ -233,21 +303,149 @@ def _store_cached(cache_dir: Path, key: str, result: RewriteResult,
     os.replace(meta_tmp, meta_path)
 
 
-def _gc_orphans(cache_dir: Path) -> None:
-    """Collect temp files whose writer crashed before publishing."""
+def _gc_orphans(cache_dir: Path, *, ttl: float = _ORPHAN_TTL,
+                now: Optional[float] = None) -> dict[str, int]:
+    """Collect crash debris in one cache (shard) directory.
+
+    Two kinds of orphan, one TTL: temp files whose writer died between
+    write and rename, and run journals whose *driver* died and never
+    came back to resume (a completed run deletes its journal; a live
+    resumable one keeps a fresh mtime because every settled region
+    appends a line).  Returns ``{"temps": n, "journals": m}``.
+    """
+    swept = {"temps": 0, "journals": 0}
     if not cache_dir.is_dir():
-        return
+        return swept
     telemetry = telemetry_current()
-    now = time.time()
+    now = time.time() if now is None else now
     for tmp in cache_dir.glob(".*.tmp"):
         try:
-            if now - tmp.stat().st_mtime <= _ORPHAN_TTL:
+            if now - tmp.stat().st_mtime <= ttl:
                 continue
             tmp.unlink()
         except OSError:
             continue
+        swept["temps"] += 1
         if telemetry.enabled:
             telemetry.metrics.inc("pipeline.cache_orphans_gc")
+    journal_dir = cache_dir / "journal"
+    if journal_dir.is_dir():
+        for journal in journal_dir.glob("*.jsonl"):
+            try:
+                if now - journal.stat().st_mtime <= ttl:
+                    continue
+                journal.unlink()
+            except OSError:
+                continue
+            swept["journals"] += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("pipeline.journal_orphans_gc")
+    return swept
+
+
+def _cache_entries(cache_dir: Path) -> list[tuple[str, int, float]]:
+    """Committed entries in one shard: (key, bytes, last-use stamp).
+
+    The stamp is the newest atime/mtime across the entry's three files
+    — on ``noatime`` mounts mtime still ranks entries by publish order.
+    """
+    entries = []
+    for meta_path in cache_dir.glob("*.meta.json"):
+        key = meta_path.name[: -len(".meta.json")]
+        size = 0
+        stamp = 0.0
+        for path in _entry_paths(cache_dir, key):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            size += st.st_size
+            stamp = max(stamp, st.st_atime, st.st_mtime)
+        entries.append((key, size, stamp))
+    return entries
+
+
+def _evict_lru(cache_dir: Path, budget_bytes: int,
+               protect_key: Optional[str] = None) -> int:
+    """Evict oldest-last-used entries until the shard fits the budget.
+
+    Runs at publish time (and from ``repro cache gc``), never evicts
+    the entry just published, and removes whole entries atomically-ish
+    (meta first, so a concurrent reader sees a partial entry and treats
+    it as a miss — exactly the torn-entry path it already survives).
+    """
+    entries = _cache_entries(cache_dir)
+    total = sum(size for _, size, _ in entries)
+    if total <= budget_bytes:
+        return 0
+    telemetry = telemetry_current()
+    evicted = 0
+    for key, size, _ in sorted(entries, key=lambda e: e[2]):
+        if total <= budget_bytes:
+            break
+        if key == protect_key:
+            continue
+        binary_path, report_path, meta_path = _entry_paths(cache_dir, key)
+        for path in (meta_path, binary_path, report_path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        total -= size
+        evicted += 1
+        if telemetry.enabled:
+            telemetry.metrics.inc("pipeline.cache_evictions")
+    return evicted
+
+
+# -- cache administration (``repro cache stats|gc``) -------------------------
+
+
+def cache_stats(layout: CacheLayout) -> dict:
+    """Machine-readable census of a (sharded) rewrite cache."""
+    shards = []
+    for shard_dir in layout.dirs():
+        entries = _cache_entries(shard_dir) if shard_dir.is_dir() else []
+        journal_dir = shard_dir / "journal"
+        journals = (len(list(journal_dir.glob("*.jsonl")))
+                    if journal_dir.is_dir() else 0)
+        temps = (len(list(shard_dir.glob(".*.tmp")))
+                 if shard_dir.is_dir() else 0)
+        shards.append({
+            "dir": str(shard_dir),
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "journals": journals,
+            "temps": temps,
+        })
+    return {
+        "schema": "repro.cache/stats/v1",
+        "root": str(layout.root),
+        "shards": layout.shards,
+        "max_mb": layout.max_mb,
+        "entries": sum(s["entries"] for s in shards),
+        "bytes": sum(s["bytes"] for s in shards),
+        "journals": sum(s["journals"] for s in shards),
+        "temps": sum(s["temps"] for s in shards),
+        "per_shard": shards,
+    }
+
+
+def cache_gc(layout: CacheLayout, *, ttl: float = _ORPHAN_TTL,
+             now: Optional[float] = None) -> dict:
+    """Sweep every shard: orphaned temps, orphaned journals, and (when
+    the layout carries a budget) LRU eviction down to it."""
+    swept = {"temps": 0, "journals": 0, "evicted": 0}
+    budget = layout.shard_budget_bytes
+    for shard_dir in layout.dirs():
+        if not shard_dir.is_dir():
+            continue
+        shard_swept = _gc_orphans(shard_dir, ttl=ttl, now=now)
+        swept["temps"] += shard_swept["temps"]
+        swept["journals"] += shard_swept["journals"]
+        if budget is not None:
+            swept["evicted"] += _evict_lru(shard_dir, budget)
+    return swept
 
 
 # -- resumable run journal ---------------------------------------------------
@@ -435,13 +633,18 @@ def rewrite_and_verify(
     oracle_max_steps: int = 512,
     max_oracle_regions: int = 0,
     jobs: int = 1,
-    cache_dir: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[Union[str, Path, CacheLayout]] = None,
+    cache_shards: int = 0,
+    cache_max_mb: Optional[float] = None,
     executor: Optional[str] = None,
     region_timeout: Optional[float] = DEFAULT_REGION_TIMEOUT,
     resume: bool = True,
     degrade: str = "trap",
     retry_policy: Optional[RetryPolicy] = None,
     failure_injector=None,
+    slots=None,
+    job_id=None,
+    on_progress=None,
 ) -> PipelineResult:
     """Translate *binary* for *target_profile* and admission-verify it.
 
@@ -451,6 +654,14 @@ def rewrite_and_verify(
     picks what happens to a region that exhausts its retry budget:
     "trap" re-admits it on the verified trap-fallback encoding,
     "exclude" drops it with the fault recorded in the ledger.
+
+    ``cache_dir`` may be a directory (flat cache, optionally fanned out
+    by ``cache_shards`` / size-capped by ``cache_max_mb``) or a
+    ready-made :class:`CacheLayout`.  ``slots`` is an optional
+    :class:`~repro.core.procpool.WorkerSlotArbiter` the batch service
+    shares across concurrent jobs; ``on_progress(stage, **info)`` (when
+    given) fires at each pipeline stage boundary and per settled region
+    — the service streams these to its clients.
     """
     rewriter = rewriter or ChimeraRewriter()
     seed = resolve_seed(seed)
@@ -466,11 +677,13 @@ def rewrite_and_verify(
         "max_oracle_regions": max_oracle_regions,
     }
 
-    cache_path = Path(cache_dir) if cache_dir is not None else None
+    layout = CacheLayout.resolve(cache_dir, cache_shards, cache_max_mb)
+    cache_path = None
     key = None
-    if cache_path is not None:
-        _gc_orphans(cache_path)
+    if layout is not None:
         key = cache_key(binary, target_profile, rewriter, gate_config)
+        cache_path = layout.dir_for(key)
+        _gc_orphans(cache_path)
         cached = _load_cached(cache_path, key, target_profile)
         if cached is not None:
             if telemetry.enabled:
@@ -478,6 +691,8 @@ def rewrite_and_verify(
                                       binary=binary.name,
                                       target=target_profile.name)
             result, report = cached
+            if on_progress is not None:
+                on_progress("cache-hit", key=key)
             return PipelineResult(result, report, cache_hit=True)
         if telemetry.enabled:
             telemetry.metrics.inc("pipeline.rewrite_cache_misses",
@@ -491,6 +706,8 @@ def rewrite_and_verify(
     with telemetry.span("pipeline.rewrite_verify", binary=binary.name,
                         target=target_profile.name, jobs=jobs,
                         executor=executor):
+        if on_progress is not None:
+            on_progress("rewrite", binary=binary.name)
         t0 = time.perf_counter()
         result = rewriter.rewrite(binary, target_profile)
         t1 = time.perf_counter()
@@ -519,6 +736,9 @@ def rewrite_and_verify(
 
         settled = resumed
 
+        total_regions = len((result.binary.metadata.get("chimera") or {})
+                            .get("patch_records") or ())
+
         def on_region(idx: int, verdict: RegionVerdict,
                       oracle_ran: bool) -> None:
             nonlocal settled
@@ -527,7 +747,15 @@ def rewrite_and_verify(
             settled += 1
             if failure_injector is not None:
                 failure_injector.on_journal_record(settled)
+            if on_progress is not None:
+                on_progress("region", settled=settled, regions=total_regions)
 
+        if on_progress is not None:
+            on_progress("verify", regions=total_regions, executor=executor)
+        extra_verify = {}
+        if slots is not None:
+            extra_verify["slots"] = slots
+            extra_verify["job_id"] = job_id if job_id is not None else key
         try:
             report = verify_mod.verify_binary(
                 binary, result.binary, seed=seed,
@@ -538,6 +766,7 @@ def rewrite_and_verify(
                 executor=executor, region_timeout=region_timeout,
                 retry_policy=retry_policy, injector=failure_injector,
                 on_region=on_region, precomputed=precomputed,
+                **extra_verify,
             )
         except BaseException:
             # Killed mid-run (or injected kill): the journal keeps every
@@ -564,6 +793,91 @@ def rewrite_and_verify(
         # Degraded or excluded releases are never cached: the cache key
         # promises the deterministic fault-free output for these inputs.
         _store_cached(cache_path, key, result, report)
+        budget = layout.shard_budget_bytes
+        if budget is not None:
+            # Publish-time LRU sweep: the shard never outgrows its slice
+            # of --cache-max-mb, and the entry just published survives.
+            _evict_lru(cache_path, budget, protect_key=key)
+    if on_progress is not None:
+        on_progress("published", key=key, ok=report.ok)
     return PipelineResult(result, report, cache_hit=False,
                           rewrite_seconds=t1 - t0, verify_seconds=t2 - t1,
                           resumed_regions=resumed)
+
+
+# -- job-shaped entry point (the serving surface) ----------------------------
+
+
+@dataclass(frozen=True)
+class RewriteJob:
+    """One service-shaped unit of work: translate + verify one binary.
+
+    This is the currency of ``python -m repro serve``: the server
+    resolves each submit message into a :class:`RewriteJob`, computes
+    its :func:`release_key` for dedup/sharding, and drives it through
+    :func:`run_job` on a worker thread.  Everything that determines the
+    released bytes lives in the job, so two jobs with equal keys are
+    interchangeable by construction.
+    """
+
+    binary: Binary
+    target: str = "rv64gc"
+    seed: Optional[int] = None
+    oracle_trials: int = 2
+    oracle_max_steps: int = 512
+    max_oracle_regions: int = 0
+    jobs: int = 1
+    executor: Optional[str] = None
+    region_timeout: Optional[float] = DEFAULT_REGION_TIMEOUT
+
+    def profile(self) -> IsaProfile:
+        from repro.isa.extensions import PROFILES
+
+        try:
+            return PROFILES[self.target]
+        except KeyError:
+            raise ValueError(
+                f"unknown ISA profile {self.target!r}; "
+                f"choose from {sorted(PROFILES)}") from None
+
+
+def release_key(job: RewriteJob,
+                rewriter: Optional[ChimeraRewriter] = None) -> str:
+    """The content-addressed release key a job will publish under —
+    exactly the :func:`cache_key` ``run_job`` resolves, computed ahead
+    of time so the server can dedup and route before any work runs."""
+    rewriter = rewriter or ChimeraRewriter()
+    gate_config = {
+        "seed": resolve_seed(job.seed),
+        "oracle_trials": job.oracle_trials,
+        "oracle_max_steps": job.oracle_max_steps,
+        "max_oracle_regions": job.max_oracle_regions,
+    }
+    return cache_key(job.binary, job.profile(), rewriter, gate_config)
+
+
+def run_job(
+    job: RewriteJob,
+    *,
+    cache: Optional[Union[str, Path, CacheLayout]] = None,
+    slots=None,
+    job_id=None,
+    on_progress=None,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> PipelineResult:
+    """Drive one :class:`RewriteJob` through the verified pipeline."""
+    return rewrite_and_verify(
+        job.binary, job.profile(),
+        seed=job.seed,
+        oracle_trials=job.oracle_trials,
+        oracle_max_steps=job.oracle_max_steps,
+        max_oracle_regions=job.max_oracle_regions,
+        jobs=job.jobs,
+        cache_dir=cache,
+        executor=job.executor,
+        region_timeout=job.region_timeout,
+        retry_policy=retry_policy,
+        slots=slots,
+        job_id=job_id,
+        on_progress=on_progress,
+    )

@@ -37,6 +37,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -62,6 +63,51 @@ _MAX_STILLBIRTHS = 3
 
 class PoolBrokenError(RuntimeError):
     """The pool could not be brought up (workers die before ready)."""
+
+
+class WorkerSlotArbiter:
+    """Fair division of one machine-wide worker budget across live jobs.
+
+    The batch service (`python -m repro serve`) runs many
+    ``rewrite_and_verify`` jobs concurrently, each of which would
+    otherwise fork its own ``jobs``-sized pool and oversubscribe the
+    box.  Every job registers here instead, and each job's
+    :class:`FaultIsolatedPool` asks for its **allowance** before
+    (re)spawning workers: with ``J`` live jobs on a ``total``-slot
+    budget a job may run up to ``max(1, total // J)`` workers.  Pools
+    re-consult the arbiter every scheduling tick, so when a job
+    finishes, the survivors grow into the freed slots, and when new
+    jobs arrive, idle workers are retired down to the fair share —
+    the whole machine stays saturated without ever stacking ``J *
+    jobs`` processes.
+
+    Thread-safe: jobs register/ask from concurrent driver threads.
+    """
+
+    def __init__(self, total: int):
+        self.total = max(1, int(total))
+        self._lock = threading.Lock()
+        self._active: set = set()
+
+    def register(self, job_id) -> None:
+        with self._lock:
+            self._active.add(job_id)
+
+    def unregister(self, job_id) -> None:
+        with self._lock:
+            self._active.discard(job_id)
+
+    @property
+    def active_jobs(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    def allowance(self, want: Optional[int] = None) -> int:
+        """Worker slots one job may hold right now (>= 1 always, so a
+        wave of tiny jobs can never starve anyone to zero)."""
+        with self._lock:
+            share = max(1, self.total // max(1, len(self._active)))
+        return share if want is None else max(1, min(want, share))
 
 
 @dataclass(frozen=True)
@@ -221,6 +267,8 @@ class FaultIsolatedPool:
         retry_policy: Optional[RetryPolicy] = None,
         telemetry=None,
         labels: Optional[dict] = None,
+        slots: Optional[WorkerSlotArbiter] = None,
+        job_id=None,
     ):
         self.payload_bytes = pickle.dumps(payload)
         self.jobs = max(1, jobs)
@@ -228,6 +276,11 @@ class FaultIsolatedPool:
         self.policy = retry_policy or PIPELINE_RETRY_POLICY
         self.telemetry = telemetry
         self.labels = labels or {}
+        #: Optional machine-wide slot arbiter (the serve path): the pool
+        #: grows and shrinks to its fair share instead of holding
+        #: ``jobs`` workers unconditionally.
+        self.slots = slots
+        self.job_id = job_id if job_id is not None else id(self)
         try:
             self.ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -289,7 +342,9 @@ class FaultIsolatedPool:
                             + self.policy.backoff_seconds(item.attempt))
                 delayed.append((ready_at, item.retried()))
 
-        for _ in range(min(self.jobs, total)):
+        if self.slots is not None:
+            self.slots.register(self.job_id)
+        for _ in range(min(self._allowance(), total)):
             spawn()
         try:
             while len(outcomes) < total:
@@ -298,6 +353,7 @@ class FaultIsolatedPool:
                     if ready_at <= now:
                         delayed.remove((ready_at, item))
                         pending.append(item)
+                self._rebalance(workers, spawn, pending)
                 for worker in workers.values():
                     # Dispatch only after the ready handshake: a worker
                     # holding an item is then *by construction* ready, so
@@ -312,6 +368,8 @@ class FaultIsolatedPool:
                         f"{state['stillbirths']} workers died before becoming "
                         "ready; payload or pool setup is broken")
         finally:
+            if self.slots is not None:
+                self.slots.unregister(self.job_id)
             for worker in list(workers.values()):
                 worker.stop()
             outbox.close()
@@ -319,6 +377,30 @@ class FaultIsolatedPool:
         return [outcomes[item.index] for item in items]
 
     # -- parent loop helpers ------------------------------------------------
+
+    def _allowance(self) -> int:
+        """How many workers this pool may hold right now."""
+        if self.slots is None:
+            return self.jobs
+        return self.slots.allowance(self.jobs)
+
+    def _rebalance(self, workers, spawn, pending) -> None:
+        """Grow into freed arbiter slots; retire idle workers past the
+        fair share.  A worker holding an item is never retired — shrink
+        is lazy, so fairness converges at region granularity."""
+        if self.slots is None:
+            return
+        target = self._allowance()
+        while len(workers) < target and pending:
+            spawn()
+        if len(workers) > target:
+            for worker in list(workers.values()):
+                if len(workers) <= target:
+                    break
+                if worker.ready and worker.item is None:
+                    del workers[worker.id]
+                    worker.stop()
+                    self._inc("pipeline.workers_retired")
 
     def _drain(self, outbox, workers, outcomes, settle, fail, state) -> None:
         """Pull every queued message, waiting up to one tick for the first."""

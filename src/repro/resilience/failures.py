@@ -104,6 +104,75 @@ class RegionFault:
         )
 
 
+# -- batch-service job taxonomy ----------------------------------------------
+
+#: The submit message itself was unusable: unknown workload, unreadable
+#: or malformed binary file, bad parameters.  Never retried server-side.
+JOB_REJECTED = "job-rejected"
+#: The rewrite+verify pipeline raised for this job; the server caught
+#: it at the job boundary (the process pool already absorbed any worker
+#: crash — this is the driver itself failing), sanitized it to one
+#: line, and stayed up.
+JOB_CRASH = "job-crash"
+#: The job's release key crossed the failure budget: the server refuses
+#: it on admission so one poisoned binary can never monopolize the
+#: fleet's workers.  A cache wipe or server restart clears the memo.
+JOB_POISONED = "job-poisoned"
+
+JOB_FAULT_KINDS = (JOB_REJECTED, JOB_CRASH, JOB_POISONED)
+
+
+@dataclass
+class JobFault:
+    """One structured failure the batch service attributed to one job.
+
+    Mirrors :class:`RegionFault` one level up: the unit is a whole
+    submitted binary, the consumer is a fleet client, and the contract
+    is the same — never a raw traceback, never a silent drop.  ``key``
+    is the release key when it was computed (None for jobs rejected
+    before resolution); ``failures`` counts how many runs of this key
+    have crashed (drives the poison quarantine).
+    """
+
+    binary: str
+    fault: str
+    detail: str = ""
+    key: Optional[str] = None
+    failures: int = 0
+    quarantined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fault not in JOB_FAULT_KINDS:
+            raise ValueError(
+                f"unknown job fault {self.fault!r}; choose from {JOB_FAULT_KINDS}")
+
+    def __str__(self) -> str:
+        tail = f": {self.detail}" if self.detail else ""
+        quarantine = " [quarantined]" if self.quarantined else ""
+        return f"{self.fault} for {self.binary}{quarantine}{tail}"
+
+    def as_dict(self) -> dict:
+        return {
+            "binary": self.binary,
+            "fault": self.fault,
+            "detail": self.detail,
+            "key": self.key,
+            "failures": self.failures,
+            "quarantined": self.quarantined,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobFault":
+        return cls(
+            binary=data["binary"],
+            fault=data["fault"],
+            detail=data.get("detail", ""),
+            key=data.get("key"),
+            failures=data.get("failures", 0),
+            quarantined=data.get("quarantined", False),
+        )
+
+
 KILL_CORE = "kill-core"
 FLAKE_CORE = "flake-core"
 DROP_MIGRATION = "drop-migration"

@@ -1,0 +1,43 @@
+"""Rewrite-as-a-service: the batch translation layer.
+
+Chimera's static pipeline translates one binary per CLI invocation;
+this package turns it into a machine-wide service the way Rosetta 2's
+``aot_shared_cache`` amortizes translation across a fleet:
+
+* :mod:`repro.service.server` — ``python -m repro serve``: an asyncio
+  batch server (unix socket or TCP-on-localhost) that accepts many
+  rewrite jobs, deduplicates them through the sharded content-addressed
+  rewrite cache (in-flight coalescing + warm hits), fans the verified
+  pipeline across the machine through one shared
+  :class:`~repro.core.procpool.WorkerSlotArbiter`, and streams each
+  job's :class:`~repro.verify.report.VerifyReport` ledger back
+  byte-identical to a local ``repro verify`` run;
+* :mod:`repro.service.client` — ``python -m repro submit``: the fleet
+  campaign driver: fan a directory of binaries (or workload names) at
+  the server with bounded concurrency, retry transient failures under a
+  :class:`~repro.resilience.policy.RetryPolicy`, collect ledgers, and
+  write a campaign manifest;
+* :mod:`repro.service.protocol` — the newline-delimited-JSON wire
+  format both ends speak.
+
+Failure domains: a job that crashes the pipeline becomes a structured
+:class:`~repro.resilience.failures.JobFault` streamed to its client —
+the server stays up — and a release key that keeps crashing is
+*poisoned*: refused on admission so one bad binary can never monopolize
+the fleet's workers.
+"""
+
+from repro.service.client import CampaignResult, run_campaign, submit_jobs
+from repro.service.protocol import ProtocolError, read_message, write_message
+from repro.service.server import RewriteService, ServiceStats
+
+__all__ = [
+    "CampaignResult",
+    "ProtocolError",
+    "RewriteService",
+    "ServiceStats",
+    "read_message",
+    "run_campaign",
+    "submit_jobs",
+    "write_message",
+]

@@ -1,0 +1,144 @@
+"""Wire protocol for the batch translation service.
+
+Newline-delimited JSON, one message per line, over a local stream
+(unix socket or TCP on localhost).  Requests carry an ``op``:
+
+* ``submit`` — one rewrite job: ``{"op": "submit", "id": <client job
+  id>, "workload": <name>}`` or ``{"op": "submit", "id": ..., "path":
+  <.self file>}``, plus optional ``target`` / ``scale`` / ``variant`` /
+  ``seed`` / ``oracle_trials``;
+* ``stats`` — service counters snapshot (dedup, shard hit/miss, queue
+  depth, quarantines);
+* ``ping`` — liveness probe;
+* ``shutdown`` — graceful stop (the service is a localhost, same-user
+  surface; there is no auth layer to bypass).
+
+Responses are tagged with ``event``: ``accepted`` (job admitted, carries
+the release key and shard), ``progress`` (stage transitions and settled
+region counts while the pipeline runs), ``result`` (terminal: carries
+``report_json``, the ledger **verbatim** as ``repro verify`` would write
+it), ``error`` (terminal: a structured
+:class:`~repro.resilience.failures.JobFault`, never a traceback),
+``stats`` / ``pong`` / ``bye``.
+
+``report_json`` byte-identity is the protocol's core promise: the
+server serializes each ledger once through
+:meth:`~repro.verify.report.VerifyReport.to_json` and clients write it
+to disk untouched, so a fleet campaign's artifacts diff clean against
+serial local verification.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+#: Protocol/schema tag sent in every hello and manifest.
+PROTOCOL = "repro.service/v1"
+
+#: One message may not exceed this many bytes on the wire — a ledger
+#: for a large synthetic binary is ~1 MB; 64 MB is a generous ceiling
+#: that still refuses a runaway (or hostile) line before it eats RAM.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+REQUEST_OPS = ("submit", "stats", "ping", "shutdown")
+EVENTS = ("hello", "accepted", "progress", "result", "error", "stats",
+          "pong", "bye")
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or an out-of-contract message."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One wire frame: canonical JSON + newline."""
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be an object, got "
+                            f"{type(message).__name__}")
+    frame = json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n"
+    data = frame.encode("utf-8")
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {len(data)} bytes exceeds the "
+                            f"{MAX_MESSAGE_BYTES}-byte frame limit")
+    return data
+
+
+def decode_message(line: bytes) -> dict:
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame of {len(line)} bytes exceeds the "
+                            f"{MAX_MESSAGE_BYTES}-byte limit")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame must decode to an object, got "
+                            f"{type(message).__name__}")
+    return message
+
+
+async def write_message(writer, message: dict) -> None:
+    """Send one frame (asyncio StreamWriter)."""
+    writer.write(encode_message(message))
+    await writer.drain()
+
+
+async def read_message(reader) -> Optional[dict]:
+    """Receive one frame; None on clean EOF.
+
+    Streams must be opened with ``limit=MAX_MESSAGE_BYTES`` (both ends
+    of this package do) — asyncio's default 64 KiB line limit is far
+    below a large binary's ledger.
+    """
+    import asyncio
+
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection dropped mid-frame") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(
+            f"frame exceeds the {MAX_MESSAGE_BYTES}-byte limit") from None
+    return decode_message(line)
+
+
+def validate_submit(message: dict) -> dict:
+    """Check a submit request; returns the normalized job fields.
+
+    Raises :class:`ProtocolError` with a one-line reason — the server
+    turns that into a structured ``job-rejected`` fault, so a malformed
+    submit can never crash a connection handler.
+    """
+    if message.get("op") != "submit":
+        raise ProtocolError(f"not a submit message: op={message.get('op')!r}")
+    job_id = message.get("id")
+    if not isinstance(job_id, str) or not job_id:
+        raise ProtocolError("submit requires a non-empty string 'id'")
+    workload = message.get("workload")
+    path = message.get("path")
+    if bool(workload) == bool(path):
+        raise ProtocolError(
+            "submit requires exactly one of 'workload' or 'path'")
+    spec = {
+        "id": job_id,
+        "workload": workload,
+        "path": path,
+        "target": message.get("target", "rv64gc"),
+        "variant": message.get("variant", "ext"),
+        "scale": message.get("scale", 128),
+        "seed": message.get("seed"),
+        "oracle_trials": message.get("oracle_trials", 2),
+    }
+    for field, kinds in (("target", str), ("variant", str)):
+        if not isinstance(spec[field], kinds):
+            raise ProtocolError(f"submit field {field!r} must be a string")
+    for field in ("scale", "oracle_trials"):
+        if not isinstance(spec[field], int) or spec[field] < 1:
+            raise ProtocolError(
+                f"submit field {field!r} must be a positive integer")
+    if spec["seed"] is not None and not isinstance(spec["seed"], int):
+        raise ProtocolError("submit field 'seed' must be an integer or null")
+    return spec

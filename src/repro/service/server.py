@@ -1,0 +1,510 @@
+"""``python -m repro serve`` — the asyncio batch translation server.
+
+One process, three moving parts:
+
+* the **event loop** accepts local connections (unix socket or
+  TCP-on-localhost) and speaks :mod:`repro.service.protocol`; it never
+  runs pipeline work, so the server stays responsive while every core
+  is busy verifying;
+* a small **job-thread pool** drives
+  :func:`repro.core.pipeline.run_job` for each admitted job; each job's
+  per-region fan-out goes through the PR 6 fault-isolated *process*
+  pool, sized by one shared
+  :class:`~repro.core.procpool.WorkerSlotArbiter` so concurrent jobs
+  split the machine fairly instead of oversubscribing it;
+* the **sharded cache** (:class:`~repro.core.pipeline.CacheLayout`)
+  deduplicates: a submit whose release key is already on disk is a
+  *warm* hit, one whose key is currently being built is *coalesced*
+  onto the in-flight run — a batch of duplicate binaries performs
+  exactly one rewrite+verify no matter how many clients race.
+
+Failure domains are per job: a pipeline crash becomes a structured
+:class:`~repro.resilience.failures.JobFault` streamed to every waiter
+(the server stays up), and a key that crashes
+:data:`POISON_THRESHOLD` times is refused on admission until the
+server restarts — one poisoned binary can never take the service down
+or monopolize its workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.pipeline import (
+    CacheLayout,
+    PipelineResult,
+    RewriteJob,
+    release_key,
+    run_job,
+)
+from repro.core.procpool import WorkerSlotArbiter
+from repro.resilience.failures import (
+    JOB_CRASH,
+    JOB_POISONED,
+    JOB_REJECTED,
+    JobFault,
+)
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    PROTOCOL,
+    ProtocolError,
+    read_message,
+    validate_submit,
+    write_message,
+)
+from repro.telemetry import current as telemetry_current
+
+#: Crashing runs per release key before the key is refused on admission.
+POISON_THRESHOLD = 2
+
+
+class JobServiceError(RuntimeError):
+    """Carries a :class:`JobFault` across the job future boundary."""
+
+    def __init__(self, fault: JobFault):
+        super().__init__(str(fault))
+        self.fault = fault
+
+
+@dataclass
+class ServiceStats:
+    """The service's observable ledger (mirrored into telemetry).
+
+    Counters only move on the event-loop thread, so readers (the
+    ``stats`` op, the tests) never see a torn snapshot.
+    """
+
+    jobs_accepted: int = 0
+    jobs_rejected: int = 0
+    jobs_quarantined: int = 0
+    #: Followers attached to an in-flight run of the same release key.
+    jobs_deduped_inflight: int = 0
+    #: Runs satisfied by a published cache entry (warm hits).
+    jobs_deduped_cache: int = 0
+    #: Cold runs that actually rewrote + verified.
+    rewrites: int = 0
+    jobs_failed: int = 0
+    jobs_completed: int = 0
+    shard_hits: int = 0
+    shard_misses: int = 0
+    started_at: float = field(default_factory=time.time)
+
+    @property
+    def queue_depth(self) -> int:
+        return self.jobs_accepted - self.jobs_completed
+
+    def as_dict(self) -> dict:
+        data = {k: v for k, v in vars(self).items() if k != "started_at"}
+        data["queue_depth"] = self.queue_depth
+        data["uptime_seconds"] = round(time.time() - self.started_at, 3)
+        return data
+
+
+@dataclass
+class _JobRecord:
+    """What one settled run hands every waiter."""
+
+    key: str
+    cache_hit: bool
+    ok: bool
+    releasable: bool
+    counts: dict
+    seconds: float
+    report_json: str
+
+
+class RewriteService:
+    """The batch server.  See the module docstring for the shape."""
+
+    def __init__(
+        self,
+        layout: CacheLayout,
+        *,
+        jobs: Optional[int] = None,
+        executor: Optional[str] = None,
+        oracle_trials: Optional[int] = None,
+        region_timeout: Optional[float] = None,
+        job_threads: Optional[int] = None,
+        poison_threshold: int = POISON_THRESHOLD,
+    ):
+        self.layout = layout
+        #: Machine-wide verification-worker budget, shared fairly.
+        total = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.worker_budget = max(1, total)
+        self.slots = WorkerSlotArbiter(self.worker_budget)
+        #: Per-job executor override (None = pipeline auto-select:
+        #: process when the job gets more than one worker slot).
+        self.executor = executor
+        #: Server-side override pinning every job's oracle trials (the
+        #: cache key depends on it; a fleet wants one policy).
+        self.oracle_trials = oracle_trials
+        self.region_timeout = region_timeout
+        self.poison_threshold = poison_threshold
+        self.stats = ServiceStats()
+        self._threads = ThreadPoolExecutor(
+            max_workers=job_threads or min(8, self.worker_budget + 1),
+            thread_name_prefix="repro-serve-job")
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: Crash tally and quarantine memo, keyed by release key.
+        self._failures: dict[str, int] = {}
+        self._poisoned: dict[str, JobFault] = {}
+        #: key -> [(connection, client job id), ...] progress watchers.
+        self._watchers: dict[str, list] = {}
+        self._stop = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._socket_path: Optional[str] = None
+        self.address: Optional[str] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, *, socket_path: Optional[str] = None,
+                    host: str = "127.0.0.1",
+                    port: Optional[int] = None) -> str:
+        """Bind and listen; returns the printable address."""
+        if socket_path is not None:
+            # A stale socket file from a dead server blocks the bind;
+            # unlink it (a live server would still hold the listener).
+            try:
+                os.unlink(socket_path)
+            except FileNotFoundError:
+                pass
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=socket_path,
+                limit=MAX_MESSAGE_BYTES)
+            self._socket_path = socket_path
+            self.address = f"unix:{socket_path}"
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=host, port=port or 0,
+                limit=MAX_MESSAGE_BYTES)
+            bound = self._server.sockets[0].getsockname()
+            self.address = f"tcp:{bound[0]}:{bound[1]}"
+        return self.address
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` op (or :meth:`shutdown`) lands,
+        then drain every in-flight job before returning."""
+        if self._server is None:
+            raise RuntimeError("call start() first")
+        try:
+            async with self._server:
+                await self._stop.wait()
+                self._server.close()
+                await self._server.wait_closed()
+            pending = [f for f in self._inflight.values() if not f.done()]
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            self._threads.shutdown(wait=True)
+        finally:
+            # Python < 3.13 leaves the unix socket file behind.
+            if self._socket_path is not None:
+                try:
+                    os.unlink(self._socket_path)
+                except OSError:
+                    pass
+
+    def shutdown(self) -> None:
+        self._stop.set()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        conn = _Connection(writer)
+        tasks: set[asyncio.Task] = set()
+        try:
+            await conn.send({"event": "hello", "protocol": PROTOCOL,
+                             "shards": self.layout.shards,
+                             "workers": self.worker_budget})
+            while True:
+                try:
+                    message = await read_message(reader)
+                except ProtocolError as exc:
+                    await conn.send({"event": "error", "id": None,
+                                     "fault": JobFault(
+                                         binary="<frame>",
+                                         fault=JOB_REJECTED,
+                                         detail=str(exc)).as_dict()})
+                    break
+                if message is None:
+                    break
+                op = message.get("op")
+                if op == "submit":
+                    task = asyncio.ensure_future(
+                        self._handle_submit(conn, message))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                elif op == "stats":
+                    await conn.send({"event": "stats",
+                                     "stats": self.stats.as_dict(),
+                                     "inflight": len(self._inflight),
+                                     "poisoned": len(self._poisoned)})
+                elif op == "ping":
+                    await conn.send({"event": "pong"})
+                elif op == "shutdown":
+                    await conn.send({"event": "bye"})
+                    self.shutdown()
+                    break
+                else:
+                    await conn.send({"event": "error", "id": message.get("id"),
+                                     "fault": JobFault(
+                                         binary="<op>",
+                                         fault=JOB_REJECTED,
+                                         detail=f"unknown op {op!r}").as_dict()})
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            conn.closed = True
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- the submit path ----------------------------------------------------
+
+    async def _handle_submit(self, conn: "_Connection", message: dict) -> None:
+        telemetry = telemetry_current()
+        loop = asyncio.get_running_loop()
+        job_id = message.get("id")
+        try:
+            spec = validate_submit(message)
+        except ProtocolError as exc:
+            self.stats.jobs_rejected += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("service.jobs_rejected")
+            await conn.send({"event": "error", "id": job_id,
+                             "fault": JobFault(
+                                 binary=str(message.get("workload")
+                                            or message.get("path")),
+                                 fault=JOB_REJECTED,
+                                 detail=str(exc)).as_dict()})
+            return
+        name = spec["workload"] or spec["path"]
+        try:
+            job, key = await loop.run_in_executor(
+                self._threads, self._resolve, spec)
+        except Exception as exc:  # noqa: BLE001 - structured, never raw
+            self.stats.jobs_rejected += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("service.jobs_rejected")
+            await conn.send({"event": "error", "id": spec["id"],
+                             "fault": JobFault(
+                                 binary=name, fault=JOB_REJECTED,
+                                 detail=f"{type(exc).__name__}: {exc}"
+                             ).as_dict()})
+            return
+
+        poisoned = self._poisoned.get(key)
+        if poisoned is not None:
+            self.stats.jobs_quarantined += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("service.jobs_quarantined")
+            await conn.send({"event": "error", "id": spec["id"],
+                             "fault": poisoned.as_dict()})
+            return
+
+        self.stats.jobs_accepted += 1
+        if telemetry.enabled:
+            telemetry.metrics.inc("service.jobs_accepted")
+            telemetry.metrics.gauge("service.queue_depth",
+                                    self.stats.queue_depth)
+        shard = self.layout.shard_name(key) if self.layout.shards else "flat"
+        await conn.send({"event": "accepted", "id": spec["id"], "key": key,
+                         "shard": shard})
+
+        follower = key in self._inflight
+        if follower:
+            self.stats.jobs_deduped_inflight += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("service.jobs_deduped", how="inflight")
+            future = self._inflight[key]
+        else:
+            future = loop.create_future()
+            self._inflight[key] = future
+            asyncio.ensure_future(self._drive(key, job, name, future))
+        self._watchers.setdefault(key, []).append((conn, spec["id"]))
+        try:
+            record: _JobRecord = await future
+        except JobServiceError as exc:
+            await conn.send({"event": "error", "id": spec["id"],
+                             "fault": exc.fault.as_dict()})
+            return
+        finally:
+            # Every admitted job completes exactly once (runner and
+            # followers alike), success or fault — queue_depth drains.
+            self.stats.jobs_completed += 1
+            if telemetry.enabled:
+                telemetry.metrics.gauge("service.queue_depth",
+                                        self.stats.queue_depth)
+            watchers = self._watchers.get(key)
+            if watchers is not None:
+                try:
+                    watchers.remove((conn, spec["id"]))
+                except ValueError:
+                    pass
+                if not watchers:
+                    self._watchers.pop(key, None)
+        cache = ("coalesced" if follower
+                 else "warm" if record.cache_hit else "cold")
+        await conn.send({
+            "event": "result", "id": spec["id"], "key": key,
+            "shard": shard, "cache": cache, "ok": record.ok,
+            "releasable": record.releasable, "counts": record.counts,
+            "seconds": round(record.seconds, 6),
+            "report_json": record.report_json,
+        })
+
+    async def _drive(self, key: str, job: RewriteJob, name: str,
+                     future: asyncio.Future) -> None:
+        """Own one run: thread off the pipeline, settle every waiter,
+        keep the books.  Runs on the loop; the pipeline does not."""
+        telemetry = telemetry_current()
+        loop = asyncio.get_running_loop()
+
+        def on_progress(stage: str, **info) -> None:
+            # Fires on the job thread; marshal to the loop.
+            loop.call_soon_threadsafe(self._fanout_progress, key, stage, info)
+
+        t0 = time.perf_counter()
+        try:
+            pipe: PipelineResult = await loop.run_in_executor(
+                self._threads, self._run_sync, job, key, on_progress)
+        except Exception as exc:  # noqa: BLE001 - the job failure domain
+            failures = self._failures.get(key, 0) + 1
+            self._failures[key] = failures
+            quarantined = failures >= self.poison_threshold
+            fault = JobFault(
+                binary=name, fault=JOB_CRASH,
+                detail=f"{type(exc).__name__}: {exc}", key=key,
+                failures=failures, quarantined=quarantined)
+            if quarantined:
+                self._poisoned[key] = JobFault(
+                    binary=name, fault=JOB_POISONED,
+                    detail=(f"release key crashed {failures} run(s); "
+                            "refused until restart"),
+                    key=key, failures=failures, quarantined=True)
+            self.stats.jobs_failed += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("service.jobs_failed")
+            self._inflight.pop(key, None)
+            future.set_exception(JobServiceError(fault))
+            return
+        seconds = time.perf_counter() - t0
+        shard = self.layout.shard_name(key) if self.layout.shards else "flat"
+        if pipe.cache_hit:
+            self.stats.shard_hits += 1
+            self.stats.jobs_deduped_cache += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("service.shard_hits", shard=shard)
+                telemetry.metrics.inc("service.jobs_deduped", how="cache")
+        else:
+            self.stats.shard_misses += 1
+            self.stats.rewrites += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("service.shard_misses", shard=shard)
+                telemetry.metrics.inc("service.rewrites")
+        self._failures.pop(key, None)
+        self._inflight.pop(key, None)
+        future.set_result(_JobRecord(
+            key=key, cache_hit=pipe.cache_hit, ok=pipe.ok,
+            releasable=pipe.releasable,
+            counts=pipe.report.counts(), seconds=seconds,
+            report_json=pipe.report.to_json()))
+
+    # -- job-thread halves --------------------------------------------------
+
+    def _resolve(self, spec: dict) -> tuple[RewriteJob, str]:
+        """Build the job's binary and release key (job thread)."""
+        from repro.elf.fileformat import load_binary_file
+        from repro.telemetry.pipeline import resolve_workload
+
+        if spec["workload"] is not None:
+            binary = resolve_workload(spec["workload"],
+                                      variant=spec["variant"],
+                                      scale=spec["scale"])
+        else:
+            binary = load_binary_file(spec["path"])
+        trials = (self.oracle_trials if self.oracle_trials is not None
+                  else spec["oracle_trials"])
+        job = RewriteJob(
+            binary=binary,
+            target=spec["target"],
+            seed=spec["seed"],
+            oracle_trials=trials,
+            jobs=self.worker_budget,
+            executor=self.executor,
+            region_timeout=self.region_timeout,
+        )
+        return job, release_key(job)
+
+    def _run_sync(self, job: RewriteJob, key: str, on_progress):
+        """The pipeline proper (job thread)."""
+        return run_job(job, cache=self.layout, slots=self.slots,
+                       job_id=key, on_progress=on_progress)
+
+    # -- progress fan-out ---------------------------------------------------
+
+    def _fanout_progress(self, key: str, stage: str, info: dict) -> None:
+        for conn, job_id in list(self._watchers.get(key, ())):
+            message = {"event": "progress", "id": job_id, "key": key,
+                       "stage": stage, **info}
+            asyncio.ensure_future(conn.send_quiet(message))
+
+
+class _Connection:
+    """One client stream; writes serialized so concurrent jobs on the
+    same connection never interleave frames."""
+
+    def __init__(self, writer):
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.closed = False
+
+    async def send(self, message: dict) -> None:
+        if self.closed:
+            return
+        async with self.lock:
+            try:
+                await write_message(self.writer, message)
+            except (ConnectionError, OSError):
+                self.closed = True
+
+    async def send_quiet(self, message: dict) -> None:
+        """Best-effort send (progress events to maybe-gone clients)."""
+        try:
+            await self.send(message)
+        except Exception:  # noqa: BLE001 - progress is best-effort
+            self.closed = True
+
+
+async def serve(
+    layout: CacheLayout,
+    *,
+    socket_path: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[str] = None,
+    oracle_trials: Optional[int] = None,
+    region_timeout: Optional[float] = None,
+    ready=None,
+) -> ServiceStats:
+    """Run a :class:`RewriteService` until shutdown; returns its stats.
+
+    ``ready`` (optional callable) fires with the bound address once the
+    server is listening — the CLI prints it, tests latch onto it.
+    """
+    service = RewriteService(
+        layout, jobs=jobs, executor=executor, oracle_trials=oracle_trials,
+        region_timeout=region_timeout)
+    address = await service.start(socket_path=socket_path, host=host,
+                                  port=port)
+    if ready is not None:
+        ready(address)
+    await service.serve_until_shutdown()
+    return service.stats

@@ -83,6 +83,8 @@ class AdmissionGate:
         region_timeout: Optional[float] = None,
         retry_policy: Optional[RetryPolicy] = None,
         injector=None,
+        slots=None,
+        job_id=None,
     ):
         meta = rewritten.metadata.get("chimera")
         if meta is None:
@@ -124,6 +126,11 @@ class AdmissionGate:
         #: Optional chaos hook (``before_region(idx, attempt, record)``)
         #: consulted before every verification attempt.
         self.injector = injector
+        #: Optional :class:`~repro.core.procpool.WorkerSlotArbiter` the
+        #: batch service shares across concurrent jobs (process
+        #: executor only): the pool sizes itself to its fair share.
+        self.slots = slots
+        self.job_id = job_id
         self.oracle = DifferentialOracle(
             original, rewritten, seed=self.seed,
             trials=oracle_trials, max_steps=oracle_max_steps,
@@ -235,7 +242,10 @@ class AdmissionGate:
         pool = FaultIsolatedPool(
             payload, self.jobs, region_timeout=self.region_timeout,
             retry_policy=self.retry_policy, telemetry=telemetry,
-            labels={"binary": self.rewritten.name})
+            labels={"binary": self.rewritten.name},
+            slots=self.slots,
+            job_id=self.job_id if self.job_id is not None
+            else self.rewritten.name)
 
         pool_quarantined: set[int] = set()
 
@@ -592,6 +602,8 @@ def verify_binary(
     injector=None,
     on_region=None,
     precomputed=None,
+    slots=None,
+    job_id=None,
 ) -> VerifyReport:
     """Convenience wrapper: gate *rewritten* against *original*."""
     return AdmissionGate(
@@ -600,4 +612,5 @@ def verify_binary(
         max_oracle_regions=max_oracle_regions, jobs=jobs, liveness=liveness,
         executor=executor, region_timeout=region_timeout,
         retry_policy=retry_policy, injector=injector,
+        slots=slots, job_id=job_id,
     ).verify(on_region=on_region, precomputed=precomputed)

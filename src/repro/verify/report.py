@@ -153,10 +153,17 @@ class VerifyReport:
                     for f in data.get("faults", ())],
         )
 
+    def to_json(self) -> str:
+        """The canonical ledger serialization.  Every producer — the
+        ``verify`` CLI, the rewrite cache, the batch service streaming
+        ledgers to fleet clients — goes through this one function, so a
+        ledger fetched over the service is *byte-identical* to one
+        written locally for the same release."""
+        return json.dumps(self.as_dict(), indent=1, sort_keys=True) + "\n"
+
     def write_json(self, path: str) -> None:
         with open(path, "w") as fh:
-            json.dump(self.as_dict(), fh, indent=1, sort_keys=True)
-            fh.write("\n")
+            fh.write(self.to_json())
 
     @classmethod
     def load(cls, path: str) -> "VerifyReport":

@@ -1,0 +1,191 @@
+"""End-to-end batch service: a concurrent batch of duplicate submits
+performs exactly one rewrite+verify (observable in the service stats),
+every client receives a ledger byte-identical to a serial local run, the
+cache survives a server restart as warm hits, malformed jobs bounce with
+structured faults, and a key that keeps crashing is quarantined."""
+
+import asyncio
+
+import pytest
+
+from repro.core.pipeline import CacheLayout, rewrite_and_verify
+from repro.isa.extensions import PROFILES
+from repro.resilience.failures import JOB_CRASH, JOB_POISONED, JOB_REJECTED
+from repro.resilience.policy import RetryPolicy
+from repro.service.client import submit_jobs
+from repro.service.server import RewriteService
+from repro.telemetry.pipeline import resolve_workload
+
+SEED = 20260806
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+@pytest.fixture(autouse=True)
+def _fixed_seed(monkeypatch):
+    monkeypatch.setenv("REPRO_FUZZ_SEED", str(SEED))
+
+
+def _spec(job_id, workload="dot", **extra):
+    spec = {"op": "submit", "id": job_id, "workload": workload,
+            "seed": SEED, "oracle_trials": 1}
+    spec.update(extra)
+    return spec
+
+
+def _serve(tmp_path, coro_fn, *, shards=4, jobs=2, **service_kw):
+    """Run *coro_fn(service, address)* against a live unix-socket server."""
+
+    async def harness():
+        layout = CacheLayout(tmp_path / "cache", shards=shards)
+        service = RewriteService(layout, jobs=jobs, **service_kw)
+        address = await service.start(
+            socket_path=str(tmp_path / "serve.sock"))
+        server_task = asyncio.ensure_future(service.serve_until_shutdown())
+        try:
+            return await coro_fn(service, address)
+        finally:
+            service.shutdown()
+            await server_task
+
+    return asyncio.run(harness())
+
+
+def _reference_ledger():
+    """What a serial local `repro verify dot --report` writes."""
+    pipe = rewrite_and_verify(
+        resolve_workload("dot", variant="ext", scale=128),
+        PROFILES["rv64gc"], seed=SEED, oracle_trials=1)
+    return pipe.report.to_json()
+
+
+class TestBatchDedup:
+    def test_duplicate_batch_runs_once(self, tmp_path):
+        out = tmp_path / "ledgers"
+
+        async def scenario(service, address):
+            specs = [_spec(f"dup-{i}") for i in range(6)]
+            records = await submit_jobs(address, specs, concurrency=6,
+                                        out_dir=out, retry_policy=NO_RETRY)
+            return service.stats, records
+
+        stats, records = _serve(tmp_path, scenario)
+        assert all(r["status"] == "ok" and r["verify_ok"] for r in records)
+        # The acceptance bar: one rewrite+verify for the whole batch.
+        assert stats.rewrites == 1
+        classes = sorted(r["cache"] for r in records)
+        assert classes.count("cold") == 1
+        assert stats.jobs_deduped_inflight + stats.jobs_deduped_cache == 5
+        assert stats.queue_depth == 0
+        # All six share one release key and one shard.
+        assert len({r["key"] for r in records}) == 1
+        assert len({r["shard"] for r in records}) == 1
+
+    def test_ledgers_byte_identical_to_serial_verify(self, tmp_path):
+        out = tmp_path / "ledgers"
+
+        async def scenario(service, address):
+            return await submit_jobs(
+                address, [_spec("a"), _spec("b")], concurrency=2,
+                out_dir=out, retry_policy=NO_RETRY)
+
+        records = _serve(tmp_path, scenario)
+        reference = _reference_ledger()
+        for record in records:
+            assert (out / f"{record['id']}.report.json").read_bytes() == \
+                reference.encode("utf-8")
+
+    def test_warm_hits_survive_a_server_restart(self, tmp_path):
+        async def first(service, address):
+            return await submit_jobs(address, [_spec("cold-run")],
+                                     retry_policy=NO_RETRY)
+
+        async def second(service, address):
+            records = await submit_jobs(address, [_spec("warm-run")],
+                                        retry_policy=NO_RETRY)
+            return service.stats, records
+
+        _serve(tmp_path, first)
+        stats, records = _serve(tmp_path, second)
+        assert records[0]["cache"] == "warm"
+        assert stats.rewrites == 0 and stats.jobs_deduped_cache == 1
+
+
+class TestRejection:
+    def test_unknown_workload_is_a_structured_fault(self, tmp_path):
+        async def scenario(service, address):
+            records = await submit_jobs(
+                address,
+                [_spec("bad", workload="no-such-workload"), _spec("good")],
+                retry_policy=NO_RETRY)
+            return service.stats, records
+
+        stats, records = _serve(tmp_path, scenario)
+        by_id = {r["id"]: r for r in records}
+        assert by_id["bad"]["status"] == "failed"
+        assert by_id["bad"]["fault"]["fault"] == JOB_REJECTED
+        # The server survived and ran the good job on the same socket.
+        assert by_id["good"]["status"] == "ok"
+        assert stats.jobs_rejected == 1 and stats.rewrites == 1
+
+    def test_malformed_submit_bounces(self, tmp_path):
+        async def scenario(service, address):
+            records = await submit_jobs(
+                address, [{"op": "submit", "id": "half"}],
+                retry_policy=NO_RETRY)
+            return service.stats, records
+
+        stats, records = _serve(tmp_path, scenario)
+        assert records[0]["fault"]["fault"] == JOB_REJECTED
+        assert stats.jobs_accepted == 0
+
+
+class TestPoisonQuarantine:
+    def test_crashing_key_is_quarantined(self, tmp_path, monkeypatch):
+        import repro.service.server as server_mod
+
+        def explode(job, **kw):
+            raise RuntimeError("synthetic pipeline crash")
+
+        monkeypatch.setattr(server_mod, "run_job", explode)
+
+        async def scenario(service, address):
+            faults = []
+            for attempt in ("one", "two", "three"):
+                records = await submit_jobs(address, [_spec(attempt)],
+                                            retry_policy=NO_RETRY)
+                faults.append(records[0]["fault"])
+            return service.stats, faults
+
+        stats, faults = _serve(tmp_path, scenario)
+        assert faults[0]["fault"] == JOB_CRASH and not faults[0]["quarantined"]
+        assert faults[1]["fault"] == JOB_CRASH and faults[1]["quarantined"]
+        # Third submit never reaches the pipeline: refused on admission.
+        assert faults[2]["fault"] == JOB_POISONED
+        assert stats.jobs_failed == 2 and stats.jobs_quarantined == 1
+        assert stats.queue_depth == 0
+
+    def test_other_keys_still_run_past_a_poisoned_one(self, tmp_path,
+                                                      monkeypatch):
+        import repro.service.server as server_mod
+
+        real_run_job = server_mod.run_job
+
+        def explode_dot(job, **kw):
+            if getattr(job.binary, "name", "").startswith("dot"):
+                raise RuntimeError("synthetic pipeline crash")
+            return real_run_job(job, **kw)
+
+        monkeypatch.setattr(server_mod, "run_job", explode_dot)
+
+        async def scenario(service, address):
+            for attempt in ("one", "two"):
+                await submit_jobs(address, [_spec(attempt)],
+                                  retry_policy=NO_RETRY)
+            records = await submit_jobs(
+                address, [_spec("healthy", workload="gemv")],
+                retry_policy=NO_RETRY)
+            return service.stats, records
+
+        stats, records = _serve(tmp_path, scenario)
+        assert records[0]["status"] == "ok"
+        assert stats.rewrites == 1 and stats.jobs_failed == 2

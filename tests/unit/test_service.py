@@ -1,0 +1,200 @@
+"""Service substrate: the wire protocol is strict and symmetric, submit
+validation rejects malformed jobs with a reason (never a traceback), the
+worker-slot arbiter divides the machine fairly, job faults are a closed
+taxonomy, and the client builds deterministic campaign specs."""
+
+import asyncio
+
+import pytest
+
+from repro.core.procpool import WorkerSlotArbiter
+from repro.resilience.failures import (
+    JOB_CRASH,
+    JOB_FAULT_KINDS,
+    JOB_POISONED,
+    JOB_REJECTED,
+    JobFault,
+)
+from repro.service.client import CampaignResult, build_specs
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    read_message,
+    validate_submit,
+)
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"op": "submit", "id": "j1", "workload": "dot",
+                   "seed": 7, "nested": {"a": [1, 2]}}
+        assert decode_message(encode_message(message)) == message
+
+    def test_frames_are_single_lines(self):
+        data = encode_message({"op": "ping"})
+        assert data.endswith(b"\n") and data.count(b"\n") == 1
+
+    def test_non_object_frames_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_message(["not", "an", "object"])
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2]\n")
+        with pytest.raises(ProtocolError):
+            decode_message(b"not json at all\n")
+
+    def test_read_message_stream_round_trip(self):
+        async def go():
+            reader = asyncio.StreamReader(limit=MAX_MESSAGE_BYTES)
+            reader.feed_data(encode_message({"op": "ping"}))
+            reader.feed_data(encode_message({"op": "stats"}))
+            reader.feed_eof()
+            assert (await read_message(reader)) == {"op": "ping"}
+            assert (await read_message(reader)) == {"op": "stats"}
+            assert (await read_message(reader)) is None  # clean EOF
+
+        asyncio.run(go())
+
+    def test_mid_frame_drop_is_a_protocol_error(self):
+        async def go():
+            reader = asyncio.StreamReader(limit=MAX_MESSAGE_BYTES)
+            reader.feed_data(b'{"op": "subm')  # no newline, then gone
+            reader.feed_eof()
+            with pytest.raises(ProtocolError):
+                await read_message(reader)
+
+        asyncio.run(go())
+
+
+class TestValidateSubmit:
+    def _ok(self, **extra):
+        message = {"op": "submit", "id": "j1", "workload": "dot"}
+        message.update(extra)
+        return message
+
+    def test_normalizes_defaults(self):
+        spec = validate_submit(self._ok())
+        assert spec["target"] == "rv64gc"
+        assert spec["variant"] == "ext"
+        assert spec["scale"] == 128
+        assert spec["seed"] is None
+        assert spec["oracle_trials"] == 2
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ProtocolError):
+            validate_submit({"op": "submit", "id": "j1"})
+        with pytest.raises(ProtocolError):
+            validate_submit(self._ok(path="x.self"))
+
+    def test_requires_string_id(self):
+        for bad in (None, "", 7):
+            with pytest.raises(ProtocolError):
+                validate_submit({"op": "submit", "id": bad,
+                                 "workload": "dot"})
+
+    def test_type_checks_fields(self):
+        with pytest.raises(ProtocolError):
+            validate_submit(self._ok(scale=0))
+        with pytest.raises(ProtocolError):
+            validate_submit(self._ok(oracle_trials="two"))
+        with pytest.raises(ProtocolError):
+            validate_submit(self._ok(seed="lucky"))
+        with pytest.raises(ProtocolError):
+            validate_submit(self._ok(target=64))
+
+    def test_seed_null_and_int_accepted(self):
+        assert validate_submit(self._ok(seed=7))["seed"] == 7
+        assert validate_submit(self._ok(seed=None))["seed"] is None
+
+
+class TestWorkerSlotArbiter:
+    def test_sole_job_gets_the_machine(self):
+        slots = WorkerSlotArbiter(8)
+        slots.register("a")
+        assert slots.allowance() == 8
+        assert slots.allowance(want=3) == 3
+
+    def test_fair_split_across_jobs(self):
+        slots = WorkerSlotArbiter(8)
+        for job in ("a", "b", "c", "d"):
+            slots.register(job)
+        assert slots.allowance() == 2
+        slots.unregister("c")
+        slots.unregister("d")
+        assert slots.allowance() == 4
+
+    def test_never_starves_below_one(self):
+        slots = WorkerSlotArbiter(2)
+        for job in ("a", "b", "c", "d", "e"):
+            slots.register(job)
+        assert slots.allowance() == 1
+
+    def test_unregister_is_idempotent(self):
+        slots = WorkerSlotArbiter(4)
+        slots.register("a")
+        slots.unregister("a")
+        slots.unregister("a")
+        assert slots.active_jobs == 0
+
+
+class TestJobFault:
+    def test_round_trip(self):
+        fault = JobFault(binary="dot", fault=JOB_CRASH, detail="boom",
+                         key="ab" * 32, failures=2, quarantined=True)
+        again = JobFault.from_dict(fault.as_dict())
+        assert again == fault
+        assert "boom" in str(fault)
+
+    def test_kind_taxonomy_is_closed(self):
+        assert {JOB_REJECTED, JOB_CRASH, JOB_POISONED} <= set(JOB_FAULT_KINDS)
+        with pytest.raises(ValueError):
+            JobFault(binary="dot", fault="job-sulking")
+
+
+class TestBuildSpecs:
+    def test_workload_names(self):
+        specs = build_specs(["dot", "gemv"], seed=7, oracle_trials=1)
+        assert [s["id"] for s in specs] == ["dot", "gemv"]
+        assert all(s["op"] == "submit" for s in specs)
+        assert all(s["seed"] == 7 for s in specs)
+        assert specs[0]["workload"] == "dot" and "path" not in specs[0]
+
+    def test_directory_expands_to_self_files(self, tmp_path):
+        (tmp_path / "b.self").write_bytes(b"x")
+        (tmp_path / "a.self").write_bytes(b"x")
+        (tmp_path / "notes.txt").write_text("ignored")
+        specs = build_specs([str(tmp_path)])
+        assert [s["id"] for s in specs] == ["a", "b"]
+        assert all("workload" not in s for s in specs)
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        with pytest.raises(ValueError):
+            build_specs([str(tmp_path)])
+
+    def test_id_collisions_get_suffixes(self, tmp_path):
+        d1 = tmp_path / "one"
+        d2 = tmp_path / "two"
+        for d in (d1, d2):
+            d.mkdir()
+            (d / "dot.self").write_bytes(b"x")
+        specs = build_specs([str(d1), str(d2)])
+        assert [s["id"] for s in specs] == ["dot", "dot-1"]
+
+
+class TestCampaignResult:
+    def test_tallies_and_ok(self):
+        result = CampaignResult(records=[
+            {"id": "a", "status": "ok", "cache": "cold", "verify_ok": True},
+            {"id": "b", "status": "ok", "cache": "warm", "verify_ok": True},
+            {"id": "c", "status": "failed",
+             "fault": {"fault": JOB_REJECTED}},
+        ])
+        assert result.succeeded == 2 and result.failed == 1
+        assert result.by_cache == {"cold": 1, "warm": 1}
+        assert not result.ok
+        payload = result.as_dict()
+        assert payload["jobs"] == 3 and payload["by_cache"]["warm"] == 1
+
+    def test_empty_campaign_is_not_ok(self):
+        assert not CampaignResult().ok
