@@ -41,6 +41,7 @@ from repro.chaos.outcomes import (
     ScenarioResult,
     SweepReport,
 )
+from repro.chaos.service_chaos import run_service_chaos
 from repro.chaos.sweeper import TrampolineAttackSweeper
 
 __all__ = [
@@ -65,6 +66,7 @@ __all__ = [
     "run_chaos",
     "run_injector_scenarios",
     "run_pipeline_chaos",
+    "run_service_chaos",
     "run_workload_sweeps",
     "sweep_binary",
 ]

@@ -357,6 +357,23 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     seed = resolve_seed(args.seed)
     binary = _resolve_workload(args.workload, scale=args.scale)
+    if getattr(args, "service", False):
+        from repro.chaos import run_service_chaos
+
+        scope, telemetry = _telemetry_scope(args)
+        with scope:
+            report = run_service_chaos(
+                binary, target=_isa(args.target), jobs=args.jobs,
+                seed=seed)
+        if telemetry is not None:
+            _write_telemetry(telemetry, args.telemetry_out)
+        for scenario in report.scenarios:
+            status = "PASS" if scenario.passed else "FAIL"
+            print(f"{status} {scenario.name}: {scenario.detail}")
+        if not report.ok:
+            print(f"seed: {seed} — {replay_hint(seed)}")
+            return 1
+        return 0
     if args.pipeline:
         from repro.chaos import run_pipeline_chaos
 
@@ -478,6 +495,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 executor=args.executor,
                 oracle_trials=args.oracle_trials,
                 region_timeout=args.region_timeout,
+                max_inflight=args.max_inflight,
+                max_queue=args.max_queue,
+                idle_timeout=args.idle_timeout or None,
                 ready=ready,
             ))
         except KeyboardInterrupt:
@@ -519,6 +539,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
             repeat=args.repeat,
             target=args.target, variant=args.variant, scale=args.scale,
             seed=args.seed, oracle_trials=args.oracle_trials,
+            deadline_ms=args.deadline_ms,
         )
         for record in result.records:
             if record.get("status") == "ok":
@@ -661,6 +682,12 @@ def make_parser() -> argparse.ArgumentParser:
                         "(worker kills, oracle hangs, torn cache writes, "
                         "truncated journals) and fail unless every one ends "
                         "in a completed run with a correct ledger")
+    p.add_argument("--service", action="store_true",
+                   help="run the batch-service chaos scenarios instead "
+                        "(server SIGKILL mid-batch + resume, overload "
+                        "flood + shedding, slow-loris eviction, deadline "
+                        "storm, connection reset mid-stream) and fail "
+                        "unless every client record resolves structurally")
     p.add_argument("--seed", type=int, default=None,
                    help="failure-injection seed (default: $REPRO_FUZZ_SEED, else 0)")
     p.add_argument("-v", "--verbose", action="store_true",
@@ -707,6 +734,19 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--region-timeout", type=float, default=None,
                    metavar="SECONDS",
                    help="wall-clock watchdog per region (process executor)")
+    p.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                   help="bounded admission: at most N leader runs execute "
+                        "concurrently; past N + --max-queue, new jobs are "
+                        "shed with a job-overloaded fault carrying a "
+                        "retry_after_ms hint (default: unbounded)")
+    p.add_argument("--max-queue", type=int, default=0, metavar="N",
+                   help="admitted leaders allowed to wait for a slot "
+                        "before shedding starts (with --max-inflight)")
+    p.add_argument("--idle-timeout", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="evict a connection with no outstanding jobs that "
+                        "stays silent (or stalls mid-frame) this long — "
+                        "the slow-loris defense (0 disables; default 120)")
     p.add_argument("--telemetry-out", metavar="DIR", default=None,
                    help="write trace.json + metrics.json into DIR at shutdown")
     _add_cache_flags(p)
@@ -739,6 +779,10 @@ def make_parser() -> argparse.ArgumentParser:
                    help="oracle randomization seed sent with every job")
     p.add_argument("--oracle-trials", type=int, default=2,
                    help="differential-oracle trials per region")
+    p.add_argument("--deadline-ms", type=int, default=None, metavar="MS",
+                   help="end-to-end budget per job: the server kills an "
+                        "expired job as a job-deadline-exceeded fault, "
+                        "and the client stops retrying past it")
     p.add_argument("--stats", action="store_true",
                    help="print the server's counters snapshot")
     p.add_argument("--shutdown", action="store_true",

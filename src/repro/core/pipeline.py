@@ -59,6 +59,7 @@ from repro.resilience.failures import (
     RESOLVED_DEGRADED,
     RESOLVED_EXCLUDED,
     RESOLVED_QUARANTINED,
+    DeadlineExceededError,
 )
 from repro.resilience.policy import RetryPolicy
 from repro.resilience.seeds import resolve_seed
@@ -645,6 +646,7 @@ def rewrite_and_verify(
     slots=None,
     job_id=None,
     on_progress=None,
+    deadline: Optional[float] = None,
 ) -> PipelineResult:
     """Translate *binary* for *target_profile* and admission-verify it.
 
@@ -662,7 +664,18 @@ def rewrite_and_verify(
     shares across concurrent jobs; ``on_progress(stage, **info)`` (when
     given) fires at each pipeline stage boundary and per settled region
     — the service streams these to its clients.
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant: once it
+    passes, the run dies with a structured
+    :class:`~repro.resilience.failures.DeadlineExceededError` from
+    whatever layer notices first (here before the rewrite, the
+    admission gate between regions, the process pool between
+    dispatches).  The run journal written so far is kept, so a later
+    retry of the same key resumes instead of restarting.
     """
+    if deadline is not None and time.monotonic() > deadline:
+        raise DeadlineExceededError(
+            f"job deadline expired before rewrite of {binary.name}")
     rewriter = rewriter or ChimeraRewriter()
     seed = resolve_seed(seed)
     telemetry = telemetry_current()
@@ -766,6 +779,7 @@ def rewrite_and_verify(
                 executor=executor, region_timeout=region_timeout,
                 retry_policy=retry_policy, injector=failure_injector,
                 on_region=on_region, precomputed=precomputed,
+                deadline=deadline,
                 **extra_verify,
             )
         except BaseException:
@@ -829,6 +843,10 @@ class RewriteJob:
     jobs: int = 1
     executor: Optional[str] = None
     region_timeout: Optional[float] = DEFAULT_REGION_TIMEOUT
+    #: Absolute ``time.monotonic()`` deadline for the whole run, or
+    #: None.  Deliberately *not* part of the release key: a job's time
+    #: budget never changes the bytes it would release.
+    deadline: Optional[float] = None
 
     def profile(self) -> IsaProfile:
         from repro.isa.extensions import PROFILES
@@ -880,4 +898,5 @@ def run_job(
         slots=slots,
         job_id=job_id,
         on_progress=on_progress,
+        deadline=job.deadline,
     )

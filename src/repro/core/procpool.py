@@ -48,6 +48,7 @@ from repro.resilience.failures import (
     WORKER_CRASH,
     WORKER_HANG,
     VERIFY_ERROR,
+    DeadlineExceededError,
     RegionFault,
 )
 from repro.resilience.policy import PIPELINE_RETRY_POLICY, RetryPolicy
@@ -269,10 +270,17 @@ class FaultIsolatedPool:
         labels: Optional[dict] = None,
         slots: Optional[WorkerSlotArbiter] = None,
         job_id=None,
+        deadline: Optional[float] = None,
     ):
         self.payload_bytes = pickle.dumps(payload)
         self.jobs = max(1, jobs)
         self.region_timeout = region_timeout
+        #: Absolute ``time.monotonic()`` instant the run must not
+        #: outlive; checked each scheduling tick.  Expiry raises
+        #: :class:`~repro.resilience.failures.DeadlineExceededError`
+        #: *after* already-settled regions reached ``on_complete`` (and
+        #: through it the run journal), so an expired job resumes.
+        self.deadline = deadline
         self.policy = retry_policy or PIPELINE_RETRY_POLICY
         self.telemetry = telemetry
         self.labels = labels or {}
@@ -349,6 +357,10 @@ class FaultIsolatedPool:
         try:
             while len(outcomes) < total:
                 now = time.monotonic()
+                if self.deadline is not None and now > self.deadline:
+                    raise DeadlineExceededError(
+                        f"job deadline expired with "
+                        f"{total - len(outcomes)} region(s) unsettled")
                 for ready_at, item in list(delayed):
                     if ready_at <= now:
                         delayed.remove((ready_at, item))

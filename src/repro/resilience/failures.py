@@ -118,8 +118,34 @@ JOB_CRASH = "job-crash"
 #: it on admission so one poisoned binary can never monopolize the
 #: fleet's workers.  A cache wipe or server restart clears the memo.
 JOB_POISONED = "job-poisoned"
+#: The server shed the job at admission because both the in-flight
+#: budget (``--max-inflight``) and the wait queue (``--max-queue``)
+#: were full.  Carries ``retry_after_ms`` — a load-derived hint for
+#: when the client should try again.  Transient by definition.
+JOB_OVERLOADED = "job-overloaded"
+#: The job's end-to-end ``deadline_ms`` expired — while queued for an
+#: admission slot, while coalesced behind another run of the same key,
+#: or deep inside the verification pipeline (the deadline is threaded
+#: down into the region watchdog loop).  Never counts toward the
+#: poison budget: it signals the *client's* time budget, not the
+#: binary's health.
+JOB_DEADLINE = "job-deadline-exceeded"
 
-JOB_FAULT_KINDS = (JOB_REJECTED, JOB_CRASH, JOB_POISONED)
+JOB_FAULT_KINDS = (JOB_REJECTED, JOB_CRASH, JOB_POISONED, JOB_OVERLOADED,
+                   JOB_DEADLINE)
+
+
+class DeadlineExceededError(RuntimeError):
+    """A job's end-to-end deadline expired inside the pipeline.
+
+    Raised by :func:`repro.core.pipeline.rewrite_and_verify`, the
+    :class:`~repro.verify.admission.AdmissionGate` fan-out loops, and
+    the :class:`~repro.core.procpool.FaultIsolatedPool` scheduling loop
+    when ``time.monotonic()`` passes the job's absolute deadline.  The
+    batch server converts it into a structured ``job-deadline-exceeded``
+    :class:`JobFault` — never a raw traceback.  Any run journal written
+    so far is kept, so a retried job resumes instead of restarting.
+    """
 
 
 @dataclass
@@ -140,6 +166,10 @@ class JobFault:
     key: Optional[str] = None
     failures: int = 0
     quarantined: bool = False
+    #: For ``job-overloaded`` sheds: how long (milliseconds) the client
+    #: should wait before retrying, derived from the server's observed
+    #: job latency and current backlog.  None for every other kind.
+    retry_after_ms: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.fault not in JOB_FAULT_KINDS:
@@ -152,7 +182,7 @@ class JobFault:
         return f"{self.fault} for {self.binary}{quarantine}{tail}"
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "binary": self.binary,
             "fault": self.fault,
             "detail": self.detail,
@@ -160,6 +190,9 @@ class JobFault:
             "failures": self.failures,
             "quarantined": self.quarantined,
         }
+        if self.retry_after_ms is not None:
+            data["retry_after_ms"] = self.retry_after_ms
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobFault":
@@ -170,6 +203,7 @@ class JobFault:
             key=data.get("key"),
             failures=data.get("failures", 0),
             quarantined=data.get("quarantined", False),
+            retry_after_ms=data.get("retry_after_ms"),
         )
 
 

@@ -19,7 +19,9 @@ The degradation ladder both schedulers implement:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+import time
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,98 @@ DEFAULT_RETRY_POLICY = RetryPolicy()
 #: stalling a release for more than ~a second before quarantine.
 PIPELINE_RETRY_POLICY = RetryPolicy(
     max_attempts=3, base_backoff=50, multiplier=4, max_backoff=2_000)
+
+
+#: Circuit-breaker states (the classic three-state machine).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-server circuit breaker for the fleet client.
+
+    ``closed`` — requests flow; consecutive transport failures are
+    counted.  At ``failure_threshold`` the breaker trips ``open``:
+    requests fail fast (no connection attempt) until a jittered probe
+    time arrives, at which point the breaker goes ``half-open`` and
+    admits exactly one probe.  A successful probe closes the breaker
+    and resets every counter; a failed probe re-opens it with an
+    escalating delay (``open_backoff_multiplier ** trips``, capped at
+    ``max_reset_seconds``).
+
+    The jitter keeps a fleet of clients from re-probing a recovering
+    server in lockstep.  All timing uses ``time.monotonic()`` (callers
+    may inject a clock for tests).
+    """
+
+    failure_threshold: int = 3
+    reset_seconds: float = 0.5
+    max_reset_seconds: float = 15.0
+    open_backoff_multiplier: float = 2.0
+    jitter: float = 0.25
+    rng: random.Random = field(default_factory=random.Random)
+    clock: object = time.monotonic
+
+    state: str = BREAKER_CLOSED
+    consecutive_failures: int = 0
+    #: Times the breaker tripped open since the last full close.
+    trips: int = 0
+    #: Lifetime trip count (telemetry; never reset).
+    total_trips: int = 0
+    _probe_at: float = 0.0
+    _probing: bool = False
+
+    def allow(self) -> bool:
+        """May the caller attempt a request now?
+
+        ``half-open`` admits a single caller (the probe); concurrent
+        callers keep failing fast until the probe settles.
+        """
+        if self.state == BREAKER_CLOSED:
+            return True
+        if self.state == BREAKER_OPEN:
+            if self.clock() >= self._probe_at:
+                self.state = BREAKER_HALF_OPEN
+            else:
+                return False
+        if self.state == BREAKER_HALF_OPEN:
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+        return True
+
+    def record_success(self) -> None:
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._probing = False
+        self.consecutive_failures += 1
+        if (self.state == BREAKER_HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold):
+            self._trip()
+
+    def retry_in(self) -> float:
+        """Seconds until the next probe is allowed (0 when flowing)."""
+        if self.state == BREAKER_CLOSED:
+            return 0.0
+        return max(0.0, self._probe_at - self.clock())
+
+    def _trip(self) -> None:
+        self.trips += 1
+        self.total_trips += 1
+        delay = min(
+            self.reset_seconds * (self.open_backoff_multiplier
+                                  ** (self.trips - 1)),
+            self.max_reset_seconds)
+        spread = 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        self.state = BREAKER_OPEN
+        self._probe_at = self.clock() + delay * spread
 
 
 @dataclass

@@ -9,23 +9,47 @@ diffs clean against a serial ``repro verify --report`` run), and ends
 with a campaign manifest summarizing cache classes, failures, and
 timing.
 
-Retry scope: transport errors (server restarting, socket hiccup) and
-``job-crash`` faults are retried with backoff; ``job-rejected`` (the
-request is wrong) and ``job-poisoned`` (the server quarantined the key)
-are terminal — retrying them would just burn the budget.
+Retry scope: transport errors (server restarting, socket hiccup),
+``job-crash``, and ``job-overloaded`` faults are retried with backoff
+(an overloaded server's ``retry_after_ms`` hint stretches the backoff);
+``job-rejected`` (the request is wrong), ``job-poisoned`` (the server
+quarantined the key), and ``job-deadline-exceeded`` (the job's own time
+budget is gone) are terminal — retrying them would just burn the budget.
+
+A reconnect after a transport fault *resumes* rather than redoes: the
+server dedups by release key, so the resubmitted job lands as a warm
+cache hit or coalesces onto the still-running attempt — never a
+duplicate rewrite.  A per-server :class:`~repro.resilience.policy.
+CircuitBreaker` (closed→open→half-open, jittered probes) keeps a
+campaign against a dead or flapping server failing fast instead of
+stacking timeouts, and per-spec ``deadline_ms`` bounds each job's whole
+retry ladder so the campaign degrades to partial results with a
+faithful ``campaign.json`` instead of hanging.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
-from repro.resilience.failures import JOB_CRASH
-from repro.resilience.policy import RetryPolicy
+from repro.resilience.failures import (
+    JOB_CRASH,
+    JOB_DEADLINE,
+    JOB_OVERLOADED,
+    JOB_POISONED,
+    JOB_REJECTED,
+)
+from repro.resilience.policy import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+)
 from repro.service.protocol import (
     MAX_MESSAGE_BYTES,
     PROTOCOL,
@@ -33,11 +57,32 @@ from repro.service.protocol import (
     read_message,
     write_message,
 )
+from repro.telemetry import current as telemetry_current
 
 #: Campaign-level default: a couple of quick retries absorbs a server
 #: restart without stretching a dead-server failure past ~a second.
 CLIENT_RETRY_POLICY = RetryPolicy(
     max_attempts=3, base_backoff=100, multiplier=3, max_backoff=2_000)
+
+#: Client-side pseudo-fault kinds (never sent by the server).
+TRANSPORT_FAULT = "transport"
+CIRCUIT_OPEN_FAULT = "circuit-open"
+
+#: Faults worth retrying under the campaign policy.
+TRANSIENT_FAULTS = (TRANSPORT_FAULT, CIRCUIT_OPEN_FAULT, JOB_CRASH,
+                    JOB_OVERLOADED)
+#: Faults a retry can never fix — fail the record immediately.
+TERMINAL_FAULTS = (JOB_REJECTED, JOB_POISONED, JOB_DEADLINE)
+
+#: Breaker state as a telemetry gauge value.
+_BREAKER_GAUGE = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1}
+
+
+def _gauge_breaker(breaker: CircuitBreaker) -> None:
+    telemetry = telemetry_current()
+    if telemetry.enabled:
+        telemetry.metrics.gauge("service.breaker_state",
+                                _BREAKER_GAUGE.get(breaker.state, 2))
 
 
 async def open_connection(address: str):
@@ -91,18 +136,37 @@ def shutdown_server(address: str) -> dict:
 
 
 def wait_for_server(address: str, *, timeout: float = 30.0,
-                    interval: float = 0.1) -> bool:
-    """Poll ``ping`` until the server answers (CI startup latch)."""
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        try:
-            reply = asyncio.run(_request(address, {"op": "ping"}))
-            if reply.get("event") == "pong":
-                return True
-        except (ConnectionError, OSError, ProtocolError):
-            pass
-        time.sleep(interval)
-    return False
+                    interval: float = 0.1, max_interval: float = 2.0,
+                    rng: Optional[random.Random] = None) -> bool:
+    """Poll ``ping`` until the server answers (CI startup latch).
+
+    One event loop runs a single probe coroutine for the whole wait
+    (not one fresh loop per probe), and the gap between probes grows
+    exponentially from *interval* to *max_interval* with ±50% jitter —
+    a fleet of waiting clients never hammers a starting server in
+    lockstep.
+    """
+    rand = rng or random.Random()
+
+    async def _probe_until_ready() -> bool:
+        deadline = time.monotonic() + timeout
+        attempt = 0
+        while True:
+            try:
+                reply = await _request(address, {"op": "ping"})
+                if reply.get("event") == "pong":
+                    return True
+            except (ConnectionError, OSError, ProtocolError):
+                pass
+            attempt += 1
+            delay = min(max_interval, interval * (2 ** (attempt - 1)))
+            delay *= 0.5 + rand.random()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            await asyncio.sleep(min(delay, remaining))
+
+    return asyncio.run(_probe_until_ready())
 
 
 @dataclass
@@ -193,13 +257,21 @@ async def submit_jobs(
     out_dir: Optional[Union[str, Path]] = None,
     retry_policy: Optional[RetryPolicy] = None,
     on_event: Optional[Callable[[dict], None]] = None,
+    breaker: Optional[CircuitBreaker] = None,
 ) -> list[dict]:
     """Submit every spec with at most *concurrency* jobs in flight.
 
     Each worker holds its own connection (a dead one is redialed on
-    retry).  Returns one record per spec, input order preserved.
+    retry; the resubmitted job re-attaches idempotently through the
+    server's release-key dedup — a resume, never a duplicate rewrite).
+    All workers share one per-server *breaker*: while it is open,
+    attempts fail fast as ``circuit-open`` pseudo-faults until a
+    jittered probe closes it again.  A spec carrying ``deadline_ms``
+    bounds its whole retry ladder, not just the server-side run.
+    Returns one record per spec, input order preserved.
     """
     policy = retry_policy or CLIENT_RETRY_POLICY
+    breaker = breaker if breaker is not None else CircuitBreaker()
     out_path = Path(out_dir) if out_dir is not None else None
     if out_path is not None:
         out_path.mkdir(parents=True, exist_ok=True)
@@ -207,6 +279,7 @@ async def submit_jobs(
     for index, spec in enumerate(specs):
         queue.put_nowait((index, spec))
     results: list = [None] * len(specs)
+    telemetry = telemetry_current()
 
     async def worker() -> None:
         reader = writer = None
@@ -217,30 +290,74 @@ async def submit_jobs(
                 except asyncio.QueueEmpty:
                     return
                 attempt = 0
+                job_deadline = (
+                    time.monotonic() + spec["deadline_ms"] / 1000.0
+                    if spec.get("deadline_ms") else None)
+                saw_transport_fault = False
                 while True:
                     attempt += 1
-                    try:
-                        if writer is None:
-                            reader, writer_ = await open_connection(address)
-                        else:
-                            writer_ = writer
-                        record = await _submit_one(
-                            reader, writer_, spec, out_dir=out_path,
-                            on_event=on_event)
-                    except (ConnectionError, OSError, ProtocolError) as exc:
-                        writer = None
-                        record = {"id": spec["id"], "status": "failed",
-                                  "fault": {"fault": "transport",
-                                            "detail": str(exc)}}
+                    if not breaker.allow():
+                        record = {
+                            "id": spec["id"], "status": "failed",
+                            "fault": {
+                                "fault": CIRCUIT_OPEN_FAULT,
+                                "detail": (f"breaker open for {address}; "
+                                           f"probe in "
+                                           f"{breaker.retry_in():.2f}s")}}
                     else:
-                        writer = writer_
-                    fault = (record.get("fault") or {}).get("fault")
-                    transient = record["status"] == "failed" and fault in (
-                        "transport", JOB_CRASH)
-                    if transient and not policy.exhausted(attempt + 1):
+                        try:
+                            if writer is None:
+                                reader, writer_ = await open_connection(
+                                    address)
+                            else:
+                                writer_ = writer
+                            record = await _submit_one(
+                                reader, writer_, spec, out_dir=out_path,
+                                on_event=on_event)
+                        except (ConnectionError, OSError,
+                                ProtocolError) as exc:
+                            writer = None
+                            saw_transport_fault = True
+                            breaker.record_failure()
+                            _gauge_breaker(breaker)
+                            record = {"id": spec["id"], "status": "failed",
+                                      "fault": {"fault": TRANSPORT_FAULT,
+                                                "detail": str(exc)}}
+                        else:
+                            writer = writer_
+                            breaker.record_success()
+                            _gauge_breaker(breaker)
+                            if saw_transport_fault:
+                                # The job reached a terminal event on a
+                                # fresh connection after a transport
+                                # fault: a resume, re-attached through
+                                # the server's release-key dedup.
+                                record["resumed"] = True
+                                if telemetry.enabled:
+                                    telemetry.metrics.inc(
+                                        "service.client_resumes")
+                    fault_info = record.get("fault") or {}
+                    fault = fault_info.get("fault")
+                    transient = (record["status"] == "failed"
+                                 and fault in TRANSIENT_FAULTS)
+                    backoff = policy.backoff_seconds(attempt)
+                    if fault == CIRCUIT_OPEN_FAULT:
+                        backoff = max(backoff, breaker.retry_in())
+                    retry_after = fault_info.get("retry_after_ms")
+                    if retry_after:
+                        # An overloaded server's hint dominates the
+                        # local schedule — it knows its own backlog.
+                        backoff = max(backoff, retry_after / 1000.0)
+                    past_deadline = (
+                        job_deadline is not None
+                        and time.monotonic() + backoff > job_deadline)
+                    if (transient and not policy.exhausted(attempt + 1)
+                            and not past_deadline):
                         record["retries"] = attempt
-                        await asyncio.sleep(policy.backoff_seconds(attempt))
+                        await asyncio.sleep(backoff)
                         continue
+                    if transient and past_deadline:
+                        record["deadline_exhausted"] = True
                     if attempt > 1:
                         record["retries"] = attempt - 1
                     results[index] = record
@@ -267,6 +384,7 @@ def build_specs(
     scale: int = 128,
     seed: Optional[int] = None,
     oracle_trials: int = 2,
+    deadline_ms: Optional[int] = None,
 ) -> list[dict]:
     """Turn CLI sources into submit specs.
 
@@ -300,6 +418,8 @@ def build_specs(
                 "oracle_trials": oracle_trials}
         if seed is not None:
             spec["seed"] = seed
+        if deadline_ms is not None:
+            spec["deadline_ms"] = deadline_ms
         spec["workload" if kind == "workload" else "path"] = value
         specs.append(spec)
     return specs
@@ -314,6 +434,7 @@ def run_campaign(
     retry_policy: Optional[RetryPolicy] = None,
     on_event: Optional[Callable[[dict], None]] = None,
     repeat: int = 1,
+    breaker: Optional[CircuitBreaker] = None,
     **spec_options,
 ) -> CampaignResult:
     """The whole fleet run, synchronously: build specs, fan them at the
@@ -336,7 +457,7 @@ def run_campaign(
     started = time.perf_counter()
     records = asyncio.run(submit_jobs(
         address, specs, concurrency=concurrency, out_dir=out_dir,
-        retry_policy=retry_policy, on_event=on_event))
+        retry_policy=retry_policy, on_event=on_event, breaker=breaker))
     result = CampaignResult(records=records,
                             seconds=time.perf_counter() - started)
     if out_dir is not None:

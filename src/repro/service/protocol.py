@@ -6,7 +6,9 @@ Newline-delimited JSON, one message per line, over a local stream
 * ``submit`` — one rewrite job: ``{"op": "submit", "id": <client job
   id>, "workload": <name>}`` or ``{"op": "submit", "id": ..., "path":
   <.self file>}``, plus optional ``target`` / ``scale`` / ``variant`` /
-  ``seed`` / ``oracle_trials``;
+  ``seed`` / ``oracle_trials`` / ``deadline_ms`` (an end-to-end time
+  budget: the job dies as a structured ``job-deadline-exceeded`` fault
+  once it expires, whether queued, coalesced, or mid-verification);
 * ``stats`` — service counters snapshot (dedup, shard hit/miss, queue
   depth, quarantines);
 * ``ping`` — liveness probe;
@@ -47,7 +49,19 @@ EVENTS = ("hello", "accepted", "progress", "result", "error", "stats",
 
 
 class ProtocolError(ValueError):
-    """A malformed frame or an out-of-contract message."""
+    """A malformed frame or an out-of-contract message.
+
+    Parse-level errors (bad JSON, non-object frames, invalid submits)
+    are *recoverable*: ``readuntil`` consumed through the newline, so
+    the stream is still frame-synchronized and the server answers with
+    a structured error event and keeps reading.  Only
+    :class:`FrameTooLargeError` tears the connection down — past the
+    frame ceiling there is no trustworthy resynchronization point.
+    """
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame crossed :data:`MAX_MESSAGE_BYTES` — connection-fatal."""
 
 
 def encode_message(message: dict) -> bytes:
@@ -59,15 +73,16 @@ def encode_message(message: dict) -> bytes:
                        separators=(",", ":")) + "\n"
     data = frame.encode("utf-8")
     if len(data) > MAX_MESSAGE_BYTES:
-        raise ProtocolError(f"message of {len(data)} bytes exceeds the "
-                            f"{MAX_MESSAGE_BYTES}-byte frame limit")
+        raise FrameTooLargeError(
+            f"message of {len(data)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame limit")
     return data
 
 
 def decode_message(line: bytes) -> dict:
     if len(line) > MAX_MESSAGE_BYTES:
-        raise ProtocolError(f"frame of {len(line)} bytes exceeds the "
-                            f"{MAX_MESSAGE_BYTES}-byte limit")
+        raise FrameTooLargeError(f"frame of {len(line)} bytes exceeds the "
+                                 f"{MAX_MESSAGE_BYTES}-byte limit")
     try:
         message = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
@@ -100,7 +115,7 @@ async def read_message(reader) -> Optional[dict]:
             return None  # clean EOF between frames
         raise ProtocolError("connection dropped mid-frame") from None
     except asyncio.LimitOverrunError:
-        raise ProtocolError(
+        raise FrameTooLargeError(
             f"frame exceeds the {MAX_MESSAGE_BYTES}-byte limit") from None
     return decode_message(line)
 
@@ -131,6 +146,7 @@ def validate_submit(message: dict) -> dict:
         "scale": message.get("scale", 128),
         "seed": message.get("seed"),
         "oracle_trials": message.get("oracle_trials", 2),
+        "deadline_ms": message.get("deadline_ms"),
     }
     for field, kinds in (("target", str), ("variant", str)):
         if not isinstance(spec[field], kinds):
@@ -141,4 +157,10 @@ def validate_submit(message: dict) -> dict:
                 f"submit field {field!r} must be a positive integer")
     if spec["seed"] is not None and not isinstance(spec["seed"], int):
         raise ProtocolError("submit field 'seed' must be an integer or null")
+    deadline = spec["deadline_ms"]
+    if deadline is not None and (
+            not isinstance(deadline, int) or isinstance(deadline, bool)
+            or deadline < 1):
+        raise ProtocolError(
+            "submit field 'deadline_ms' must be a positive integer or null")
     return spec

@@ -29,6 +29,7 @@ or monopolize its workers.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -45,13 +46,17 @@ from repro.core.pipeline import (
 from repro.core.procpool import WorkerSlotArbiter
 from repro.resilience.failures import (
     JOB_CRASH,
+    JOB_DEADLINE,
+    JOB_OVERLOADED,
     JOB_POISONED,
     JOB_REJECTED,
+    DeadlineExceededError,
     JobFault,
 )
 from repro.service.protocol import (
     MAX_MESSAGE_BYTES,
     PROTOCOL,
+    FrameTooLargeError,
     ProtocolError,
     read_message,
     validate_submit,
@@ -92,6 +97,17 @@ class ServiceStats:
     jobs_completed: int = 0
     shard_hits: int = 0
     shard_misses: int = 0
+    #: Leaders refused at admission because both the in-flight budget
+    #: and the wait queue were full (each carried ``retry_after_ms``).
+    jobs_shed: int = 0
+    #: Jobs that died on their end-to-end ``deadline_ms`` (queued,
+    #: coalesced, or mid-pipeline).
+    deadline_exceeded: int = 0
+    #: Connections evicted by the per-connection idle/read deadline.
+    slow_client_evictions: int = 0
+    #: Terminal result/error events whose client was already gone —
+    #: observed, never silently dropped.
+    orphaned_results: int = 0
     started_at: float = field(default_factory=time.time)
 
     @property
@@ -131,6 +147,9 @@ class RewriteService:
         region_timeout: Optional[float] = None,
         job_threads: Optional[int] = None,
         poison_threshold: int = POISON_THRESHOLD,
+        max_inflight: Optional[int] = None,
+        max_queue: int = 0,
+        idle_timeout: Optional[float] = None,
     ):
         self.layout = layout
         #: Machine-wide verification-worker budget, shared fairly.
@@ -145,6 +164,27 @@ class RewriteService:
         self.oracle_trials = oracle_trials
         self.region_timeout = region_timeout
         self.poison_threshold = poison_threshold
+        #: Bounded admission: at most ``max_inflight`` leader runs
+        #: execute concurrently and at most ``max_queue`` more may wait;
+        #: past both, new leaders are *shed* with a structured
+        #: ``job-overloaded`` fault carrying a load-derived
+        #: ``retry_after_ms`` hint.  None = unbounded (PR 8 behavior).
+        #: Followers coalescing onto an in-flight key are never shed —
+        #: they add no pipeline work.
+        self.max_inflight = max_inflight if (max_inflight or 0) > 0 else None
+        self.max_queue = max(0, max_queue)
+        #: Per-connection idle/read deadline (seconds): a connection
+        #: with no outstanding jobs that stays silent — or stalls
+        #: mid-frame — past this long is evicted (slow-loris defense).
+        #: Connections waiting on accepted jobs are never evicted.
+        self.idle_timeout = idle_timeout
+        self._admit = (asyncio.Semaphore(self.max_inflight)
+                       if self.max_inflight is not None else None)
+        #: Leader runs currently executing / waiting for a slot.
+        self._running = 0
+        self._run_queued = 0
+        #: EWMA of completed-run seconds, feeding the retry_after hint.
+        self._ewma_seconds = 0.0
         self.stats = ServiceStats()
         self._threads = ThreadPoolExecutor(
             max_workers=job_threads or min(8, self.worker_budget + 1),
@@ -222,13 +262,57 @@ class RewriteService:
                              "workers": self.worker_budget})
             while True:
                 try:
-                    message = await read_message(reader)
-                except ProtocolError as exc:
+                    # The idle deadline only arms while the connection
+                    # has no outstanding jobs: a client quietly waiting
+                    # for a long verification is never evicted, a
+                    # slow-loris trickling half a frame (or just
+                    # squatting) is.
+                    timeout = self.idle_timeout if not tasks else None
+                    if timeout is not None:
+                        message = await asyncio.wait_for(
+                            read_message(reader), timeout)
+                    else:
+                        message = await read_message(reader)
+                except asyncio.TimeoutError:
+                    self.stats.slow_client_evictions += 1
+                    telemetry = telemetry_current()
+                    if telemetry.enabled:
+                        telemetry.metrics.inc(
+                            "service.slow_client_evictions")
+                    await conn.send({"event": "error", "id": None,
+                                     "fault": JobFault(
+                                         binary="<connection>",
+                                         fault=JOB_REJECTED,
+                                         detail=f"idle past "
+                                         f"{timeout:g}s; evicted"
+                                     ).as_dict()})
+                    break
+                except FrameTooLargeError as exc:
+                    # Past the frame ceiling there is no trustworthy
+                    # resync point: answer and tear down.
                     await conn.send({"event": "error", "id": None,
                                      "fault": JobFault(
                                          binary="<frame>",
                                          fault=JOB_REJECTED,
                                          detail=str(exc)).as_dict()})
+                    break
+                except ProtocolError as exc:
+                    # Parse-level garbage on one line: readuntil already
+                    # consumed through the newline, so the stream is
+                    # still frame-synchronized — answer and keep
+                    # serving this connection.  (A mid-frame EOF lands
+                    # here too; the next read sees clean EOF and exits.)
+                    await conn.send({"event": "error", "id": None,
+                                     "fault": JobFault(
+                                         binary="<frame>",
+                                         fault=JOB_REJECTED,
+                                         detail=str(exc)).as_dict()})
+                    continue
+                except (ConnectionError, OSError):
+                    # The peer reset mid-read (e.g. aborted its
+                    # transport).  Same shape as EOF: any in-flight
+                    # submits keep running and their terminal sends are
+                    # tallied as orphaned results.
                     break
                 if message is None:
                     break
@@ -242,6 +326,8 @@ class RewriteService:
                     await conn.send({"event": "stats",
                                      "stats": self.stats.as_dict(),
                                      "inflight": len(self._inflight),
+                                     "running": self._running,
+                                     "queued": self._run_queued,
                                      "poisoned": len(self._poisoned)})
                 elif op == "ping":
                     await conn.send({"event": "pong"})
@@ -277,13 +363,18 @@ class RewriteService:
             self.stats.jobs_rejected += 1
             if telemetry.enabled:
                 telemetry.metrics.inc("service.jobs_rejected")
-            await conn.send({"event": "error", "id": job_id,
-                             "fault": JobFault(
-                                 binary=str(message.get("workload")
-                                            or message.get("path")),
-                                 fault=JOB_REJECTED,
-                                 detail=str(exc)).as_dict()})
+            await self._send_terminal(conn, {
+                "event": "error", "id": job_id,
+                "fault": JobFault(
+                    binary=str(message.get("workload")
+                               or message.get("path")),
+                    fault=JOB_REJECTED,
+                    detail=str(exc)).as_dict()})
             return
+        # The end-to-end clock starts at validation: queue time,
+        # coalesce time, and pipeline time all spend the same budget.
+        deadline = (time.monotonic() + spec["deadline_ms"] / 1000.0
+                    if spec["deadline_ms"] is not None else None)
         name = spec["workload"] or spec["path"]
         try:
             job, key = await loop.run_in_executor(
@@ -292,11 +383,11 @@ class RewriteService:
             self.stats.jobs_rejected += 1
             if telemetry.enabled:
                 telemetry.metrics.inc("service.jobs_rejected")
-            await conn.send({"event": "error", "id": spec["id"],
-                             "fault": JobFault(
-                                 binary=name, fault=JOB_REJECTED,
-                                 detail=f"{type(exc).__name__}: {exc}"
-                             ).as_dict()})
+            await self._send_terminal(conn, {
+                "event": "error", "id": spec["id"],
+                "fault": JobFault(
+                    binary=name, fault=JOB_REJECTED,
+                    detail=f"{type(exc).__name__}: {exc}").as_dict()})
             return
 
         poisoned = self._poisoned.get(key)
@@ -304,8 +395,32 @@ class RewriteService:
             self.stats.jobs_quarantined += 1
             if telemetry.enabled:
                 telemetry.metrics.inc("service.jobs_quarantined")
-            await conn.send({"event": "error", "id": spec["id"],
-                             "fault": poisoned.as_dict()})
+            await self._send_terminal(conn, {
+                "event": "error", "id": spec["id"],
+                "fault": poisoned.as_dict()})
+            return
+
+        follower = key in self._inflight
+        if (not follower and self.max_inflight is not None
+                and self._running >= self.max_inflight
+                and self._run_queued >= self.max_queue):
+            # Bounded admission: a new leader past both budgets is shed
+            # *before* it is accepted, with a load-derived retry hint.
+            # Followers never reach here — coalescing adds no work, so
+            # a duplicate flood can never be shed into thrashing.
+            self.stats.jobs_shed += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("service.jobs_shed")
+            retry_after = self._retry_after_ms()
+            await self._send_terminal(conn, {
+                "event": "error", "id": spec["id"],
+                "fault": JobFault(
+                    binary=name, fault=JOB_OVERLOADED,
+                    detail=(f"{self._running} running + "
+                            f"{self._run_queued} queued >= "
+                            f"{self.max_inflight}+{self.max_queue}; "
+                            f"retry in {retry_after}ms"),
+                    key=key, retry_after_ms=retry_after).as_dict()})
             return
 
         self.stats.jobs_accepted += 1
@@ -317,7 +432,6 @@ class RewriteService:
         await conn.send({"event": "accepted", "id": spec["id"], "key": key,
                          "shard": shard})
 
-        follower = key in self._inflight
         if follower:
             self.stats.jobs_deduped_inflight += 1
             if telemetry.enabled:
@@ -325,14 +439,47 @@ class RewriteService:
             future = self._inflight[key]
         else:
             future = loop.create_future()
+            # Abandoned waiters (deadline-detached followers) must not
+            # leave an "exception never retrieved" warning behind.
+            future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None)
             self._inflight[key] = future
-            asyncio.ensure_future(self._drive(key, job, name, future))
+            asyncio.ensure_future(self._drive(key, job, name, future,
+                                              deadline))
         self._watchers.setdefault(key, []).append((conn, spec["id"]))
         try:
-            record: _JobRecord = await future
+            if deadline is not None:
+                # shield(): a follower timing out detaches *itself*;
+                # the underlying run — and every other waiter — is
+                # untouched.  The leader's own deadline rides inside
+                # _drive, so cancelling the wait never cancels the run.
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise asyncio.TimeoutError
+                record: _JobRecord = await asyncio.wait_for(
+                    asyncio.shield(future), remaining)
+            else:
+                record = await future
+        except asyncio.TimeoutError:
+            self.stats.deadline_exceeded += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("service.deadline_exceeded")
+            await self._send_terminal(conn, {
+                "event": "error", "id": spec["id"],
+                "fault": JobFault(
+                    binary=name, fault=JOB_DEADLINE,
+                    detail=(f"deadline_ms={spec['deadline_ms']} expired "
+                            "waiting for the coalesced run"),
+                    key=key).as_dict()})
+            return
         except JobServiceError as exc:
-            await conn.send({"event": "error", "id": spec["id"],
-                             "fault": exc.fault.as_dict()})
+            if exc.fault.fault == JOB_DEADLINE:
+                self.stats.deadline_exceeded += 1
+                if telemetry.enabled:
+                    telemetry.metrics.inc("service.deadline_exceeded")
+            await self._send_terminal(conn, {
+                "event": "error", "id": spec["id"],
+                "fault": exc.fault.as_dict()})
             return
         finally:
             # Every admitted job completes exactly once (runner and
@@ -351,7 +498,7 @@ class RewriteService:
                     self._watchers.pop(key, None)
         cache = ("coalesced" if follower
                  else "warm" if record.cache_hit else "cold")
-        await conn.send({
+        await self._send_terminal(conn, {
             "event": "result", "id": spec["id"], "key": key,
             "shard": shard, "cache": cache, "ok": record.ok,
             "releasable": record.releasable, "counts": record.counts,
@@ -360,9 +507,11 @@ class RewriteService:
         })
 
     async def _drive(self, key: str, job: RewriteJob, name: str,
-                     future: asyncio.Future) -> None:
-        """Own one run: thread off the pipeline, settle every waiter,
-        keep the books.  Runs on the loop; the pipeline does not."""
+                     future: asyncio.Future,
+                     deadline: Optional[float] = None) -> None:
+        """Own one run: wait for an admission slot, thread off the
+        pipeline, settle every waiter, keep the books.  Runs on the
+        loop; the pipeline does not."""
         telemetry = telemetry_current()
         loop = asyncio.get_running_loop()
 
@@ -370,10 +519,49 @@ class RewriteService:
             # Fires on the job thread; marshal to the loop.
             loop.call_soon_threadsafe(self._fanout_progress, key, stage, info)
 
+        def settle_fault(fault: JobFault) -> None:
+            self.stats.jobs_failed += 1
+            if telemetry.enabled:
+                telemetry.metrics.inc("service.jobs_failed")
+            self._inflight.pop(key, None)
+            future.set_exception(JobServiceError(fault))
+
+        if self._admit is not None:
+            self._run_queued += 1
+            try:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise asyncio.TimeoutError
+                    await asyncio.wait_for(self._admit.acquire(), remaining)
+                else:
+                    await self._admit.acquire()
+            except asyncio.TimeoutError:
+                # Expired while queued: the slot was never consumed, so
+                # jobs behind this one are unaffected.  Not a crash —
+                # no poison tally.
+                settle_fault(JobFault(
+                    binary=name, fault=JOB_DEADLINE,
+                    detail="deadline expired waiting for an admission "
+                           "slot", key=key))
+                return
+            finally:
+                self._run_queued -= 1
+        self._running += 1
+        if deadline is not None:
+            job = dataclasses.replace(job, deadline=deadline)
         t0 = time.perf_counter()
         try:
             pipe: PipelineResult = await loop.run_in_executor(
                 self._threads, self._run_sync, job, key, on_progress)
+        except DeadlineExceededError as exc:
+            # The pipeline noticed the expiry between regions; the run
+            # journal keeps everything settled so far, so a retry of
+            # this key resumes.  The key's health is unaffected.
+            settle_fault(JobFault(
+                binary=name, fault=JOB_DEADLINE,
+                detail=str(exc), key=key))
+            return
         except Exception as exc:  # noqa: BLE001 - the job failure domain
             failures = self._failures.get(key, 0) + 1
             self._failures[key] = failures
@@ -388,13 +576,18 @@ class RewriteService:
                     detail=(f"release key crashed {failures} run(s); "
                             "refused until restart"),
                     key=key, failures=failures, quarantined=True)
-            self.stats.jobs_failed += 1
-            if telemetry.enabled:
-                telemetry.metrics.inc("service.jobs_failed")
-            self._inflight.pop(key, None)
-            future.set_exception(JobServiceError(fault))
+            settle_fault(fault)
             return
+        finally:
+            self._running -= 1
+            if self._admit is not None:
+                self._admit.release()
         seconds = time.perf_counter() - t0
+        # EWMA of run latency feeds the retry_after_ms shed hint.
+        alpha = 0.3
+        self._ewma_seconds = (seconds if self._ewma_seconds == 0.0
+                              else alpha * seconds
+                              + (1 - alpha) * self._ewma_seconds)
         shard = self.layout.shard_name(key) if self.layout.shards else "flat"
         if pipe.cache_hit:
             self.stats.shard_hits += 1
@@ -415,6 +608,30 @@ class RewriteService:
             releasable=pipe.releasable,
             counts=pipe.report.counts(), seconds=seconds,
             report_json=pipe.report.to_json()))
+
+    # -- admission helpers --------------------------------------------------
+
+    def _retry_after_ms(self) -> int:
+        """Load-derived retry hint for a shed job: roughly how long
+        until the current backlog has drained one wave, bounded to
+        [50ms, 30s] so a cold server never tells a client "now" and a
+        thrashing one never tells it "tomorrow"."""
+        ewma = self._ewma_seconds or 0.25
+        backlog = self._running + self._run_queued + 1
+        waves = backlog / max(1, self.max_inflight or 1)
+        return max(50, min(30_000, int(1000.0 * ewma * waves)))
+
+    async def _send_terminal(self, conn: "_Connection",
+                             message: dict) -> None:
+        """Send a terminal result/error event; if the client is already
+        gone the completed work is counted as an orphaned result —
+        observed in the ledger, never silently dropped."""
+        delivered = await conn.send(message)
+        if not delivered:
+            self.stats.orphaned_results += 1
+            telemetry = telemetry_current()
+            if telemetry.enabled:
+                telemetry.metrics.inc("service.orphaned_results")
 
     # -- job-thread halves --------------------------------------------------
 
@@ -465,14 +682,19 @@ class _Connection:
         self.lock = asyncio.Lock()
         self.closed = False
 
-    async def send(self, message: dict) -> None:
+    async def send(self, message: dict) -> bool:
+        """Send one frame; False when the client is (or just went)
+        away.  Callers of terminal events use the return value to
+        count orphaned results instead of dropping them silently."""
         if self.closed:
-            return
+            return False
         async with self.lock:
             try:
                 await write_message(self.writer, message)
             except (ConnectionError, OSError):
                 self.closed = True
+                return False
+        return True
 
     async def send_quiet(self, message: dict) -> None:
         """Best-effort send (progress events to maybe-gone clients)."""
@@ -492,6 +714,9 @@ async def serve(
     executor: Optional[str] = None,
     oracle_trials: Optional[int] = None,
     region_timeout: Optional[float] = None,
+    max_inflight: Optional[int] = None,
+    max_queue: int = 0,
+    idle_timeout: Optional[float] = None,
     ready=None,
 ) -> ServiceStats:
     """Run a :class:`RewriteService` until shutdown; returns its stats.
@@ -501,7 +726,8 @@ async def serve(
     """
     service = RewriteService(
         layout, jobs=jobs, executor=executor, oracle_trials=oracle_trials,
-        region_timeout=region_timeout)
+        region_timeout=region_timeout, max_inflight=max_inflight,
+        max_queue=max_queue, idle_timeout=idle_timeout)
     address = await service.start(socket_path=socket_path, host=host,
                                   port=port)
     if ready is not None:

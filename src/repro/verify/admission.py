@@ -50,6 +50,7 @@ from repro.resilience.failures import (
     VERIFY_ERROR,
     WORKER_CRASH,
     WORKER_HANG,
+    DeadlineExceededError,
     RegionFault,
 )
 from repro.resilience.policy import PIPELINE_RETRY_POLICY, RetryPolicy
@@ -85,6 +86,7 @@ class AdmissionGate:
         injector=None,
         slots=None,
         job_id=None,
+        deadline: Optional[float] = None,
     ):
         meta = rewritten.metadata.get("chimera")
         if meta is None:
@@ -131,6 +133,10 @@ class AdmissionGate:
         #: executor only): the pool sizes itself to its fair share.
         self.slots = slots
         self.job_id = job_id
+        #: Absolute ``time.monotonic()`` instant the whole run must not
+        #: outlive; checked between regions and between retry attempts,
+        #: and threaded into the process pool's scheduling loop.
+        self.deadline = deadline
         self.oracle = DifferentialOracle(
             original, rewritten, seed=self.seed,
             trials=oracle_trials, max_steps=oracle_max_steps,
@@ -175,6 +181,7 @@ class AdmissionGate:
                     self._verify_threaded(indices, done, faults, on_region)
                 else:
                     for idx in indices:
+                        self._check_deadline()
                         self._settle(idx, *self._verify_with_retry(idx),
                                      done=done, faults=faults,
                                      on_region=on_region)
@@ -192,6 +199,16 @@ class AdmissionGate:
         return report
 
     # -- executors ----------------------------------------------------------
+
+    def _check_deadline(self) -> None:
+        """Raise if the job's end-to-end deadline has passed.  Raised
+        *between* units of work, never inside a region's try block —
+        the pipeline converts it into a structured fault and the run
+        journal keeps every verdict settled so far."""
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise DeadlineExceededError(
+                f"job deadline expired during verification of "
+                f"{self.rewritten.name}")
 
     def _settle(self, idx, verdict, oracle_ran, region_faults, *,
                 done, faults, on_region) -> None:
@@ -245,7 +262,8 @@ class AdmissionGate:
             labels={"binary": self.rewritten.name},
             slots=self.slots,
             job_id=self.job_id if self.job_id is not None
-            else self.rewritten.name)
+            else self.rewritten.name,
+            deadline=self.deadline)
 
         pool_quarantined: set[int] = set()
 
@@ -305,6 +323,7 @@ class AdmissionGate:
         region_faults: list[RegionFault] = []
         attempt = 1
         while True:
+            self._check_deadline()
             try:
                 verdict, oracle_ran = self.verify_region_once(idx,
                                                               attempt=attempt)
@@ -604,6 +623,7 @@ def verify_binary(
     precomputed=None,
     slots=None,
     job_id=None,
+    deadline=None,
 ) -> VerifyReport:
     """Convenience wrapper: gate *rewritten* against *original*."""
     return AdmissionGate(
@@ -612,5 +632,5 @@ def verify_binary(
         max_oracle_regions=max_oracle_regions, jobs=jobs, liveness=liveness,
         executor=executor, region_timeout=region_timeout,
         retry_policy=retry_policy, injector=injector,
-        slots=slots, job_id=job_id,
+        slots=slots, job_id=job_id, deadline=deadline,
     ).verify(on_region=on_region, precomputed=precomputed)

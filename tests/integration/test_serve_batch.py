@@ -2,18 +2,31 @@
 performs exactly one rewrite+verify (observable in the service stats),
 every client receives a ledger byte-identical to a serial local run, the
 cache survives a server restart as warm hits, malformed jobs bounce with
-structured faults, and a key that keeps crashing is quarantined."""
+structured faults, a key that keeps crashing is quarantined, overload
+sheds with a retry hint, deadlines die structurally without poisoning,
+slow-loris connections are evicted, and vanished clients leave an
+observable orphaned-results tally."""
 
 import asyncio
+import threading
+import time
 
 import pytest
 
 from repro.core.pipeline import CacheLayout, rewrite_and_verify
 from repro.isa.extensions import PROFILES
-from repro.resilience.failures import JOB_CRASH, JOB_POISONED, JOB_REJECTED
+from repro.resilience.failures import (
+    JOB_CRASH,
+    JOB_DEADLINE,
+    JOB_OVERLOADED,
+    JOB_POISONED,
+    JOB_REJECTED,
+)
 from repro.resilience.policy import RetryPolicy
-from repro.service.client import submit_jobs
+from repro.service.client import open_connection, submit_jobs
+from repro.service.protocol import read_message, write_message
 from repro.service.server import RewriteService
+from repro.telemetry import Telemetry, use
 from repro.telemetry.pipeline import resolve_workload
 
 SEED = 20260806
@@ -189,3 +202,246 @@ class TestPoisonQuarantine:
         stats, records = _serve(tmp_path, scenario)
         assert records[0]["status"] == "ok"
         assert stats.rewrites == 1 and stats.jobs_failed == 2
+
+
+def _gate_run_job(monkeypatch):
+    """Block every pipeline run behind a gate the test controls."""
+    import repro.service.server as server_mod
+
+    gate = threading.Event()
+    real_run_job = server_mod.run_job
+
+    def gated(job, **kw):
+        assert gate.wait(timeout=30.0), "test never opened the run gate"
+        return real_run_job(job, **kw)
+
+    monkeypatch.setattr(server_mod, "run_job", gated)
+    return gate
+
+
+async def _until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.01)
+    return False
+
+
+class TestOverloadShedding:
+    def test_flood_sheds_with_retry_hint(self, tmp_path, monkeypatch):
+        gate = _gate_run_job(monkeypatch)
+
+        async def scenario(service, address):
+            # Fill the one slot, then the one queue place, determin-
+            # istically: the third distinct key must shed.
+            leader = asyncio.ensure_future(submit_jobs(
+                address, [_spec("leader")], retry_policy=NO_RETRY))
+            assert await _until(lambda: service._running == 1)
+            queued = asyncio.ensure_future(submit_jobs(
+                address, [_spec("queued", seed=SEED + 1)],
+                retry_policy=NO_RETRY))
+            assert await _until(lambda: service._run_queued == 1)
+            shed = await submit_jobs(
+                address, [_spec("shed", seed=SEED + 2)],
+                retry_policy=NO_RETRY)
+            mid_flood_depth = service.stats.queue_depth
+            gate.set()
+            records = [r for batch in await asyncio.gather(leader, queued)
+                       for r in batch]
+            return service.stats, shed[0], records, mid_flood_depth
+
+        stats, shed, records, mid_flood_depth = _serve(
+            tmp_path, scenario, max_inflight=1, max_queue=1, job_threads=6)
+        assert shed["status"] == "failed"
+        assert shed["fault"]["fault"] == JOB_OVERLOADED
+        hint = shed["fault"]["retry_after_ms"]
+        assert isinstance(hint, int) and hint >= 1
+        assert all(r["status"] == "ok" for r in records)
+        assert stats.jobs_shed == 1
+        # Shed jobs are refused at the door: never accepted, so the
+        # depth only ever counted the two admitted jobs.
+        assert stats.jobs_accepted == 2 and mid_flood_depth == 2
+        assert stats.queue_depth == 0
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_structured_not_poison(self, tmp_path):
+        async def scenario(service, address):
+            dead = await submit_jobs(address,
+                                     [_spec("dead", deadline_ms=1)],
+                                     retry_policy=NO_RETRY)
+            # The client hears JOB_DEADLINE the moment its wait expires;
+            # the doomed run may still be settling server-side.  An
+            # instant bare resubmit could coalesce onto it and inherit
+            # the fault (a real client's retry backoff absorbs this), so
+            # wait for the run to leave the in-flight table first.
+            assert await _until(lambda: not service._inflight)
+            retry = await submit_jobs(address, [_spec("retry")],
+                                      retry_policy=NO_RETRY)
+            return service.stats, dead[0], retry[0]
+
+        stats, dead, retry = _serve(tmp_path, scenario)
+        assert dead["status"] == "failed"
+        assert dead["fault"]["fault"] == JOB_DEADLINE
+        assert stats.deadline_exceeded == 1
+        # A deadline is a time budget, not a defect: the same key runs
+        # clean on resubmit with a sane budget, no quarantine involved.
+        assert retry["status"] == "ok"
+        assert stats.jobs_quarantined == 0
+        assert stats.queue_depth == 0
+
+    def test_follower_deadline_never_cancels_the_leader(self, tmp_path,
+                                                        monkeypatch):
+        gate = _gate_run_job(monkeypatch)
+
+        async def scenario(service, address):
+            leader = asyncio.ensure_future(submit_jobs(
+                address, [_spec("leader")], retry_policy=NO_RETRY))
+            assert await _until(lambda: service._running == 1)
+            # Same release key, tiny budget: the follower coalesces
+            # onto the leader's run and must detach alone when its
+            # deadline fires while the run is still gated.
+            follower = await submit_jobs(
+                address, [_spec("follower", deadline_ms=60)],
+                retry_policy=NO_RETRY)
+            gate.set()
+            return service.stats, follower[0], (await leader)[0]
+
+        stats, follower, leader = _serve(tmp_path, scenario, job_threads=6)
+        assert follower["status"] == "failed"
+        assert follower["fault"]["fault"] == JOB_DEADLINE
+        assert leader["status"] == "ok" and leader["cache"] == "cold"
+        assert stats.rewrites == 1
+        assert stats.deadline_exceeded == 1
+        assert stats.jobs_deduped_inflight == 1
+        assert stats.queue_depth == 0
+
+
+class TestSlowClients:
+    def test_idle_connection_is_evicted(self, tmp_path):
+        async def scenario(service, address):
+            reader, writer = await open_connection(address)
+            await write_message(writer, {"op": "ping"})
+            pong = await read_message(reader)
+            # Now squat: the server's idle deadline must fire.
+            eviction = await asyncio.wait_for(read_message(reader), 10.0)
+            eof = await asyncio.wait_for(read_message(reader), 10.0)
+            writer.close()
+            return service.stats, pong, eviction, eof
+
+        stats, pong, eviction, eof = _serve(tmp_path, scenario,
+                                            idle_timeout=0.2)
+        assert pong["event"] == "pong"
+        assert eviction["event"] == "error"
+        assert "evicted" in eviction["fault"]["detail"]
+        assert eof is None
+        assert stats.slow_client_evictions == 1
+
+    def test_connection_with_a_job_in_flight_is_not_evicted(
+            self, tmp_path, monkeypatch):
+        gate = _gate_run_job(monkeypatch)
+
+        async def scenario(service, address):
+            task = asyncio.ensure_future(submit_jobs(
+                address, [_spec("patient")], retry_policy=NO_RETRY))
+            assert await _until(lambda: service._running == 1)
+            # Hold the run far past the idle deadline: a client quietly
+            # awaiting its result must never be evicted.
+            await asyncio.sleep(0.5)
+            gate.set()
+            return service.stats, (await task)[0]
+
+        stats, record = _serve(tmp_path, scenario, idle_timeout=0.15,
+                               job_threads=6)
+        assert record["status"] == "ok"
+        assert stats.slow_client_evictions == 0
+
+    def test_parse_error_does_not_kill_the_connection(self, tmp_path):
+        async def scenario(service, address):
+            reader, writer = await open_connection(address)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            bounce = await asyncio.wait_for(read_message(reader), 10.0)
+            # Same connection, next frame: still in business.
+            await write_message(writer, {"op": "ping"})
+            pong = await asyncio.wait_for(read_message(reader), 10.0)
+            writer.close()
+            return bounce, pong
+
+        bounce, pong = _serve(tmp_path, scenario)
+        assert bounce["event"] == "error"
+        assert bounce["fault"]["fault"] == JOB_REJECTED
+        assert pong["event"] == "pong"
+
+
+class TestOrphanedResults:
+    def test_vanished_client_is_tallied_and_resumable(self, tmp_path):
+        async def scenario(service, address):
+            reader, writer = await open_connection(address)
+            await write_message(writer, _spec("gone"))
+            accepted = await asyncio.wait_for(read_message(reader), 30.0)
+            # Vanish mid result stream; the run must still finish and
+            # the undeliverable terminal event must be *counted*.
+            writer.transport.abort()
+            assert await _until(
+                lambda: service.stats.orphaned_results >= 1, timeout=30.0)
+            redo = await submit_jobs(address, [_spec("redo")],
+                                     retry_policy=NO_RETRY)
+            return service.stats, accepted, redo[0]
+
+        stats, accepted, redo = _serve(tmp_path, scenario)
+        assert accepted["event"] == "accepted"
+        assert stats.orphaned_results >= 1
+        # The work was not wasted: the resubmit re-attaches through the
+        # cache (or the still-running leader), never a second rewrite.
+        assert redo["status"] == "ok"
+        assert redo["cache"] in ("warm", "coalesced")
+        assert stats.rewrites == 1
+
+
+class TestQueueDepthAccounting:
+    def test_queue_depth_under_concurrent_submits(self, tmp_path,
+                                                  monkeypatch):
+        gate = _gate_run_job(monkeypatch)
+
+        async def scenario(service, address):
+            specs = [_spec(f"dup-{i}") for i in range(4)]
+            task = asyncio.ensure_future(submit_jobs(
+                address, specs, concurrency=4, retry_policy=NO_RETRY))
+            # Every accepted job (leader and coalesced followers alike)
+            # holds a unit of depth until its terminal event.
+            assert await _until(lambda: service.stats.queue_depth == 4)
+            gate.set()
+            records = await task
+            return service.stats, records
+
+        stats, records = _serve(tmp_path, scenario, job_threads=6)
+        assert all(r["status"] == "ok" for r in records)
+        assert stats.jobs_accepted == 4 and stats.jobs_completed == 4
+        assert stats.queue_depth == 0
+
+    def test_queue_depth_gauge_drains_after_mixed_batch(self, tmp_path):
+        telemetry = Telemetry()
+
+        async def scenario(service, address):
+            records = await submit_jobs(
+                address,
+                [_spec("good"),
+                 _spec("bad", workload="no-such-workload"),
+                 # Distinct seed: "late" must not share a release key
+                 # with "good" and drag it down as a coalesced follower.
+                 _spec("late", seed=SEED + 5, deadline_ms=1)],
+                concurrency=3, retry_policy=NO_RETRY)
+            return service.stats, records
+
+        with use(telemetry):
+            stats, records = _serve(tmp_path, scenario)
+        by_id = {r["id"]: r for r in records}
+        assert by_id["good"]["status"] == "ok"
+        assert by_id["bad"]["fault"]["fault"] == JOB_REJECTED
+        assert by_id["late"]["fault"]["fault"] == JOB_DEADLINE
+        # Success or fault, the depth gauge must end drained.
+        assert stats.queue_depth == 0
+        assert telemetry.metrics.gauge_value("service.queue_depth") == 0
+        assert telemetry.metrics.total("service.deadline_exceeded") == 1

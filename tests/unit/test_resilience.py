@@ -16,7 +16,14 @@ from repro.resilience.failures import (
     DesFailurePlan,
     FailureEvent,
 )
-from repro.resilience.policy import ResilienceStats, RetryPolicy
+from repro.resilience.policy import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ResilienceStats,
+    RetryPolicy,
+)
 from repro.resilience.seeds import ENV_SEED, replay_hint, resolve_seed
 from repro.sim.faults import CheckpointCorruptFault
 from repro.sim.machine import Core, CoreHealth, Kernel
@@ -46,6 +53,90 @@ class TestRetryPolicy:
         assert a.core_faults == 4 and a.retries == 2 and a.quarantines == 1
         assert "core_faults=4" in a.summary()
         assert ResilienceStats().summary() == "clean run"
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+def _breaker(**kw):
+    clock = _FakeClock()
+    kw.setdefault("rng", random.Random(0))
+    return CircuitBreaker(clock=clock, **kw), clock
+
+
+class TestCircuitBreaker:
+    def test_closed_allows_and_counts_failures(self):
+        breaker, _ = _breaker()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED and breaker.allow()
+
+    def test_trips_open_at_threshold_and_fails_fast(self):
+        breaker, _ = _breaker(failure_threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        assert breaker.retry_in() > 0.0
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = _breaker(failure_threshold=1, jitter=0.0)
+        breaker.record_failure()
+        clock.now += breaker.retry_in() + 0.001
+        assert breaker.allow()  # the probe
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert not breaker.allow()  # concurrent caller: still shut out
+
+    def test_probe_success_closes_and_resets(self):
+        breaker, clock = _breaker(failure_threshold=1, jitter=0.0)
+        breaker.record_failure()
+        clock.now += breaker.retry_in() + 0.001
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.trips == 0 and breaker.consecutive_failures == 0
+        assert breaker.retry_in() == 0.0
+        assert breaker.total_trips == 1  # lifetime telemetry survives
+
+    def test_failed_probe_reopens_with_escalating_delay(self):
+        breaker, clock = _breaker(failure_threshold=1, jitter=0.0,
+                                  reset_seconds=0.5,
+                                  open_backoff_multiplier=2.0)
+        breaker.record_failure()
+        first = breaker.retry_in()
+        clock.now += first + 0.001
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed: open again, doubled
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.retry_in() == pytest.approx(2 * 0.5, rel=0.01)
+        assert breaker.trips == 2
+
+    def test_escalation_caps_at_max_reset(self):
+        breaker, clock = _breaker(failure_threshold=1, jitter=0.0,
+                                  reset_seconds=1.0, max_reset_seconds=4.0)
+        breaker.record_failure()
+        for _ in range(5):
+            clock.now += breaker.retry_in() + 0.001
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.retry_in() == pytest.approx(4.0, rel=0.01)
+
+    def test_jitter_spreads_probe_times(self):
+        delays = set()
+        for seed in range(8):
+            breaker = CircuitBreaker(failure_threshold=1, jitter=0.25,
+                                     rng=random.Random(seed),
+                                     clock=_FakeClock())
+            breaker.record_failure()
+            delays.add(round(breaker.retry_in(), 6))
+        assert len(delays) > 1  # a fleet never probes in lockstep
 
 
 class TestSeeds:

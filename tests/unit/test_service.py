@@ -4,20 +4,25 @@ worker-slot arbiter divides the machine fairly, job faults are a closed
 taxonomy, and the client builds deterministic campaign specs."""
 
 import asyncio
+import random
 
 import pytest
 
 from repro.core.procpool import WorkerSlotArbiter
 from repro.resilience.failures import (
     JOB_CRASH,
+    JOB_DEADLINE,
     JOB_FAULT_KINDS,
+    JOB_OVERLOADED,
     JOB_POISONED,
     JOB_REJECTED,
     JobFault,
 )
-from repro.service.client import CampaignResult, build_specs
+from repro.service import client as client_mod
+from repro.service.client import CampaignResult, build_specs, wait_for_server
 from repro.service.protocol import (
     MAX_MESSAGE_BYTES,
+    FrameTooLargeError,
     ProtocolError,
     decode_message,
     encode_message,
@@ -66,6 +71,20 @@ class TestProtocol:
 
         asyncio.run(go())
 
+    def test_oversized_frame_is_its_own_error_class(self):
+        # The fatal/recoverable split the server relies on: a frame
+        # past the limit is FrameTooLargeError (tear down), everything
+        # else is plain ProtocolError (answer and keep reading).
+        assert issubclass(FrameTooLargeError, ProtocolError)
+
+        async def go():
+            reader = asyncio.StreamReader(limit=64)
+            reader.feed_data(b'{"pad": "' + b"x" * 256 + b'"}\n')
+            with pytest.raises(FrameTooLargeError):
+                await read_message(reader)
+
+        asyncio.run(go())
+
 
 class TestValidateSubmit:
     def _ok(self, **extra):
@@ -107,6 +126,17 @@ class TestValidateSubmit:
         assert validate_submit(self._ok(seed=7))["seed"] == 7
         assert validate_submit(self._ok(seed=None))["seed"] is None
 
+    def test_deadline_ms_defaults_to_none(self):
+        assert validate_submit(self._ok())["deadline_ms"] is None
+
+    def test_deadline_ms_positive_int_accepted(self):
+        assert validate_submit(self._ok(deadline_ms=250))["deadline_ms"] == 250
+
+    def test_deadline_ms_rejects_garbage(self):
+        for bad in (0, -5, True, "fast", 1.5):
+            with pytest.raises(ProtocolError):
+                validate_submit(self._ok(deadline_ms=bad))
+
 
 class TestWorkerSlotArbiter:
     def test_sole_job_gets_the_machine(self):
@@ -147,9 +177,51 @@ class TestJobFault:
         assert "boom" in str(fault)
 
     def test_kind_taxonomy_is_closed(self):
-        assert {JOB_REJECTED, JOB_CRASH, JOB_POISONED} <= set(JOB_FAULT_KINDS)
+        assert {JOB_REJECTED, JOB_CRASH, JOB_POISONED, JOB_OVERLOADED,
+                JOB_DEADLINE} <= set(JOB_FAULT_KINDS)
         with pytest.raises(ValueError):
             JobFault(binary="dot", fault="job-sulking")
+
+    def test_retry_after_round_trip(self):
+        fault = JobFault(binary="dot", fault=JOB_OVERLOADED,
+                         detail="backlog full", retry_after_ms=750)
+        data = fault.as_dict()
+        assert data["retry_after_ms"] == 750
+        assert JobFault.from_dict(data) == fault
+
+    def test_retry_after_omitted_when_absent(self):
+        # Faults without a hint keep their pre-hint wire shape.
+        data = JobFault(binary="dot", fault=JOB_CRASH).as_dict()
+        assert "retry_after_ms" not in data
+
+
+class TestWaitForServer:
+    def test_answers_on_first_pong(self, monkeypatch):
+        calls = []
+
+        async def fake_request(address, message):
+            calls.append(message)
+            return {"event": "pong"}
+
+        monkeypatch.setattr(client_mod, "_request", fake_request)
+        assert wait_for_server("unix:/nowhere.sock", timeout=1.0)
+        assert calls == [{"op": "ping"}]
+
+    def test_dead_server_backs_off_exponentially(self, monkeypatch):
+        attempts = []
+
+        async def fake_request(address, message):
+            attempts.append(message)
+            raise ConnectionRefusedError("nobody home")
+
+        monkeypatch.setattr(client_mod, "_request", fake_request)
+        ok = wait_for_server("unix:/nowhere.sock", timeout=0.4,
+                             interval=0.05, max_interval=0.4,
+                             rng=random.Random(0))
+        assert not ok
+        # Fixed 0.05s polling would burn ~8 probes in 0.4s; the doubling
+        # schedule (0.05, 0.1, 0.2, ... jittered) stays well under that.
+        assert 2 <= len(attempts) <= 6
 
 
 class TestBuildSpecs:
