@@ -11,6 +11,17 @@ Two before/after comparisons backing the run-loop changes:
   and against the superblock engine on the same program.  All three
   must retire the same architectural state.
 
+Plus three trace-tier shapes, each block-cache-only vs traces-on:
+
+* **guard-heavy** — a loop whose body crosses several always-same-
+  direction branches, so one trip chains many superblocks and every
+  guard predicts; the trace tier's best case.
+* **side-exit-heavy** — a data-dependent flip-flop branch that forces a
+  guard side exit every other trip; the trace tier's worst case, gated
+  only against catastrophic regression.
+* **megamorphic** — an indirect ``jr`` dispatch rotating through three
+  targets, so the recorded target mispredicts two trips out of three.
+
 Wall-clock floors are deliberately loose — these are micro measurements
 on shared CI boxes; ``BENCH_runloop.json`` carries the real numbers.
 """
@@ -48,6 +59,96 @@ loop:
     return b.build()
 
 
+def _guard_heavy_binary():
+    """One loop trip crosses three always-same-direction branches: the
+    trace chains four superblocks and every guard holds."""
+    b = ProgramBuilder("runloop-guard-heavy")
+    b.set_text(f"""
+_start:
+    li t1, 0
+    li t2, 0
+    li t0, {ITERATIONS}
+loop:
+    addi t1, t1, 1
+    beqz t2, g1
+    addi t2, t2, 7
+g1:
+    bge t1, zero, g2
+    addi t2, t2, 9
+g2:
+    bnez t1, g3
+    addi t2, t2, 11
+g3:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+""")
+    return b.build()
+
+
+def _side_exit_heavy_binary():
+    """The parity branch flips every trip, so whichever direction the
+    trace recorded, the guard side-exits on the next iteration."""
+    b = ProgramBuilder("runloop-side-exit-heavy")
+    b.set_text(f"""
+_start:
+    li t1, 0
+    li t3, 0
+    li t0, {ITERATIONS}
+loop:
+    andi t2, t0, 1
+    beqz t2, even
+    addi t1, t1, 1
+    j join
+even:
+    addi t3, t3, 1
+join:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+""")
+    return b.build()
+
+
+def _megamorphic_binary():
+    """An indirect dispatch rotating three targets: the trace records
+    one of them and mispredicts the ``jr`` two trips out of three."""
+    b = ProgramBuilder("runloop-megamorphic")
+    b.set_text(f"""
+_start:
+    li t1, 0
+    la s2, tgt_a
+    la s3, tgt_b
+    la s4, tgt_c
+    li t0, {ITERATIONS}
+loop:
+    mv t3, s2
+    mv s2, s3
+    mv s3, s4
+    mv s4, t3
+    jr t3
+tgt_a:
+    addi t1, t1, 1
+    j next
+tgt_b:
+    addi t1, t1, 2
+    j next
+tgt_c:
+    addi t1, t1, 3
+next:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+""")
+    return b.build()
+
+
 def _bump_timings():
     """Best-of-5 seconds for each counter-bump pattern (400k bumps)."""
     names = ("instret", "cycles", "loads", "stores") * 100_000
@@ -69,8 +170,8 @@ def _bump_timings():
             min(timeit.repeat(after, repeat=5, number=1)))
 
 
-def _run_loop(binary, *, block_cache, hook=None):
-    kernel = Kernel(block_cache=block_cache)
+def _run_loop(binary, *, block_cache, trace_cache=False, hook=None):
+    kernel = Kernel(block_cache=block_cache, trace_cache=trace_cache)
     process = make_process(binary)
     cpu = kernel.make_cpu(process, Core(0, RV64GC))
     if hook is not None:
@@ -82,12 +183,26 @@ def _run_loop(binary, *, block_cache, hook=None):
     return dt, result
 
 
-def _best_run(binary, *, block_cache, hook=None, rounds=3):
+def _best_run(binary, *, block_cache, trace_cache=False, hook=None,
+              rounds=3):
     best, result = None, None
     for _ in range(rounds):
-        dt, result = _run_loop(binary, block_cache=block_cache, hook=hook)
+        dt, result = _run_loop(binary, block_cache=block_cache,
+                               trace_cache=trace_cache, hook=hook)
         best = dt if best is None else min(best, dt)
     return best, result
+
+
+def _trace_pair(binary):
+    """(block-only seconds, trace seconds, trace result) for *binary*,
+    asserting the two runs retire identical architectural state."""
+    block_s, block = _best_run(binary, block_cache=True)
+    trace_s, traced = _best_run(binary, block_cache=True, trace_cache=True)
+    assert (traced.exit_code, traced.instret, traced.cycles) == \
+        (block.exit_code, block.instret, block.cycles), \
+        "trace-tier microbench diverged architecturally"
+    assert traced.counters.get("trace_instret", 0) > 0
+    return block_s, trace_s, traced
 
 
 @pytest.fixture(scope="module")
@@ -102,12 +217,27 @@ def measurements():
         assert (other.exit_code, other.instret, other.cycles) == \
             (hooked.exit_code, hooked.instret, hooked.cycles), \
             "run-loop variants diverged architecturally"
+
+    guard_block_s, guard_trace_s, guard = _trace_pair(_guard_heavy_binary())
+    assert guard.counters.get("trace_cache_hits", 0) > 0
+    exit_block_s, exit_trace_s, exits = _trace_pair(
+        _side_exit_heavy_binary())
+    assert exits.counters.get("trace_side_exits", 0) > 0
+    mega_block_s, mega_trace_s, mega = _trace_pair(_megamorphic_binary())
+    assert mega.counters.get("trace_side_exits", 0) > 0
+
     return {
         "bump_before_s": before_bump,
         "bump_after_s": after_bump,
         "interp_hooked_s": hooked_s,
         "interp_hoisted_s": hoisted_s,
         "superblock_s": super_s,
+        "guard_block_s": guard_block_s,
+        "guard_trace_s": guard_trace_s,
+        "side_exit_block_s": exit_block_s,
+        "side_exit_trace_s": exit_trace_s,
+        "megamorphic_block_s": mega_block_s,
+        "megamorphic_trace_s": mega_trace_s,
         "instret": hooked.instret,
     }
 
@@ -117,6 +247,9 @@ def test_runloop_microbench(measurements):
     bump = m["bump_before_s"] / m["bump_after_s"]
     hoist = m["interp_hooked_s"] / m["interp_hoisted_s"]
     superblock = m["interp_hooked_s"] / m["superblock_s"]
+    guard = m["guard_block_s"] / m["guard_trace_s"]
+    side_exit = m["side_exit_block_s"] / m["side_exit_trace_s"]
+    megamorphic = m["megamorphic_block_s"] / m["megamorphic_trace_s"]
     ips = {key: m["instret"] / m[f"interp_{key}_s"]
            for key in ("hooked", "hoisted")}
     ips["superblock"] = m["instret"] / m["superblock_s"]
@@ -132,12 +265,25 @@ def test_runloop_microbench(measurements):
             ["interp hooked vs superblock",
              f"{m['interp_hooked_s'] * 1e3:.1f}ms",
              f"{m['superblock_s'] * 1e3:.1f}ms", f"{superblock:.2f}x"],
+            ["trace tier: guard-heavy",
+             f"{m['guard_block_s'] * 1e3:.1f}ms",
+             f"{m['guard_trace_s'] * 1e3:.1f}ms", f"{guard:.2f}x"],
+            ["trace tier: side-exit-heavy",
+             f"{m['side_exit_block_s'] * 1e3:.1f}ms",
+             f"{m['side_exit_trace_s'] * 1e3:.1f}ms", f"{side_exit:.2f}x"],
+            ["trace tier: megamorphic jr",
+             f"{m['megamorphic_block_s'] * 1e3:.1f}ms",
+             f"{m['megamorphic_trace_s'] * 1e3:.1f}ms",
+             f"{megamorphic:.2f}x"],
         ],
     )
     registry = MetricsRegistry()
     registry.gauge("bench.counter_bump_speedup", bump)
     registry.gauge("bench.hook_hoist_speedup", hoist)
     registry.gauge("bench.superblock_vs_hooked_speedup", superblock)
+    registry.gauge("bench.trace_guard_heavy_speedup", guard)
+    registry.gauge("bench.trace_side_exit_heavy_speedup", side_exit)
+    registry.gauge("bench.trace_megamorphic_speedup", megamorphic)
     for variant, value in ips.items():
         registry.gauge("bench.interp_instructions_per_second", value,
                        variant=variant)
@@ -149,3 +295,12 @@ def test_runloop_microbench(measurements):
     assert hoist > 0.95, f"hoisted loop slower than hooked ({hoist:.2f}x)"
     assert superblock > 1.0, \
         f"superblock lost to the hooked interpreter ({superblock:.2f}x)"
+    # Guard-heavy is the trace tier's best case and must win outright;
+    # the hostile shapes only have to avoid catastrophic regression
+    # (every side exit pays guard + dispatch overhead by design).
+    assert guard > 1.0, \
+        f"trace tier lost its guard-heavy best case ({guard:.2f}x)"
+    assert side_exit > 0.4, \
+        f"side-exit-heavy collapse under traces ({side_exit:.2f}x)"
+    assert megamorphic > 0.4, \
+        f"megamorphic collapse under traces ({megamorphic:.2f}x)"

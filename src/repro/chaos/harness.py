@@ -452,6 +452,57 @@ def scenario_self_heal_bitrot() -> ScenarioResult:
         f"quarantined 1 patch ({stats.patch_rollbacks} rollback), output correct")
 
 
+def scenario_trace_tier_sweep() -> ScenarioResult:
+    """Run the survivable bitrot attack twice — trace tier disabled and
+    forced hot (threshold 1) — and demand the attack lands identically:
+    same heal, same rollback count, same final architectural state and
+    output, with zero stale-trace executions (the healed bytes are what
+    the traced run executes)."""
+    name = "trace-tier-sweep"
+    binary = build_erroneous_workload()
+    result = ChimeraRewriter().rewrite(binary, RV64GC)
+    regions = result.binary.metadata["chimera"]["patched_regions"]
+    smile = sorted(r for r in regions if r[2] in ("smile", "smile-dp"))[:1]
+    try:
+        TrampolineBitrotInjector(smile)
+    except ValueError as exc:
+        return ScenarioResult(name, False, str(exc))
+
+    def attacked_run(**kernel_kwargs):
+        kernel = Kernel(**kernel_kwargs)
+        runtime = ChimeraRuntime(result.binary, self_heal=True)
+        runtime.install(kernel)
+        process = make_process(result.binary)
+        TrampolineBitrotInjector(smile).corrupt(process)
+        res = kernel.run(process, Core(0, RV64GC))
+        state = (res.ok, res.exit_code, res.instret, res.cycles,
+                 res.output, runtime.stats.patch_rollbacks,
+                 runtime.stats.unrecoverable_faults,
+                 process.space.read_u64(binary.symbol_addr("out")),
+                 process.space.read_u64(binary.symbol_addr("buf")),
+                 process.space.read_u64(binary.symbol_addr("buf") + 8))
+        return state, res
+
+    base_state, base_res = attacked_run(trace_cache=False)
+    trace_state, trace_res = attacked_run(trace_threshold=1)
+    if not base_res.ok:
+        return ScenarioResult(
+            name, False, f"baseline run died after bitrot: {base_res.fault!r}")
+    if trace_state != base_state:
+        return ScenarioResult(
+            name, False,
+            f"attack landed differently with traces on: "
+            f"{trace_state} != {base_state}")
+    if trace_res.counters.get("trace_instret", 0) <= 0:
+        return ScenarioResult(
+            name, False, "vacuous: the traced run never dispatched a trace")
+    return ScenarioResult(
+        name, True,
+        f"bit-identical under attack with traces on "
+        f"(instret={trace_state[2]}, rollbacks={trace_state[5]}, "
+        f"{trace_res.counters.get('traces_compiled', 0)} traces compiled)")
+
+
 ALL_SCENARIOS = (
     scenario_drop_fault_entries,
     scenario_corrupt_fault_entry,
@@ -461,6 +512,7 @@ ALL_SCENARIOS = (
     scenario_stale_decode_cache,
     scenario_interrupt_migration,
     scenario_self_heal_bitrot,
+    scenario_trace_tier_sweep,
 )
 
 

@@ -71,10 +71,23 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-block-cache", action="store_true",
                         help="disable the superblock execution engine; "
                              "every CPU runs the plain interpreter loop")
+    _add_trace_flags(parser)
     parser.add_argument("--rewrite-cache", metavar="DIR", default=None,
                         help="content-addressed cache of verified rewrites; "
                              "hits skip both translation and verification")
     _add_cache_flags(parser)
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    """The trace-tier knobs (run/verify/chaos/resilience/serve)."""
+    parser.add_argument("--no-trace-cache", action="store_true",
+                        help="disable the hot-trace tier; hot code still "
+                             "runs through the superblock cache but stops "
+                             "at every branch")
+    parser.add_argument("--trace-threshold", type=int, default=None,
+                        metavar="N",
+                        help="block-cache dispatches at one entry pc before "
+                             "a trace is recorded (default: 16)")
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -179,7 +192,8 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
 
 def _report_run(args: argparse.Namespace, *, exit_code: int, cycles: int,
                 instret: int, counters: dict, fault, output: bytes,
-                workload: str | None = None) -> int:
+                workload: str | None = None,
+                hot_blocks: list | None = None) -> int:
     """Shared run-result reporting: human text or --json; exit code
     semantics are identical in both modes (0 iff the guest succeeded)."""
     ok = exit_code == 0 and fault is None
@@ -195,6 +209,9 @@ def _report_run(args: argparse.Namespace, *, exit_code: int, cycles: int,
         }
         if workload is not None:
             payload["workload"] = workload
+        if hot_blocks:
+            payload["hot_blocks"] = [
+                {"pc": f"{pc:#x}", "hits": hits} for pc, hits in hot_blocks]
         json.dump(payload, sys.stdout, indent=1)
         sys.stdout.write("\n")
     else:
@@ -205,7 +222,17 @@ def _report_run(args: argparse.Namespace, *, exit_code: int, cycles: int,
         interesting = {k: v for k, v in counters.items() if v}
         if interesting:
             print(f"counters: {interesting}")
+        if hot_blocks:
+            print(_hot_block_table(hot_blocks))
     return 0 if ok else 1
+
+
+def _hot_block_table(hot_blocks: list) -> str:
+    """Render the per-entry-pc hot-block histogram as an aligned table."""
+    lines = ["hot blocks (entry pc, cached dispatches):"]
+    for pc, hits in hot_blocks:
+        lines.append(f"  {pc:>#12x}  {hits}")
+    return "\n".join(lines)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -217,7 +244,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     profile = _isa(args.core)
     scope, telemetry = _telemetry_scope(args)
     with scope:
-        kernel = Kernel(block_cache=not args.no_block_cache)
+        kernel = Kernel(block_cache=not args.no_block_cache,
+                        trace_cache=not args.no_trace_cache,
+                        trace_threshold=args.trace_threshold)
         # Install whichever runtime the image's rewriting metadata calls for.
         if "chimera" in binary.metadata:
             from repro.core.runtime import ChimeraRuntime
@@ -257,6 +286,7 @@ def _run_workload(args: argparse.Namespace, name: str) -> int:
             jobs=args.jobs,
             cache_dir=_cache_layout(args),
             executor=args.executor,
+            hot_blocks=getattr(args, "hot_blocks", 0),
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -266,7 +296,8 @@ def _run_workload(args: argparse.Namespace, name: str) -> int:
     return _report_run(
         args, exit_code=run.exit_code, cycles=run.cycles,
         instret=run.instret, counters=run.counters,
-        fault=run.fault, output=run.output, workload=name)
+        fault=run.fault, output=run.output, workload=name,
+        hot_blocks=run.hot_blocks)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -275,15 +306,24 @@ def cmd_trace(args: argparse.Namespace) -> int:
     try:
         run = run_traced_workload(
             name=args.workload, variant=args.variant, scale=args.scale,
-            target=args.target, max_instructions=args.max_instructions)
+            target=args.target, max_instructions=args.max_instructions,
+            hot_blocks=args.hot_blocks)
     except ValueError as exc:
         raise SystemExit(str(exc))
+    if getattr(args, "json", False):
+        return _report_run(
+            args, exit_code=run.exit_code, cycles=run.cycles,
+            instret=run.instret, counters=run.counters,
+            fault=run.fault, output=run.output, workload=args.workload,
+            hot_blocks=run.hot_blocks)
     _write_telemetry(run.telemetry, args.output)
     metrics = run.telemetry.metrics
     spans = run.telemetry.tracer.completed
     print(f"workload={args.workload} exit={run.exit_code} "
           f"cycles={run.cycles} instret={run.instret}")
     print(f"telemetry: {len(spans)} spans, {len(metrics)} metric series")
+    if run.hot_blocks:
+        print(_hot_block_table(run.hot_blocks))
     missing = verify_four_layers(metrics)
     if missing:
         print(f"WARNING: layers without data: {', '.join(missing)}")
@@ -619,6 +659,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-instructions", type=int, default=50_000_000)
     p.add_argument("--json", action="store_true",
                    help="emit the run result as JSON (same exit-code semantics)")
+    p.add_argument("--hot-blocks", type=int, default=0, metavar="N",
+                   help="report the N hottest block-cache entry pcs "
+                        "(workload runs only; adds a profiling pass)")
     p.add_argument("--telemetry-out", metavar="DIR", default=None,
                    help="write trace.json + metrics.json into DIR")
     _add_perf_flags(p)
@@ -635,6 +678,12 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--target", default="rv64gc",
                    help="base-core profile the rewrite targets")
     p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.add_argument("--hot-blocks", type=int, default=0, metavar="N",
+                   help="also profile and print the N hottest block-cache "
+                        "entry pcs (trace-threshold tuning aid)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the run result (and any --hot-blocks "
+                        "histogram) as JSON instead of writing telemetry")
     p.add_argument("-o", "--output", metavar="DIR", default="telemetry-out",
                    help="directory for trace.json + metrics.json")
     p.set_defaults(fn=cmd_trace)
@@ -749,6 +798,7 @@ def make_parser() -> argparse.ArgumentParser:
                         "the slow-loris defense (0 disables; default 120)")
     p.add_argument("--telemetry-out", metavar="DIR", default=None,
                    help="write trace.json + metrics.json into DIR at shutdown")
+    _add_trace_flags(p)
     _add_cache_flags(p)
     p.set_defaults(fn=cmd_serve)
 
@@ -809,18 +859,27 @@ def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
     from repro.sim import machine
 
-    # --no-block-cache must reach kernels created arbitrarily deep in a
-    # command (chaos scenarios, resilience schedulers, the oracle), so
-    # it flips the process-wide default for the duration of the command.
+    # --no-block-cache / --no-trace-cache / --trace-threshold must reach
+    # kernels created arbitrarily deep in a command (chaos scenarios,
+    # resilience schedulers, the oracle, pooled verification workers), so
+    # they flip the process-wide defaults for the duration of the command.
     prev_default = machine.BLOCK_CACHE_DEFAULT
+    prev_trace = machine.TRACE_CACHE_DEFAULT
+    prev_threshold = machine.TRACE_THRESHOLD_DEFAULT
     if getattr(args, "no_block_cache", False):
         machine.BLOCK_CACHE_DEFAULT = False
+    if getattr(args, "no_trace_cache", False):
+        machine.TRACE_CACHE_DEFAULT = False
+    if getattr(args, "trace_threshold", None) is not None:
+        machine.TRACE_THRESHOLD_DEFAULT = args.trace_threshold
     try:
         return args.fn(args)
     except BrokenPipeError:  # e.g. `repro disasm ... | head`
         return 0
     finally:
         machine.BLOCK_CACHE_DEFAULT = prev_default
+        machine.TRACE_CACHE_DEFAULT = prev_trace
+        machine.TRACE_THRESHOLD_DEFAULT = prev_threshold
 
 
 if __name__ == "__main__":  # pragma: no cover

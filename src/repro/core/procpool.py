@@ -39,6 +39,7 @@ import os
 import pickle
 import threading
 import time
+from multiprocessing import connection as mp_connection
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
@@ -163,7 +164,12 @@ class PoolPayload:
 
 
 def _worker_main(worker_id: int, inbox, outbox, payload_bytes: bytes) -> None:
-    """Worker entry: build the gate once, then verify region by region."""
+    """Worker entry: build the gate once, then verify region by region.
+
+    ``outbox`` is this worker's *private* pipe end — results never cross
+    a lock shared with other workers, so an OOM-style kill mid-message
+    can corrupt only this worker's own channel (see ``_drain``).
+    """
     try:
         payload: PoolPayload = pickle.loads(payload_bytes)
         from repro.verify.admission import AdmissionGate
@@ -180,10 +186,10 @@ def _worker_main(worker_id: int, inbox, outbox, payload_bytes: bytes) -> None:
             injector=payload.injector,
         )
     except BaseException as exc:  # noqa: BLE001 - must surface, not die raw
-        outbox.put(("init-error", worker_id, None,
-                    f"{type(exc).__name__}: {exc}"))
+        outbox.send(("init-error", worker_id, None,
+                     f"{type(exc).__name__}: {exc}"))
         return
-    outbox.put(("ready", worker_id, None, None))
+    outbox.send(("ready", worker_id, None, None))
     while True:
         item = inbox.get()
         if item is None:
@@ -195,25 +201,39 @@ def _worker_main(worker_id: int, inbox, outbox, payload_bytes: bytes) -> None:
                     f"resolved {gate.seed}")
             verdict, oracle_ran = gate.verify_region_once(
                 item.index, attempt=item.attempt)
-            outbox.put(("verdict", worker_id, item.index,
-                        (verdict.as_dict(), oracle_ran)))
+            outbox.send(("verdict", worker_id, item.index,
+                         (verdict.as_dict(), oracle_ran)))
         except Exception as exc:  # noqa: BLE001 - structured, not raw
-            outbox.put(("error", worker_id, item.index,
-                        f"{type(exc).__name__}: {exc}"))
+            outbox.send(("error", worker_id, item.index,
+                         f"{type(exc).__name__}: {exc}"))
 
 
 class _Worker:
-    """Parent-side handle for one worker process."""
+    """Parent-side handle for one worker process.
 
-    def __init__(self, ctx, worker_id: int, outbox, payload_bytes: bytes):
+    Each worker reports back over its **own** one-way pipe rather than a
+    queue shared by the whole pool: a shared ``multiprocessing.Queue``
+    has one writer lock, and a worker SIGKILLed while its feeder thread
+    holds it leaves the semaphore acquired forever — every later worker
+    (including freshly spawned replacements) then blocks trying to send
+    ``ready`` and the pool spins without ever dispatching again.  With
+    private pipes a dying worker can only ever corrupt its own channel.
+    """
+
+    def __init__(self, ctx, worker_id: int, payload_bytes: bytes):
         self.id = worker_id
         self.inbox = ctx.Queue()
+        self.conn, child_conn = ctx.Pipe(duplex=False)
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker_id, self.inbox, outbox, payload_bytes),
+            args=(worker_id, self.inbox, child_conn, payload_bytes),
             daemon=True,
         )
         self.process.start()
+        # Drop the parent's copy of the send end immediately: EOF on
+        # `conn` then tracks the worker's lifetime, and workers forked
+        # later cannot inherit this worker's send end.
+        child_conn.close()
         self.item: Optional[RegionWorkItem] = None
         self.deadline: Optional[float] = None
         self.ready = False
@@ -244,6 +264,7 @@ class _Worker:
                 self.process.join()
         self.inbox.close()
         self.inbox.cancel_join_thread()
+        self.close_conn()
 
     def kill(self) -> None:
         """Hard-kill (watchdog path): no sentinel, no grace."""
@@ -254,6 +275,13 @@ class _Worker:
             self.process.join()
         self.inbox.close()
         self.inbox.cancel_join_thread()
+        self.close_conn()
+
+    def close_conn(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
 
 class FaultIsolatedPool:
@@ -313,7 +341,6 @@ class FaultIsolatedPool:
         faults: dict[int, list[RegionFault]] = {item.index: [] for item in items}
         pending: deque[RegionWorkItem] = deque(items)
         delayed: list[tuple[float, RegionWorkItem]] = []
-        outbox = self.ctx.Queue()
         workers: dict[int, _Worker] = {}
         next_id = 0
         #: Consecutive pre-ready deaths; any ready handshake resets it.
@@ -322,7 +349,7 @@ class FaultIsolatedPool:
 
         def spawn() -> _Worker:
             nonlocal next_id
-            worker = _Worker(self.ctx, next_id, outbox, self.payload_bytes)
+            worker = _Worker(self.ctx, next_id, self.payload_bytes)
             workers[worker.id] = worker
             next_id += 1
             return worker
@@ -373,8 +400,9 @@ class FaultIsolatedPool:
                     # and a pre-ready death is always a stillbirth.
                     if worker.ready and worker.item is None and pending:
                         worker.dispatch(pending.popleft(), self.region_timeout)
-                self._drain(outbox, workers, outcomes, settle, fail, state)
-                self._reap(workers, spawn, fail, state, pending, delayed)
+                self._drain(workers, outcomes, settle, fail, state)
+                self._reap(workers, spawn, fail, state, pending, delayed,
+                           outcomes, settle)
                 if state["stillbirths"] >= _MAX_STILLBIRTHS:
                     raise PoolBrokenError(
                         f"{state['stillbirths']} workers died before becoming "
@@ -384,8 +412,6 @@ class FaultIsolatedPool:
                 self.slots.unregister(self.job_id)
             for worker in list(workers.values()):
                 worker.stop()
-            outbox.close()
-            outbox.cancel_join_thread()
         return [outcomes[item.index] for item in items]
 
     # -- parent loop helpers ------------------------------------------------
@@ -414,31 +440,45 @@ class FaultIsolatedPool:
                     worker.stop()
                     self._inc("pipeline.workers_retired")
 
-    def _drain(self, outbox, workers, outcomes, settle, fail, state) -> None:
-        """Pull every queued message, waiting up to one tick for the first."""
-        import queue as queue_mod
+    def _drain(self, workers, outcomes, settle, fail, state) -> None:
+        """Pull every delivered message, waiting up to one tick for the
+        first.  Each worker is read over its private pipe; a channel
+        torn mid-message (worker killed mid-``send``) is simply dropped
+        here — ``_reap`` attributes the death itself."""
+        conns = {w.conn: w for w in workers.values()}
+        if not conns:
+            time.sleep(_TICK)
+            return
+        for conn in mp_connection.wait(list(conns), timeout=_TICK):
+            self._drain_conn(conns[conn], workers, outcomes, settle, fail,
+                             state)
 
-        block = True
+    def _drain_conn(self, worker, workers, outcomes, settle, fail,
+                    state) -> None:
+        """Deliver every complete message currently in one worker's pipe."""
+        conn = worker.conn
         while True:
             try:
-                message = outbox.get(timeout=_TICK if block else 0)
-            except queue_mod.Empty:
-                return
-            block = False
+                if not conn.poll():
+                    return
+                message = conn.recv()
+            except (EOFError, OSError):
+                return  # torn channel; the death is _reap's to attribute
             kind, worker_id, idx, body = message
-            worker = workers.get(worker_id)
+            sender = workers.get(worker_id)
             if kind == "ready":
                 state["stillbirths"] = 0
-                if worker is not None:
-                    worker.ready = True
+                if sender is not None:
+                    sender.ready = True
                 continue
             if kind == "init-error":
-                raise PoolBrokenError(f"worker {worker_id} failed to start: {body}")
+                raise PoolBrokenError(
+                    f"worker {worker_id} failed to start: {body}")
             if idx is None or idx in outcomes:
                 continue  # stale message from a worker the watchdog retired
-            item = worker.item if (worker is not None and worker.item is not None
+            item = worker.item if (worker.item is not None
                                    and worker.item.index == idx) else None
-            if worker is not None and item is not None:
+            if item is not None:
                 worker.settle()
             if kind == "verdict":
                 verdict, oracle_ran = body
@@ -447,16 +487,23 @@ class FaultIsolatedPool:
                 self._inc("pipeline.verify_errors")
                 fail(worker, item, VERIFY_ERROR, body)
 
-    def _reap(self, workers, spawn, fail, state, pending, delayed) -> None:
+    def _reap(self, workers, spawn, fail, state, pending, delayed,
+              outcomes, settle) -> None:
         """Crash and hang detection; respawns replacements."""
         now = time.monotonic()
         for worker in list(workers.values()):
             if not worker.process.is_alive():
+                # Deliver any last words first: a worker that sent its
+                # verdict and then died settled the region, so its death
+                # is an idle death, not a region crash.
+                self._drain_conn(worker, workers, outcomes, settle, fail,
+                                 state)
                 del workers[worker.id]
                 victim = worker.item
                 exitcode = worker.process.exitcode
                 worker.inbox.close()
                 worker.inbox.cancel_join_thread()
+                worker.close_conn()
                 if victim is not None:
                     self._inc("pipeline.worker_crashes")
                     fail(worker, victim, WORKER_CRASH,
@@ -468,6 +515,12 @@ class FaultIsolatedPool:
                     spawn()
             elif (worker.deadline is not None and now > worker.deadline
                     and worker.item is not None):
+                # A verdict racing the watchdog wins: drain before
+                # condemning, and spare the worker if the region settled.
+                self._drain_conn(worker, workers, outcomes, settle, fail,
+                                 state)
+                if worker.item is None:
+                    continue
                 victim = worker.item
                 del workers[worker.id]
                 worker.kill()

@@ -54,6 +54,11 @@ class TracedRun:
     fault: object = None
     output: bytes = b""
     telemetry: Telemetry = None
+    #: Hot-block histogram from the uninstrumented profiling pass
+    #: (``hot_blocks=N``): (entry pc, cached executions), hottest first.
+    #: Empty unless profiling was requested — the instrumented run
+    #: itself executes through the step fallback and builds no blocks.
+    hot_blocks: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -72,6 +77,7 @@ def run_traced_workload(
     jobs: int = 1,
     cache_dir: str | None = None,
     executor: str | None = None,
+    hot_blocks: int = 0,
 ) -> TracedRun:
     """Drive *name* through the full instrumented pipeline.
 
@@ -117,6 +123,21 @@ def run_traced_workload(
                 with telemetry.span("trace.schedule_probe"):
                     _scheduling_probe()
 
+    hot: list = []
+    if hot_blocks:
+        # Profiling pass outside the telemetry context: the instrumented
+        # run above traces every retired instruction, which (by the
+        # bit-identical fallback contract) bypasses the superblock/trace
+        # tiers entirely — so the hot-block profiler only sees anything
+        # on a plain uninstrumented run.
+        kernel = Kernel()
+        ChimeraRuntime(
+            rewrite.binary, rewriter=rewriter, original=binary
+        ).install(kernel)
+        profiled = kernel.run(make_process(rewrite.binary), Core(0, profile),
+                              max_instructions=max_instructions)
+        hot = profiled.hot_blocks[:hot_blocks]
+
     return TracedRun(
         workload=name,
         exit_code=result.exit_code,
@@ -126,6 +147,7 @@ def run_traced_workload(
         fault=result.fault,
         output=result.output,
         telemetry=telemetry,
+        hot_blocks=hot,
     )
 
 

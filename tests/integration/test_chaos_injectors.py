@@ -30,7 +30,7 @@ def test_scenario_passes(name):
 def test_scenario_names_unique_and_stable():
     results = [fn() for fn in ALL_SCENARIOS]
     names = [r.name for r in results]
-    assert len(set(names)) == len(names) == 8
+    assert len(set(names)) == len(names) == 9
 
 
 def test_structured_detail_mentions_degradation():

@@ -1,0 +1,166 @@
+"""Property test: trace-tier accounting versus pure ``step()`` execution.
+
+Hypothesis generates small branchy loop programs (data-dependent
+branches force guard side exits, optional vector episodes exercise the
+compiled vector fast paths) and runs each one three ways — pure
+interpreter, trace tier compiled, trace tier interpreted — plus a
+budget-truncated run that expires mid-trace.  Registers, pc, instret,
+cycles, and the data segment must match exactly in every mode: a guard
+side exit or budget cut mid-block never double- or under-counts
+retired instructions.
+
+Deterministic replay: seeded from ``REPRO_FUZZ_SEED`` like the
+differential fuzzer (see ``conftest.py`` here).
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, seed, settings, strategies as st
+
+from repro.elf.builder import ProgramBuilder
+from repro.elf.loader import make_process
+from repro.isa.extensions import RV64GCV
+from repro.sim.faults import SimFault, SimulationLimitExceeded
+from repro.sim.machine import Core, Kernel
+
+SCALAR_OPS = ("add", "sub", "xor", "or", "and", "mul", "sltu", "srl")
+REGS = ("a2", "a3", "a4", "a5", "t3", "t4")
+
+
+@st.composite
+def scalar_stmt(draw):
+    op = draw(st.sampled_from(SCALAR_OPS))
+    dst, a, b = (draw(st.sampled_from(REGS)) for _ in range(3))
+    return f"    {op} {dst}, {a}, {b}"
+
+
+@st.composite
+def mem_stmt(draw):
+    reg = draw(st.sampled_from(REGS))
+    off = draw(st.integers(min_value=0, max_value=15)) * 8
+    mnem = draw(st.sampled_from(("sd", "ld", "sw", "lw")))
+    return f"    {mnem} {reg}, {off}(s0)"
+
+
+@st.composite
+def vector_episode(draw):
+    avl = draw(st.integers(min_value=1, max_value=4))
+    op = draw(st.sampled_from(("vadd.vv", "vsub.vv", "vmul.vv", "vxor.vv")))
+    voff = draw(st.integers(min_value=0, max_value=3)) * 64
+    return "\n".join([
+        f"    li t0, {avl}",
+        "    vsetvli t0, t0, e64",
+        f"    addi t1, s1, {voff}",
+        "    vle64.v v1, (t1)",
+        f"    {op} v2, v1, v1",
+        "    vse64.v v2, (t1)",
+    ])
+
+
+@st.composite
+def program(draw):
+    iterations = draw(st.integers(min_value=6, max_value=24))
+    mask = draw(st.sampled_from((1, 3)))
+    stmts = draw(st.lists(st.one_of(scalar_stmt(), mem_stmt()),
+                          min_size=1, max_size=5))
+    if draw(st.booleans()):
+        stmts.append(draw(vector_episode()))
+    body = "\n".join(stmts)
+    return f"""
+_start:
+    li s0, {{buf}}
+    li s1, {{vbuf}}
+    li s2, {iterations}
+    li a2, 3
+    li a3, 5
+    li a4, 7
+    li a5, 11
+top:
+{body}
+    andi t2, s2, {mask}
+    beqz t2, even
+    add a2, a2, a3
+    j join
+even:
+    add a3, a3, a5
+join:
+    addi s2, s2, -1
+    bnez s2, top
+    li t0, {{out}}
+    sd a2, 0(t0)
+    sd a3, 8(t0)
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+
+
+def build(text: str):
+    b = ProgramBuilder("trace-fuzz")
+    b.add_words("buf", [(i * 2654435761) % (1 << 62) for i in range(16)])
+    b.add_words("vbuf", [(i * 40503) % (1 << 60) for i in range(32)])
+    b.add_words("out", [0] * 2)
+    b.set_text(text)
+    return b.build()
+
+
+def _run_cpu(binary, *, budget, block_cache=True, trace_cache=True,
+             trace_compile=True):
+    kernel = Kernel(block_cache=block_cache, trace_cache=trace_cache,
+                    trace_threshold=1)
+    process = make_process(binary)
+    cpu = kernel.make_cpu(process, Core(0, RV64GCV))
+    cpu.trace_compile = trace_compile
+    try:
+        cpu.run(max_instructions=budget)
+    except (SimFault, SimulationLimitExceeded):
+        pass
+    data = bytes(process.space.segment_at(binary.data.addr).data)
+    return cpu, data
+
+
+def _state(cpu, data):
+    return (cpu.instret, cpu.cycles, cpu.pc, tuple(cpu.regs),
+            cpu.vector.snapshot()["regs"], data)
+
+
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+
+FUZZ_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestTraceAccounting:
+    @seed(FUZZ_SEED)
+    @given(text=program())
+    @FUZZ_SETTINGS
+    def test_full_run_matches_pure_step(self, text):
+        binary = build(text)
+        step, step_data = _run_cpu(binary, budget=1_000_000,
+                                   block_cache=False)
+        compiled, comp_data = _run_cpu(build(text), budget=1_000_000)
+        interp, int_data = _run_cpu(build(text), budget=1_000_000,
+                                    trace_compile=False)
+        expected = _state(step, step_data)
+        assert _state(compiled, comp_data) == expected, \
+            f"compiled trace diverged:\n{text}"
+        assert _state(interp, int_data) == expected, \
+            f"interpreted trace diverged:\n{text}"
+        assert compiled.counters.get("trace_instret", 0) > 0
+
+    @seed(FUZZ_SEED)
+    @given(text=program(), budget=st.integers(min_value=5, max_value=300))
+    @FUZZ_SETTINGS
+    def test_budget_cut_matches_pure_step(self, text, budget):
+        """A budget expiring mid-trace (or mid-block) must leave the
+        exact architectural state pure stepping reaches at the same
+        instruction count."""
+        binary = build(text)
+        step, step_data = _run_cpu(binary, budget=budget, block_cache=False)
+        traced, traced_data = _run_cpu(build(text), budget=budget)
+        assert _state(traced, traced_data) == _state(step, step_data), \
+            f"budget={budget} diverged:\n{text}"

@@ -225,3 +225,70 @@ class TestPerfFlagExitCodes:
         assert main(["resilience", "all", "--no-block-cache",
                      "--jobs", "2"]) == 0
         capsys.readouterr()
+
+
+class TestTraceFlagExitCodes:
+    """--no-trace-cache / --trace-threshold / --hot-blocks keep the
+    exit-code contract and the bit-identity contract on ``run``."""
+
+    def test_run_image_no_trace_cache_success(self, tmp_path):
+        path = tmp_path / "ok.self"
+        save_binary(FibonacciWorkload(iterations=20).build("base"), path)
+        assert main(["run", str(path), "--core", "rv64gc",
+                     "--no-trace-cache"]) == 0
+
+    def test_run_image_no_trace_cache_failure(self, tmp_path):
+        assert main(["run", exit_image(tmp_path, 1), "--core", "rv64gc",
+                     "--no-trace-cache"]) == 1
+
+    def test_trace_flags_restore_global_defaults(self, tmp_path):
+        from repro.sim import machine
+
+        assert machine.TRACE_CACHE_DEFAULT is True
+        before = machine.TRACE_THRESHOLD_DEFAULT
+        main(["run", exit_image(tmp_path, 0), "--core", "rv64gc",
+              "--no-trace-cache", "--trace-threshold", "3"])
+        assert machine.TRACE_CACHE_DEFAULT is True
+        assert machine.TRACE_THRESHOLD_DEFAULT == before
+
+    def test_trace_tier_is_bit_identical_via_cli(self, tmp_path, capsys):
+        path = tmp_path / "ok.self"
+        save_binary(FibonacciWorkload(iterations=40).build("base"), path)
+        main(["run", str(path), "--core", "rv64gc", "--json",
+              "--trace-threshold", "1"])
+        fast = json.loads(capsys.readouterr().out)
+        main(["run", str(path), "--core", "rv64gc", "--json",
+              "--no-trace-cache"])
+        slow = json.loads(capsys.readouterr().out)
+        assert fast["instret"] == slow["instret"]
+        assert fast["cycles"] == slow["cycles"]
+        assert fast["counters"].get("trace_cache_hits", 0) > 0
+        assert slow["counters"].get("trace_cache_hits", 0) == 0
+        assert slow["counters"].get("trace_instret", 0) == 0
+
+    def test_run_workload_hot_blocks_json(self, capsys):
+        code = main(["run", "dot", "--json", "--hot-blocks", "4"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        hot = payload.get("hot_blocks", [])
+        assert 0 < len(hot) <= 4
+        for entry in hot:
+            assert entry["pc"].startswith("0x") and entry["hits"] > 0
+        hits = [entry["hits"] for entry in hot]
+        assert hits == sorted(hits, reverse=True)
+
+    def test_trace_command_hot_blocks_json(self, capsys):
+        code = main(["trace", "dot", "--json", "--hot-blocks", "3"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["workload"] == "dot"
+        assert 0 < len(payload.get("hot_blocks", [])) <= 3
+
+    def test_serve_parser_accepts_trace_flags(self, tmp_path):
+        from repro.cli import make_parser
+
+        args = make_parser().parse_args(
+            ["serve", "--cache", str(tmp_path), "--no-trace-cache",
+             "--trace-threshold", "5"])
+        assert args.no_trace_cache is True
+        assert args.trace_threshold == 5
